@@ -1,0 +1,78 @@
+// Command rmtbench runs the full experiment suite and prints every table of
+// EXPERIMENTS.md (experiments E1–E8 and figure reproductions F1–F2).
+//
+// Usage:
+//
+//	rmtbench                  # full suite, default seed/trials
+//	rmtbench -trials 100      # heavier randomized sweeps
+//	rmtbench -only E2,F1      # a subset of tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rmt/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rmtbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rmtbench", flag.ContinueOnError)
+	var (
+		seed   = fs.Int64("seed", 2016, "RNG seed for the randomized sweeps")
+		trials = fs.Int("trials", 60, "random trials per configuration")
+		only   = fs.String("only", "", "comma-separated table IDs to run (default: all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := eval.Params{Seed: *seed, Trials: *trials}
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	experiments := []struct {
+		id  string
+		run func(eval.Params) *eval.Table
+	}{
+		{"E1", eval.E1JoinAlgebra},
+		{"E2", eval.E2PKATightness},
+		{"E3", eval.E3Safety},
+		{"E4", eval.E4ZCPATightness},
+		{"E5", eval.E5KnowledgeSweep},
+		{"E6", eval.E6MinimalKnowledge},
+		{"E7", eval.E7DecisionProtocol},
+		{"E8", eval.E8Scaling},
+		{"E9", eval.E9BroadcastTightness},
+		{"E10", eval.E10HorizonAblation},
+		{"E11", eval.E11RepresentationAblation},
+		{"E12", eval.E12Discovery},
+		{"E13", eval.E13Exhaustive},
+		{"F1", eval.F1BasicFrontier},
+		{"F2", eval.F2IndistinguishableRuns},
+	}
+	ran := 0
+	for _, e := range experiments {
+		if len(wanted) > 0 && !wanted[e.id] {
+			continue
+		}
+		e.run(p).Render(out)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no tables matched -only=%q", *only)
+	}
+	return nil
+}

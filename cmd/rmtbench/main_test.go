@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSubset(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "E1,F1", "-trials", "5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "== E1") || !strings.Contains(out, "== F1") {
+		t.Fatalf("missing tables:\n%s", out)
+	}
+	if strings.Contains(out, "== E8") {
+		t.Fatal("ran tables outside -only")
+	}
+}
+
+func TestRunNoMatch(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "ZZ"}, &sb); err == nil {
+		t.Fatal("no error for unmatched -only")
+	}
+}
+
+func TestRunAllTablesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-trials", "5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "F1", "F2"} {
+		if !strings.Contains(sb.String(), "== "+id) {
+			t.Errorf("missing table %s", id)
+		}
+	}
+}

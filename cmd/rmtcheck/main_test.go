@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunChimera(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-graph", "0-1 0-2 0-3 1-4 1-5 2-4 3-5 4-6 5-6",
+		"-structure", "1;2;3",
+		"-dealer", "0", "-receiver", "6",
+		"-knowledge", "adhoc", "-design",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"UNSOLVABLE", "RMTCut", "minimal knowledge radius: 2",
+		"feasible receivers",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSolvable(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-graph", "0-1 0-2 0-3 1-4 2-4 3-4",
+		"-structure", "1;2;3",
+		"-receiver", "4",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "SOLVABLE — no RMT-cut") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                // missing graph
+		{"-graph", "0-1"},                 // missing receiver
+		{"-graph", "x", "-receiver", "1"}, // bad graph
+		{"-graph", "0-1", "-receiver", "1", "-structure", "zz"},
+		{"-graph", "0-1", "-receiver", "1", "-knowledge", "psychic"},
+		{"-graph", "0-1", "-receiver", "9"}, // receiver not a node
+	}
+	for i, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("case %d: no error for %v", i, args)
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/in.rmt"
+	spec := "graph: 0-1 0-2 1-3 2-3\nstructure: 1;2\nreceiver: 3\n"
+	if err := os.WriteFile(path, []byte(spec), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-file", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "UNSOLVABLE") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunFromMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-file", "/nonexistent/x.rmt"}, &sb); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFamilies(t *testing.T) {
+	cases := [][]string{
+		{"-family", "disjoint", "-paths", "3", "-hops", "2"},
+		{"-family", "layered", "-layers", "2", "-width", "3", "-threshold", "1"},
+		{"-family", "chimera", "-k", "3"},
+		{"-family", "line", "-n", "6"},
+		{"-family", "ring", "-n", "6"},
+		{"-family", "grid", "-n", "3", "-cols", "3"},
+		{"-family", "random", "-n", "7", "-p", "0.5", "-seed", "3"},
+	}
+	for i, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		out := sb.String()
+		for _, want := range []string{"-graph", "-structure", "-dealer", "-receiver"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("case %d: missing %s in %q", i, want, out)
+			}
+		}
+	}
+}
+
+func TestUnknownFamily(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-family", "nope"}, &sb); err == nil {
+		t.Fatal("no error for unknown family")
+	}
+}
+
+func TestDeterministicRandom(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-family", "random", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-family", "random", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed, different output")
+	}
+}
+
+func TestSpecOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-family", "chimera", "-k", "2", "-spec", "-knowledge", "radius2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# rmt instance v1", "graph:", "knowledge: radius2", "receiver: 6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spec output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpecBadKnowledge(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-spec", "-knowledge", "psychic"}, &sb); err == nil {
+		t.Fatal("bad knowledge accepted")
+	}
+}
+
+func TestNewFamilies(t *testing.T) {
+	for _, args := range [][]string{
+		{"-family", "star", "-n", "6"},
+		{"-family", "bipartite", "-n", "2", "-cols", "3"},
+		{"-family", "butterfly", "-k", "2"},
+		{"-family", "regular", "-n", "8", "-seed", "3"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !strings.Contains(sb.String(), "-graph") {
+			t.Fatalf("%v: no graph emitted", args)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const tripleGraph = "0-1 0-2 0-3 1-4 2-4 3-4"
+
+func TestRunHonest(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-graph", tripleGraph, "-structure", "1;2;3",
+		"-receiver", "4", "-protocol", "pka", "-value", "hello",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"hello" — CORRECT`) {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunEveryProtocolAndAttack(t *testing.T) {
+	for _, proto := range []string{"pka", "zcpa", "ppa"} {
+		for _, attack := range []string{"silent", "value-flip", "path-forgery", "ghost-node", "split-brain", "structure-liar"} {
+			var sb strings.Builder
+			err := run([]string{
+				"-graph", tripleGraph, "-structure", "1;2;3",
+				"-receiver", "4", "-protocol", proto, "-value", "v",
+				"-knowledge", "full",
+				"-corrupt", "2", "-attack", attack, "-rounds",
+			}, &sb)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", proto, attack, err)
+			}
+			if strings.Contains(sb.String(), "WRONG") {
+				t.Fatalf("%s/%s: safety violation:\n%s", proto, attack, sb.String())
+			}
+		}
+	}
+}
+
+func TestRunGoroutineEngine(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-graph", tripleGraph, "-structure", "", "-receiver", "4",
+		"-protocol", "zcpa", "-engine", "goroutine",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "CORRECT") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsInadmissibleCorruption(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-graph", tripleGraph, "-structure", "1", "-receiver", "4",
+		"-corrupt", "2,3",
+	}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "not admissible") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-graph", tripleGraph, "-receiver", "4", "-protocol", "nope"},
+		{"-graph", tripleGraph, "-receiver", "4", "-engine", "nope"},
+		{"-graph", tripleGraph, "-receiver", "4", "-corrupt", "1", "-attack", "nope"},
+	}
+	for i, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-graph", "0-1 1-2", "-receiver", "2", "-protocol", "zcpa",
+		"-value", "hi", "-trace",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "round 1") || !strings.Contains(out, "0 → 1  v:hi") {
+		t.Fatalf("trace missing:\n%s", out)
+	}
+}
+
+func TestRunTraceRejectedForPPA(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-graph", "0-1", "-receiver", "1", "-protocol", "ppa", "-trace"}, &sb); err == nil {
+		t.Fatal("ppa -trace accepted")
+	}
+}
+
+func TestRunSimFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/in.rmt"
+	spec := "graph: " + tripleGraph + "\nstructure: 1;2;3\nreceiver: 4\n"
+	if err := os.WriteFile(path, []byte(spec), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-file", path, "-protocol", "zcpa", "-value", "v"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "CORRECT") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,53 @@
+package rmt
+
+import (
+	"rmt/internal/broadcast"
+	"rmt/internal/discovery"
+)
+
+// Extension types: Reliable Broadcast (the paper's root setting from [13])
+// and Byzantine topology discovery (the application direction of the
+// paper's conclusions).
+type (
+	// BroadcastInstance is a Reliable Broadcast tuple (G, 𝒵, D): every
+	// honest player must decide the honest dealer's value.
+	BroadcastInstance = broadcast.Instance
+	// BroadcastZppCut witnesses broadcast impossibility (Definition 10).
+	BroadcastZppCut = broadcast.ZppCut
+	// DiscoveryResult is the reconstruction output of Byzantine topology
+	// discovery.
+	DiscoveryResult = discovery.Result
+)
+
+// NewBroadcast assembles a broadcast instance in the ad hoc model.
+func NewBroadcast(g *Graph, z Structure, dealer int) (*BroadcastInstance, error) {
+	return broadcast.New(g, z, dealer)
+}
+
+// RunBroadcast executes 𝒵-CPA in its original Reliable Broadcast role; all
+// players' decisions are in the result.
+func RunBroadcast(in *BroadcastInstance, xD Value, corrupt map[int]Process, engine Engine) (*Result, error) {
+	return broadcast.Run(in, xD, corrupt, engine)
+}
+
+// SolvableBroadcast reports whether broadcast is achievable (no
+// Definition-10 𝒵-pp cut).
+func SolvableBroadcast(in *BroadcastInstance) bool { return broadcast.Solvable(in) }
+
+// FindBroadcastCut searches for a Definition-10 cut witness.
+func FindBroadcastCut(in *BroadcastInstance) (BroadcastZppCut, bool) {
+	return broadcast.FindZppCut(in)
+}
+
+// ResilientBroadcast verifies broadcast operationally against every
+// admissible corruption set (exponential in the maximal-set sizes —
+// broadcast liveness is not monotone in the corruption set).
+func ResilientBroadcast(in *BroadcastInstance) (bool, error) { return broadcast.Resilient(in) }
+
+// DiscoverTopology floods every player's partial knowledge through the
+// network and returns the observer's Byzantine-resilient reconstruction:
+// bilateral-confirmed edges, contested claimants, and the ⊕-joint adversary
+// structure of everything learned.
+func DiscoverTopology(g *Graph, z Structure, gamma ViewFunction, observer int, corrupt map[int]Process, engine Engine) (*DiscoveryResult, error) {
+	return discovery.Run(g, z, gamma, observer, corrupt, engine)
+}

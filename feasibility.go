@@ -1,0 +1,49 @@
+package rmt
+
+import (
+	"rmt/internal/instance"
+	"rmt/internal/nodeset"
+)
+
+// FeasibleReceivers computes, for a fixed dealer, every node that can act
+// as an RMT receiver on (G, 𝒵, γ) — the paper's "network design phase" use
+// of the RMT-cut: the exact sub-network in which reliable transmission is
+// possible. Nodes the structure can corrupt are excluded (the model assumes
+// an honest receiver), as is the dealer itself.
+func FeasibleReceivers(g *Graph, z Structure, gamma ViewFunction, dealer int) Set {
+	out := nodeset.Empty()
+	ground := z.Ground()
+	g.Nodes().ForEach(func(r int) bool {
+		if r == dealer || ground.Contains(r) {
+			return true
+		}
+		in, err := instance.New(g, z, gamma, dealer, r)
+		if err != nil {
+			return true
+		}
+		if SolvablePKA(in) {
+			out = out.Add(r)
+		}
+		return true
+	})
+	return out
+}
+
+// MinimalKnowledgeRadius returns the smallest view radius k at which RMT
+// from dealer to receiver becomes solvable on (G, 𝒵), and true — or
+// (0, false) if it is unsolvable even with full knowledge. This is the
+// paper's "minimal amount of initial knowledge" (Section 3) measured on the
+// radius-interpolated view lattice.
+func MinimalKnowledgeRadius(g *Graph, z Structure, dealer, receiver int) (int, bool) {
+	diam := g.Diameter()
+	for k := 0; k <= diam; k++ {
+		in, err := NewInstance(g, z, RadiusView(g, k), dealer, receiver)
+		if err != nil {
+			return 0, false
+		}
+		if SolvablePKA(in) {
+			return k, true
+		}
+	}
+	return 0, false
+}

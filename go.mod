@@ -1,0 +1,3 @@
+module rmt
+
+go 1.22

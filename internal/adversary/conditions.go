@@ -1,0 +1,57 @@
+package adversary
+
+import "rmt/internal/nodeset"
+
+// Classic Hirt–Maurer solvability predicates. Q2(P, 𝒵) holds when no two
+// admissible sets cover P; Q3 when no three do. These quantify protocol
+// feasibility thresholds throughout the MPC/broadcast literature (e.g.
+// perfectly secure MPC requires Q3; broadcast with signatures Q2), and the
+// paper's cut conditions are their graph-localized descendants: a 𝒵-pair
+// cut is exactly a cut set on which Q2 fails.
+
+// Q2 reports whether no two sets of the structure cover the player set:
+// ∀ Z1, Z2 ∈ 𝒵: Z1 ∪ Z2 ≠ P (as a superset check: P ⊄ Z1 ∪ Z2).
+func (z Structure) Q2(players nodeset.Set) bool {
+	max := z.Maximal()
+	for _, m1 := range max {
+		rest := players.Minus(m1)
+		for _, m2 := range max {
+			if rest.SubsetOf(m2) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Q3 reports whether no three sets of the structure cover the player set.
+func (z Structure) Q3(players nodeset.Set) bool {
+	max := z.Maximal()
+	for _, m1 := range max {
+		rest1 := players.Minus(m1)
+		for _, m2 := range max {
+			rest2 := rest1.Minus(m2)
+			for _, m3 := range max {
+				if rest2.SubsetOf(m3) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// CoversWith returns admissible sets Z1, Z2 whose union contains the given
+// set, if any exist — the witness form of ¬Q2.
+func (z Structure) CoversWith(target nodeset.Set) (z1, z2 nodeset.Set, ok bool) {
+	max := z.Maximal()
+	for _, m1 := range max {
+		rest := target.Minus(m1)
+		for _, m2 := range max {
+			if rest.SubsetOf(m2) {
+				return target.Intersect(m1), rest, true
+			}
+		}
+	}
+	return nodeset.Set{}, nodeset.Set{}, false
+}

@@ -1,0 +1,208 @@
+// Package adversary implements general (Hirt–Maurer) adversary structures
+// and the paper's joint-view operation ⊕ on restricted structures.
+//
+// An adversary structure Z is a monotone family of subsets of the player
+// set: if Z ∈ 𝒵 and Z' ⊆ Z then Z' ∈ 𝒵. A Structure stores only the maximal
+// sets of the family (an antichain); monotonicity is implicit, so membership
+// is "subset of some maximal set". Every Structure contains the empty set —
+// the adversary may always corrupt nobody — so the antichain is never empty
+// (the weakest structure is {∅}, represented by the single maximal set ∅).
+//
+// A Restricted value pairs a structure with the node set it is restricted
+// to. Restricted structures are what players exchange: node v's local
+// knowledge is Z_v = Z^{V(γ(v))}, a structure over the nodes of its view.
+// The ⊕ operation (Definition 2 of the paper) combines two restricted
+// structures into the maximal structure over the union of their domains
+// that is consistent with both — the joint view.
+package adversary
+
+import (
+	"sort"
+	"strings"
+
+	"rmt/internal/nodeset"
+)
+
+// Structure is a monotone family of node sets, stored as the antichain of
+// its maximal sets in canonical order. The zero value is not valid; use the
+// constructors. Structures are immutable.
+type Structure struct {
+	maximal []nodeset.Set
+}
+
+// Trivial returns the structure {∅}: the adversary can corrupt no one.
+func Trivial() Structure {
+	return Structure{maximal: []nodeset.Set{nodeset.Empty()}}
+}
+
+// FromSets returns the monotone closure of the given sets (plus ∅).
+// Duplicates and dominated sets are dropped; the result is canonical.
+func FromSets(sets ...nodeset.Set) Structure {
+	return Structure{maximal: reduceToAntichain(sets)}
+}
+
+// FromSlices is FromSets with each set given as a slice of node IDs.
+func FromSlices(sets ...[]int) Structure {
+	ns := make([]nodeset.Set, len(sets))
+	for i, s := range sets {
+		ns[i] = nodeset.FromSlice(s)
+	}
+	return FromSets(ns...)
+}
+
+// reduceToAntichain sorts, dedups and removes dominated sets. An empty
+// input yields the antichain {∅} so the family always contains ∅.
+func reduceToAntichain(sets []nodeset.Set) []nodeset.Set {
+	if len(sets) == 0 {
+		return []nodeset.Set{nodeset.Empty()}
+	}
+	cp := make([]nodeset.Set, len(sets))
+	copy(cp, sets)
+	// Sort descending by cardinality so dominators come first.
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Compare(cp[j]) > 0 })
+	var max []nodeset.Set
+	for _, s := range cp {
+		dominated := false
+		for _, m := range max {
+			if s.SubsetOf(m) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			max = append(max, s)
+		}
+	}
+	// Canonical ascending order.
+	sort.SliceStable(max, func(i, j int) bool { return max[i].Compare(max[j]) < 0 })
+	return max
+}
+
+// Contains reports whether the set is a member of the family, i.e. a subset
+// of some maximal set. The empty set is always a member.
+func (z Structure) Contains(s nodeset.Set) bool {
+	for _, m := range z.maximal {
+		if s.SubsetOf(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Maximal returns the maximal sets in canonical order. The caller must not
+// modify the returned slice.
+func (z Structure) Maximal() []nodeset.Set { return z.maximal }
+
+// NumMaximal returns the number of maximal sets.
+func (z Structure) NumMaximal() int { return len(z.maximal) }
+
+// Ground returns the union of all maximal sets: every node that appears in
+// some corruption set.
+func (z Structure) Ground() nodeset.Set {
+	g := nodeset.Empty()
+	for _, m := range z.maximal {
+		g = g.Union(m)
+	}
+	return g
+}
+
+// Equal reports whether two structures are the same family.
+func (z Structure) Equal(other Structure) bool {
+	if len(z.maximal) != len(other.maximal) {
+		return false
+	}
+	for i, m := range z.maximal {
+		if !m.Equal(other.maximal[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubfamilyOf reports whether every member of z is a member of other.
+func (z Structure) SubfamilyOf(other Structure) bool {
+	for _, m := range z.maximal {
+		if !other.Contains(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the family union z ∪ other (monotone closure of the merged
+// antichains). Used e.g. in the Theorem 8 lower-bound construction, where
+// the adversary pretends the structure is 𝒵' = 𝒵|_B ∪ {C2}.
+func (z Structure) Union(other Structure) Structure {
+	merged := make([]nodeset.Set, 0, len(z.maximal)+len(other.maximal))
+	merged = append(merged, z.maximal...)
+	merged = append(merged, other.maximal...)
+	return Structure{maximal: reduceToAntichain(merged)}
+}
+
+// WithSet returns z ∪ {s and all its subsets}.
+func (z Structure) WithSet(s nodeset.Set) Structure {
+	return z.Union(FromSets(s))
+}
+
+// Restrict returns the restriction Z^A = { Z ∩ A : Z ∈ 𝒵 } as a structure.
+func (z Structure) Restrict(a nodeset.Set) Structure {
+	restricted := make([]nodeset.Set, len(z.maximal))
+	for i, m := range z.maximal {
+		restricted[i] = m.Intersect(a)
+	}
+	return Structure{maximal: reduceToAntichain(restricted)}
+}
+
+// RestrictTo returns the restriction as a Restricted value carrying its
+// domain, ready for the ⊕ operation.
+func (z Structure) RestrictTo(a nodeset.Set) Restricted {
+	return Restricted{Domain: a, Structure: z.Restrict(a)}
+}
+
+// Members enumerates every member of the family exactly once, in an
+// unspecified order, stopping early if fn returns false. It is exponential
+// in the maximal-set sizes and intended for tests and tiny instances; it
+// panics if any maximal set has more than 30 members.
+func (z Structure) Members(fn func(s nodeset.Set) bool) {
+	seen := map[string]bool{}
+	for _, m := range z.maximal {
+		stop := false
+		m.Subsets(func(sub nodeset.Set) bool {
+			k := sub.Key()
+			if seen[k] {
+				return true
+			}
+			seen[k] = true
+			if !fn(sub) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// NumMembers returns the total number of member sets (exponential walk;
+// tests/tiny instances only).
+func (z Structure) NumMembers() int {
+	n := 0
+	z.Members(func(nodeset.Set) bool { n++; return true })
+	return n
+}
+
+// String renders the antichain, e.g. "⟨{1}, {2, 3}⟩".
+func (z Structure) String() string {
+	var b strings.Builder
+	b.WriteString("⟨")
+	for i, m := range z.maximal {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(m.String())
+	}
+	b.WriteString("⟩")
+	return b.String()
+}

@@ -1,0 +1,303 @@
+package adversary
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rmt/internal/nodeset"
+)
+
+func TestTrivial(t *testing.T) {
+	z := Trivial()
+	if !z.Contains(nodeset.Empty()) {
+		t.Fatal("Trivial misses ∅")
+	}
+	if z.Contains(nodeset.Of(0)) {
+		t.Fatal("Trivial contains {0}")
+	}
+	if z.NumMaximal() != 1 || z.NumMembers() != 1 {
+		t.Fatal("Trivial wrong size")
+	}
+}
+
+func TestFromSetsAntichain(t *testing.T) {
+	z := FromSets(
+		nodeset.Of(1, 2),
+		nodeset.Of(1),    // dominated
+		nodeset.Of(3),    //
+		nodeset.Of(1, 2), // duplicate
+		nodeset.Empty())  // dominated
+	max := z.Maximal()
+	if len(max) != 2 {
+		t.Fatalf("maximal = %v", max)
+	}
+	if !max[0].Equal(nodeset.Of(3)) || !max[1].Equal(nodeset.Of(1, 2)) {
+		t.Fatalf("maximal order = %v", max)
+	}
+}
+
+func TestContainsMonotone(t *testing.T) {
+	z := FromSlices([]int{1, 2, 3}, []int{4, 5})
+	tests := []struct {
+		s    nodeset.Set
+		want bool
+	}{
+		{nodeset.Empty(), true},
+		{nodeset.Of(1), true},
+		{nodeset.Of(1, 3), true},
+		{nodeset.Of(1, 2, 3), true},
+		{nodeset.Of(4, 5), true},
+		{nodeset.Of(1, 4), false}, // straddles two maximal sets
+		{nodeset.Of(6), false},
+	}
+	for _, tt := range tests {
+		if got := z.Contains(tt.s); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestGround(t *testing.T) {
+	z := FromSlices([]int{1, 2}, []int{4})
+	if !z.Ground().Equal(nodeset.Of(1, 2, 4)) {
+		t.Fatalf("Ground = %v", z.Ground())
+	}
+	if !Trivial().Ground().IsEmpty() {
+		t.Fatal("Trivial ground not empty")
+	}
+}
+
+func TestEqualAndSubfamily(t *testing.T) {
+	a := FromSlices([]int{1, 2}, []int{3})
+	b := FromSlices([]int{3}, []int{1, 2}, []int{1})
+	if !a.Equal(b) {
+		t.Fatal("canonicalization failed: a != b")
+	}
+	c := FromSlices([]int{1, 2, 3})
+	if a.Equal(c) {
+		t.Fatal("different families Equal")
+	}
+	if !a.SubfamilyOf(c) {
+		t.Fatal("a should be a subfamily of c")
+	}
+	if c.SubfamilyOf(a) {
+		t.Fatal("c is not a subfamily of a")
+	}
+}
+
+func TestUnionWithSet(t *testing.T) {
+	a := FromSlices([]int{1})
+	b := FromSlices([]int{2, 3})
+	u := a.Union(b)
+	if !u.Contains(nodeset.Of(1)) || !u.Contains(nodeset.Of(2, 3)) {
+		t.Fatal("Union lost members")
+	}
+	if u.Contains(nodeset.Of(1, 2)) {
+		t.Fatal("Union invented members")
+	}
+	w := a.WithSet(nodeset.Of(5, 6))
+	if !w.Contains(nodeset.Of(5, 6)) || !w.Contains(nodeset.Of(6)) {
+		t.Fatal("WithSet missing monotone closure")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	z := FromSlices([]int{1, 2, 3}, []int{4})
+	r := z.Restrict(nodeset.Of(2, 3, 4))
+	// {1,2,3}∩A = {2,3}; {4}∩A = {4}.
+	if !r.Equal(FromSlices([]int{2, 3}, []int{4})) {
+		t.Fatalf("Restrict = %v", r)
+	}
+	// Restriction to a disjoint set collapses to {∅}.
+	if !z.Restrict(nodeset.Of(9)).Equal(Trivial()) {
+		t.Fatal("disjoint restrict not trivial")
+	}
+}
+
+func TestRestrictToDomainInvariant(t *testing.T) {
+	z := FromSlices([]int{1, 2, 3})
+	r := z.RestrictTo(nodeset.Of(2, 3))
+	if !r.Domain.Equal(nodeset.Of(2, 3)) {
+		t.Fatal("domain wrong")
+	}
+	for _, m := range r.Structure.Maximal() {
+		if !m.SubsetOf(r.Domain) {
+			t.Fatalf("maximal %v outside domain", m)
+		}
+	}
+}
+
+func TestNewRestrictedValidation(t *testing.T) {
+	if _, err := NewRestricted(nodeset.Of(1), FromSlices([]int{1, 2})); err == nil {
+		t.Fatal("NewRestricted accepted out-of-domain structure")
+	}
+	if _, err := NewRestricted(nodeset.Of(1, 2), FromSlices([]int{1})); err != nil {
+		t.Fatalf("NewRestricted rejected valid input: %v", err)
+	}
+}
+
+func TestMembersEnumeration(t *testing.T) {
+	z := FromSlices([]int{1, 2}, []int{2, 3})
+	// Members: ∅,{1},{2},{1,2},{3},{2,3} = 6.
+	if got := z.NumMembers(); got != 6 {
+		t.Fatalf("NumMembers = %d, want 6", got)
+	}
+	seen := map[string]bool{}
+	z.Members(func(s nodeset.Set) bool {
+		if seen[s.Key()] {
+			t.Fatalf("duplicate member %v", s)
+		}
+		seen[s.Key()] = true
+		if !z.Contains(s) {
+			t.Fatalf("enumerated non-member %v", s)
+		}
+		return true
+	})
+}
+
+func TestMembersEarlyStop(t *testing.T) {
+	z := FromSlices([]int{1, 2, 3})
+	n := 0
+	z.Members(func(nodeset.Set) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop after %d", n)
+	}
+}
+
+func TestString(t *testing.T) {
+	z := FromSlices([]int{2, 3}, []int{1})
+	if got := z.String(); got != "⟨{1}, {2, 3}⟩" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestGlobalThreshold(t *testing.T) {
+	u := nodeset.Of(1, 2, 3, 4)
+	z := GlobalThreshold(u, 2)
+	if z.NumMaximal() != 6 { // C(4,2)
+		t.Fatalf("NumMaximal = %d, want 6", z.NumMaximal())
+	}
+	if !z.Contains(nodeset.Of(1, 4)) || z.Contains(nodeset.Of(1, 2, 3)) {
+		t.Fatal("threshold membership wrong")
+	}
+	if !GlobalThreshold(u, 0).Equal(Trivial()) {
+		t.Fatal("t=0 not trivial")
+	}
+	if !GlobalThreshold(u, 4).Equal(FromSets(u)) {
+		t.Fatal("t=n not full")
+	}
+	if !GlobalThreshold(u, 9).Equal(FromSets(u)) {
+		t.Fatal("t>n not full")
+	}
+}
+
+func TestTLocal(t *testing.T) {
+	// Star: center 0, leaves 1..4. 1-local ⇒ at most one corrupted node in
+	// N(0) = {1,2,3,4}, at most one in each N(leaf) = {0}.
+	nbrs := func(v int) nodeset.Set {
+		if v == 0 {
+			return nodeset.Of(1, 2, 3, 4)
+		}
+		return nodeset.Of(0)
+	}
+	u := nodeset.Of(0, 1, 2, 3, 4)
+	z := TLocal(u, nbrs, 1)
+	if !z.Contains(nodeset.Of(0, 1)) {
+		t.Fatal("t-local rejects {0,1}")
+	}
+	if z.Contains(nodeset.Of(1, 2)) {
+		t.Fatal("t-local accepts two leaves (violates N(0) bound)")
+	}
+}
+
+func TestFromPredicateMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + r.Intn(4)
+		u := nodeset.Universe(n)
+		bound := 1 + r.Intn(3)
+		pred := func(s nodeset.Set) bool { return s.Len() <= bound }
+		z := FromPredicate(u, pred)
+		want := GlobalThreshold(u, bound)
+		if !z.Equal(want) {
+			t.Fatalf("trial %d: FromPredicate = %v, want %v", trial, z, want)
+		}
+	}
+}
+
+func TestRandomStructureWellFormed(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	u := nodeset.Universe(8)
+	z := Random(r, u, 5, 0.3)
+	if !z.Ground().SubsetOf(u) {
+		t.Fatal("Random escaped universe")
+	}
+	// Antichain property.
+	max := z.Maximal()
+	for i := range max {
+		for j := range max {
+			if i != j && max[i].SubsetOf(max[j]) {
+				t.Fatalf("not an antichain: %v ⊆ %v", max[i], max[j])
+			}
+		}
+	}
+}
+
+type genStructure struct {
+	Z Structure
+	U nodeset.Set
+}
+
+func (genStructure) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 2 + r.Intn(7)
+	u := nodeset.Universe(n)
+	return reflect.ValueOf(genStructure{Z: Random(r, u, 1+r.Intn(5), 0.2+r.Float64()*0.5), U: u})
+}
+
+func TestQuickRestrictIdempotent(t *testing.T) {
+	f := func(g genStructure) bool {
+		r := g.Z.Restrict(g.U)
+		return r.Equal(g.Z) // restricting to the universe is the identity
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRestrictComposes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(17))
+	f := func(g genStructure) bool {
+		a := randomSubset(rnd, g.U)
+		b := randomSubset(rnd, g.U)
+		// (Z^A)^{A∩B} == Z^{A∩B}
+		lhs := g.Z.Restrict(a).Restrict(a.Intersect(b))
+		rhs := g.Z.Restrict(a.Intersect(b))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionContainsBoth(t *testing.T) {
+	f := func(a, b genStructure) bool {
+		u := a.Z.Union(b.Z)
+		return a.Z.SubfamilyOf(u) && b.Z.SubfamilyOf(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomSubset(r *rand.Rand, u nodeset.Set) nodeset.Set {
+	s := nodeset.Empty()
+	u.ForEach(func(v int) bool {
+		if r.Intn(2) == 0 {
+			s = s.Add(v)
+		}
+		return true
+	})
+	return s
+}

@@ -1,0 +1,138 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"rmt/internal/nodeset"
+)
+
+// GlobalThreshold returns the global threshold structure: every subset of
+// the universe with at most t members. Its maximal sets are the t-subsets
+// (or the whole universe when t ≥ |universe|). This is the classic
+// Lamport–Shostak–Pease adversary as a special case of the general model.
+func GlobalThreshold(universe nodeset.Set, t int) Structure {
+	if t <= 0 {
+		return Trivial()
+	}
+	members := universe.Members()
+	if t >= len(members) {
+		return FromSets(universe)
+	}
+	var maximal []nodeset.Set
+	// Enumerate all t-subsets of the universe.
+	idx := make([]int, t)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		s := nodeset.Empty()
+		for _, i := range idx {
+			s = s.Add(members[i])
+		}
+		maximal = append(maximal, s)
+		// Next combination.
+		i := t - 1
+		for i >= 0 && idx[i] == len(members)-t+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < t; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return FromSets(maximal...)
+}
+
+// NeighborhoodFn abstracts the neighborhood oracle needed by the t-local
+// model, avoiding a dependency on the graph package.
+type NeighborhoodFn func(v int) nodeset.Set
+
+// TLocal returns the t-locally bounded structure on the given universe:
+// all sets T ⊆ universe with |T ∩ N(v)| ≤ t for every node v. This is
+// Koo's adversary model, under which CPA was introduced. The construction
+// enumerates subsets of the corruptible ground set and is exponential; it
+// is meant for the small instances used in tests and experiments, and
+// panics if the universe exceeds 24 nodes.
+func TLocal(universe nodeset.Set, neighbors NeighborhoodFn, t int) Structure {
+	pred := func(s nodeset.Set) bool {
+		ok := true
+		universe.ForEach(func(v int) bool {
+			if s.Intersect(neighbors(v)).Len() > t {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	return FromPredicate(universe, pred)
+}
+
+// FromPredicate returns the structure containing every subset of the
+// universe satisfying pred. pred must be downward closed (if pred(S) then
+// pred(S') for S' ⊆ S); the function does not verify this. Exponential in
+// |universe|; panics above 24 nodes.
+func FromPredicate(universe nodeset.Set, pred func(nodeset.Set) bool) Structure {
+	if universe.Len() > 24 {
+		panic("adversary: FromPredicate universe too large")
+	}
+	// Collect satisfying sets that are locally maximal: S satisfies pred
+	// but S+v does not, for every v ∈ universe \ S. For a downward-closed
+	// predicate these are exactly the maximal members.
+	var maximal []nodeset.Set
+	var rec func(s nodeset.Set, candidates []int)
+	rec = func(s nodeset.Set, candidates []int) {
+		extended := false
+		for i, v := range candidates {
+			grown := s.Add(v)
+			if pred(grown) {
+				extended = true
+				rec(grown, candidates[i+1:])
+			}
+		}
+		if !extended && isMaximalUnder(s, universe, pred) {
+			maximal = append(maximal, s)
+		}
+	}
+	if !pred(nodeset.Empty()) {
+		return Trivial()
+	}
+	rec(nodeset.Empty(), universe.Members())
+	if len(maximal) == 0 {
+		return Trivial()
+	}
+	return FromSets(maximal...)
+}
+
+func isMaximalUnder(s, universe nodeset.Set, pred func(nodeset.Set) bool) bool {
+	ok := true
+	universe.Minus(s).ForEach(func(v int) bool {
+		if pred(s.Add(v)) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Random returns a random structure over the universe with the given number
+// of maximal-set candidates, each drawn by including every universe node
+// with probability density. Used by generators and property tests.
+func Random(r *rand.Rand, universe nodeset.Set, numSets int, density float64) Structure {
+	members := universe.Members()
+	sets := make([]nodeset.Set, 0, numSets)
+	for i := 0; i < numSets; i++ {
+		s := nodeset.Empty()
+		for _, v := range members {
+			if r.Float64() < density {
+				s = s.Add(v)
+			}
+		}
+		sets = append(sets, s)
+	}
+	return FromSets(sets...)
+}

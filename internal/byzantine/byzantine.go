@@ -1,0 +1,110 @@
+// Package byzantine provides protocol-agnostic Byzantine player behaviors.
+// A corrupted player is just a network.Process with arbitrary behavior, so
+// strategies here can be dropped into any protocol run. Protocol-specific
+// attacks (wrong values, fictitious topology, fake local structures) live
+// next to their protocols in internal/zcpa and internal/core.
+package byzantine
+
+import (
+	"fmt"
+
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+)
+
+// Silent is the adversary that blocks everything: it never relays and never
+// sends. For safe protocols this is the worst-case liveness adversary (see
+// DESIGN.md §5), so the resilience checkers use it.
+type Silent struct{}
+
+// NewSilent returns a silent corrupted player.
+func NewSilent() *Silent { return &Silent{} }
+
+// Init implements network.Process.
+func (*Silent) Init(network.Outbox) {}
+
+// Round implements network.Process. It consumes the inbox and stays alive
+// so the engine keeps delivering (and discarding) traffic to it.
+func (*Silent) Round(int, []network.Message, network.Outbox) bool { return true }
+
+// Decision implements network.Process.
+func (*Silent) Decision() (network.Value, bool) { return "", false }
+
+// noisePayload is junk traffic sent by the Spammer.
+type noisePayload struct {
+	from  int
+	round int
+	seq   int
+}
+
+func (p noisePayload) BitSize() int { return 64 }
+func (p noisePayload) Key() string  { return fmt.Sprintf("noise(%d,%d,%d)", p.from, p.round, p.seq) }
+
+// Spammer floods its neighbors with junk payloads every round, exercising
+// protocol robustness to erroneous messages (the paper's "messages of
+// different form, which we call erroneous").
+type Spammer struct {
+	ID        int
+	Neighbors nodeset.Set
+	PerRound  int // messages per neighbor per round; default 1
+}
+
+// Init implements network.Process.
+func (s *Spammer) Init(out network.Outbox) { s.burst(0, out) }
+
+// Round implements network.Process.
+func (s *Spammer) Round(round int, _ []network.Message, out network.Outbox) bool {
+	s.burst(round, out)
+	return true
+}
+
+func (s *Spammer) burst(round int, out network.Outbox) {
+	per := s.PerRound
+	if per <= 0 {
+		per = 1
+	}
+	s.Neighbors.ForEach(func(u int) bool {
+		for i := 0; i < per; i++ {
+			out(u, noisePayload{from: s.ID, round: round, seq: i})
+		}
+		return true
+	})
+}
+
+// Decision implements network.Process.
+func (*Spammer) Decision() (network.Value, bool) { return "", false }
+
+// Replayer echoes back to every neighbor each payload it receives, with one
+// round of delay — a cheap "confusion" adversary that reuses well-formed
+// protocol messages in wrong contexts.
+type Replayer struct {
+	Neighbors nodeset.Set
+}
+
+// Init implements network.Process.
+func (*Replayer) Init(network.Outbox) {}
+
+// Round implements network.Process.
+func (r *Replayer) Round(_ int, inbox []network.Message, out network.Outbox) bool {
+	for _, m := range inbox {
+		r.Neighbors.ForEach(func(u int) bool {
+			out(u, m.Payload)
+			return true
+		})
+	}
+	return true
+}
+
+// Decision implements network.Process.
+func (*Replayer) Decision() (network.Value, bool) { return "", false }
+
+// SilentProcesses builds the corrupt-process map that silences every node
+// of t.
+func SilentProcesses(t nodeset.Set) map[int]network.Process {
+	m := make(map[int]network.Process, t.Len())
+	t.ForEach(func(v int) bool {
+		m[v] = NewSilent()
+		return true
+	})
+	return m
+}

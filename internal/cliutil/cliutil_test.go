@@ -1,0 +1,98 @@
+package cliutil
+
+import (
+	"testing"
+
+	"rmt/internal/adversary"
+	"rmt/internal/gen"
+	"rmt/internal/graph"
+	"rmt/internal/nodeset"
+)
+
+func TestParseStructure(t *testing.T) {
+	z, err := ParseStructure("1,2; 3 ;4,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := adversary.FromSlices([]int{1, 2}, []int{3}, []int{4, 5})
+	if !z.Equal(want) {
+		t.Fatalf("got %v, want %v", z, want)
+	}
+}
+
+func TestParseStructureEmpty(t *testing.T) {
+	z, err := ParseStructure("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !z.Equal(adversary.Trivial()) {
+		t.Fatalf("got %v", z)
+	}
+}
+
+func TestParseStructureErrors(t *testing.T) {
+	for _, bad := range []string{"a", "1,x", "-3"} {
+		if _, err := ParseStructure(bad); err == nil {
+			t.Errorf("ParseStructure(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseStructureRoundTrip(t *testing.T) {
+	z := adversary.FromSlices([]int{1, 2}, []int{7})
+	back, err := ParseStructure(FormatStructure(z))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(z) {
+		t.Fatalf("round trip: %v != %v", back, z)
+	}
+}
+
+func TestParseKnowledge(t *testing.T) {
+	tests := map[string]gen.Knowledge{
+		"adhoc": gen.AdHoc, "AD-HOC": gen.AdHoc,
+		"r1": gen.Radius1, "radius2": gen.Radius2, "R3": gen.Radius3,
+		"full": gen.FullKnowledge,
+	}
+	for in, want := range tests {
+		got, err := ParseKnowledge(in)
+		if err != nil || got != want {
+			t.Errorf("ParseKnowledge(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseKnowledge("psychic"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestParseNodeSet(t *testing.T) {
+	s, err := ParseNodeSet("3, 1 ,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(nodeset.Of(1, 2, 3)) {
+		t.Fatalf("got %v", s)
+	}
+	empty, err := ParseNodeSet("")
+	if err != nil || !empty.IsEmpty() {
+		t.Fatal("empty parse wrong")
+	}
+	if _, err := ParseNodeSet("1,b"); err == nil {
+		t.Fatal("bad node accepted")
+	}
+}
+
+func TestFormatEdgeListRoundTrip(t *testing.T) {
+	g, err := graph.ParseEdgeList("0-1 1-2 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := graph.ParseEdgeList(FormatEdgeList(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Fatalf("round trip: %v != %v", back, g)
+	}
+}

@@ -1,0 +1,56 @@
+package cliutil
+
+import "testing"
+
+// FuzzParseStructure checks the structure parser never panics and accepted
+// inputs round-trip through FormatStructure.
+func FuzzParseStructure(f *testing.F) {
+	for _, seed := range []string{
+		"1,2;3",
+		"",
+		";;",
+		"1",
+		"0,0,0",
+		" 4 , 5 ; 6 ",
+		"-1",
+		"1,x",
+		"9999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		z, err := ParseStructure(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseStructure(FormatStructure(z))
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if !back.Equal(z) {
+			t.Fatalf("round trip changed the structure: %v vs %v", z, back)
+		}
+	})
+}
+
+// FuzzParseNodeSet checks the node-set parser.
+func FuzzParseNodeSet(f *testing.F) {
+	for _, seed := range []string{"1,2,3", "", " 7 ", "0", "1,,2", "x"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		set, err := ParseNodeSet(s)
+		if err != nil {
+			return
+		}
+		if set.Len() < 0 {
+			t.Fatal("negative length")
+		}
+		set.ForEach(func(id int) bool {
+			if id < 0 {
+				t.Fatalf("negative member %d", id)
+			}
+			return true
+		})
+	})
+}

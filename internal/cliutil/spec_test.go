@@ -1,0 +1,132 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"rmt/internal/adversary"
+	"rmt/internal/gen"
+	"rmt/internal/graph"
+)
+
+const sampleSpec = `# rmt instance v1
+graph: 0-1 0-2 0-3 1-4 2-4 3-4
+structure: 1;2;3
+knowledge: adhoc
+dealer: 0
+receiver: 4
+`
+
+func TestParseInstanceSpec(t *testing.T) {
+	spec, err := ParseInstanceSpec(sampleSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Graph.NumNodes() != 5 || spec.Graph.NumEdges() != 6 {
+		t.Fatalf("graph = %v", spec.Graph)
+	}
+	if !spec.Z.Equal(adversary.FromSlices([]int{1}, []int{2}, []int{3})) {
+		t.Fatalf("structure = %v", spec.Z)
+	}
+	if spec.Knowledge != gen.AdHoc || spec.Dealer != 0 || spec.Receiver != 4 {
+		t.Fatalf("fields = %+v", spec)
+	}
+	in, err := spec.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 5 {
+		t.Fatalf("instance n = %d", in.N())
+	}
+}
+
+func TestParseInstanceSpecDefaults(t *testing.T) {
+	spec, err := ParseInstanceSpec("graph: 0-1\nreceiver: 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Dealer != 0 || spec.Knowledge != gen.AdHoc {
+		t.Fatalf("defaults wrong: %+v", spec)
+	}
+	if !spec.Z.Equal(adversary.Trivial()) {
+		t.Fatal("default structure not trivial")
+	}
+}
+
+func TestParseInstanceSpecErrors(t *testing.T) {
+	cases := map[string]string{
+		"no graph":     "receiver: 1\n",
+		"no receiver":  "graph: 0-1\n",
+		"bad key":      "graph: 0-1\nreceiver: 1\nwhat: 3\n",
+		"no colon":     "graph 0-1\n",
+		"bad graph":    "graph: x\nreceiver: 1\n",
+		"bad struct":   "graph: 0-1\nreceiver: 1\nstructure: a\n",
+		"bad know":     "graph: 0-1\nreceiver: 1\nknowledge: psychic\n",
+		"bad dealer":   "graph: 0-1\nreceiver: 1\ndealer: x\n",
+		"bad receiver": "graph: 0-1\nreceiver: x\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseInstanceSpec(text); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}
+
+func TestInstanceSpecRoundTrip(t *testing.T) {
+	g, err := graph.ParseEdgeList("0-1 1-2 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := InstanceSpec{
+		Graph:     g,
+		Z:         adversary.FromSlices([]int{1}),
+		Knowledge: gen.Radius2,
+		Dealer:    0,
+		Receiver:  2,
+	}
+	back, err := ParseInstanceSpec(spec.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Graph.Equal(spec.Graph) || !back.Z.Equal(spec.Z) ||
+		back.Knowledge != spec.Knowledge || back.Dealer != spec.Dealer || back.Receiver != spec.Receiver {
+		t.Fatalf("round trip changed the spec:\n%+v\nvs\n%+v", spec, back)
+	}
+}
+
+func TestParseInstanceSpecIgnoresCommentsAndBlank(t *testing.T) {
+	text := "\n\n# hi\n  # indented comment\ngraph: 0-1\n\nreceiver: 1\n"
+	if _, err := ParseInstanceSpec(text); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func FuzzParseInstanceSpec(f *testing.F) {
+	f.Add(sampleSpec)
+	f.Add("graph: 0-1\nreceiver: 1\n")
+	f.Add("")
+	f.Add("graph: 0-1\nreceiver: 1\nknowledge: full\nstructure: ;\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		spec, err := ParseInstanceSpec(text)
+		if err != nil {
+			return
+		}
+		back, err := ParseInstanceSpec(spec.Format())
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v", err)
+		}
+		if !back.Graph.Equal(spec.Graph) || !back.Z.Equal(spec.Z) {
+			t.Fatal("round trip changed content")
+		}
+	})
+}
+
+func TestSpecFormatContainsAllKeys(t *testing.T) {
+	spec, _ := ParseInstanceSpec(sampleSpec)
+	out := spec.Format()
+	for _, key := range []string{"graph:", "structure:", "knowledge:", "dealer:", "receiver:"} {
+		if !strings.Contains(out, key) {
+			t.Errorf("Format missing %s", key)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"rmt/internal/adversary"
+	"rmt/internal/graph"
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+)
+
+// Forger is a Byzantine RMT-PKA player with full control over its claims:
+// it can inject fabricated messages, transform the type-1 values it relays,
+// and send different claims to different neighbors. The engine's
+// authenticated channels still apply — it can only talk to real neighbors —
+// so every forged trail necessarily ends at the forger, exactly the
+// capability Theorem 4's safety proof grants the adversary.
+type Forger struct {
+	ID        int
+	Neighbors nodeset.Set
+	// InitAll is sent to every neighbor at Init.
+	InitAll []network.Payload
+	// InitPer adds per-neighbor payloads at Init (split-brain claims).
+	InitPer map[int][]network.Payload
+	// FlipValue, if non-nil, replaces the value of every relayed type-1
+	// message.
+	FlipValue func(network.Value) network.Value
+	// DropRelays disables relaying entirely when true.
+	DropRelays bool
+}
+
+// Init implements network.Process.
+func (f *Forger) Init(out network.Outbox) {
+	f.Neighbors.ForEach(func(u int) bool {
+		for _, p := range f.InitAll {
+			out(u, p)
+		}
+		for _, p := range f.InitPer[u] {
+			out(u, p)
+		}
+		return true
+	})
+}
+
+// Round implements network.Process: the forger relays like an honest node
+// (so its presence is plausible) but may rewrite type-1 values.
+func (f *Forger) Round(_ int, inbox []network.Message, out network.Outbox) bool {
+	if f.DropRelays {
+		return true
+	}
+	for _, m := range inbox {
+		trail, rebuild, ok := relayable(m.Payload)
+		if !ok || len(trail) == 0 || trail.Contains(f.ID) {
+			continue
+		}
+		payload := rebuild(trail.Append(f.ID))
+		if vm, isValue := payload.(ValueMsg); isValue && f.FlipValue != nil {
+			payload = ValueMsg{X: f.FlipValue(vm.X), P: vm.P}
+		}
+		f.Neighbors.ForEach(func(u int) bool {
+			out(u, payload)
+			return true
+		})
+	}
+	return true
+}
+
+// Decision implements network.Process.
+func (*Forger) Decision() (network.Value, bool) { return "", false }
+
+// NewValueFlipper corrupts node c so that it relays every type-1 message
+// with the forged value substituted, and announces its own info honestly —
+// the classic message-alteration attack.
+func NewValueFlipper(in *instance.Instance, c int, forged network.Value) *Forger {
+	return &Forger{
+		ID:        c,
+		Neighbors: in.G.Neighbors(c),
+		InitAll:   []network.Payload{InfoMsg{Info: trueInfo(in, c), P: graph.Path{c}}},
+		FlipValue: func(network.Value) network.Value { return forged },
+	}
+}
+
+// NewPathForger corrupts node c to claim a direct channel to the dealer
+// that never existed: it fabricates a view γ'(c) containing the edge c–D,
+// reports an understated local structure, and injects the type-1 message
+// (forged, {D, c}) as if the dealer had sent the forged value along it.
+// This is the "reporting fictitious topology and false local knowledge"
+// adversary of Theorem 4.
+func NewPathForger(in *instance.Instance, c int, forged network.Value) *Forger {
+	fakeView := in.Gamma.Of(c).Clone()
+	fakeView.AddEdge(c, in.Dealer)
+	fakeInfo := NodeInfo{
+		Node: c,
+		View: fakeView,
+		// The forger claims nobody in its view can be corrupted, making
+		// its forged path look maximally trustworthy.
+		Z: adversary.Restricted{Domain: fakeView.Nodes(), Structure: adversary.Trivial()},
+	}
+	return &Forger{
+		ID:        c,
+		Neighbors: in.G.Neighbors(c),
+		InitAll: []network.Payload{
+			InfoMsg{Info: fakeInfo, P: graph.Path{c}},
+			ValueMsg{X: forged, P: graph.Path{in.Dealer, c}},
+		},
+	}
+}
+
+// NewGhostForger corrupts node c to invent a fictitious node (ghost) that
+// claims to connect the dealer to c, complete with a fabricated view and
+// local structure for the ghost and a forged value that "traveled" through
+// it. The ghost's ID must not collide with a real node.
+func NewGhostForger(in *instance.Instance, c, ghost int, forged network.Value) *Forger {
+	ghostView := graph.New()
+	ghostView.AddEdge(in.Dealer, ghost)
+	ghostView.AddEdge(ghost, c)
+	ghostInfo := NodeInfo{
+		Node: ghost,
+		View: ghostView,
+		Z:    adversary.Restricted{Domain: ghostView.Nodes(), Structure: adversary.Trivial()},
+	}
+	// c's own fake view includes the ghost edge so G_M contains the path.
+	fakeView := in.Gamma.Of(c).Clone()
+	fakeView.AddEdge(ghost, c)
+	selfInfo := NodeInfo{
+		Node: c,
+		View: fakeView,
+		Z:    adversary.Restricted{Domain: fakeView.Nodes(), Structure: adversary.Trivial()},
+	}
+	return &Forger{
+		ID:        c,
+		Neighbors: in.G.Neighbors(c),
+		InitAll: []network.Payload{
+			InfoMsg{Info: selfInfo, P: graph.Path{c}},
+			InfoMsg{Info: ghostInfo, P: graph.Path{ghost, c}},
+			ValueMsg{X: forged, P: graph.Path{in.Dealer, ghost, c}},
+		},
+	}
+}
+
+// NewSplitBrain corrupts node c to present two different versions of its
+// own knowledge to two halves of its neighborhood, violating Definition 4's
+// consistency requirement in a way only the receiver's valid-set grouping
+// can untangle.
+func NewSplitBrain(in *instance.Instance, c int, forged network.Value) *Forger {
+	honest := trueInfo(in, c)
+	fakeView := in.Gamma.Of(c).Clone()
+	fakeView.AddEdge(c, in.Dealer)
+	lying := NodeInfo{
+		Node: c,
+		View: fakeView,
+		Z:    adversary.Restricted{Domain: fakeView.Nodes(), Structure: adversary.Trivial()},
+	}
+	per := make(map[int][]network.Payload)
+	i := 0
+	in.G.Neighbors(c).ForEach(func(u int) bool {
+		if i%2 == 0 {
+			per[u] = []network.Payload{InfoMsg{Info: honest, P: graph.Path{c}}}
+		} else {
+			per[u] = []network.Payload{
+				InfoMsg{Info: lying, P: graph.Path{c}},
+				ValueMsg{X: forged, P: graph.Path{in.Dealer, c}},
+			}
+		}
+		i++
+		return true
+	})
+	return &Forger{ID: c, Neighbors: in.G.Neighbors(c), InitPer: per}
+}
+
+// NewStructureLiar corrupts node c to relay faithfully but report a wildly
+// false local adversary structure: it claims every subset of its view may
+// be corrupted, maximizing the receiver's perceived uncertainty (a
+// denial-of-decision attempt).
+func NewStructureLiar(in *instance.Instance, c int) *Forger {
+	dom := in.Gamma.NodesOf(c)
+	lying := NodeInfo{
+		Node: c,
+		View: in.Gamma.Of(c),
+		Z:    adversary.Restricted{Domain: dom, Structure: adversary.FromSets(dom.Remove(in.Dealer).Remove(in.Receiver))},
+	}
+	return &Forger{
+		ID:        c,
+		Neighbors: in.G.Neighbors(c),
+		InitAll:   []network.Payload{InfoMsg{Info: lying, P: graph.Path{c}}},
+	}
+}
+
+// Strategies enumerates the full attack zoo against an instance for a given
+// corruption set: every node of t is corrupted with the same strategy kind.
+// Used by experiment E3 (safety) and the attack example.
+func Strategies(in *instance.Instance, t nodeset.Set, forged network.Value) map[string]map[int]network.Process {
+	ghostBase := in.G.MaxID() + 1
+	zoo := map[string]map[int]network.Process{
+		"silent":         {},
+		"value-flip":     {},
+		"path-forgery":   {},
+		"ghost-node":     {},
+		"split-brain":    {},
+		"structure-liar": {},
+	}
+	i := 0
+	t.ForEach(func(c int) bool {
+		zoo["silent"][c] = &Forger{ID: c, Neighbors: in.G.Neighbors(c), DropRelays: true}
+		zoo["value-flip"][c] = NewValueFlipper(in, c, forged)
+		zoo["path-forgery"][c] = NewPathForger(in, c, forged)
+		zoo["ghost-node"][c] = NewGhostForger(in, c, ghostBase+i, forged)
+		zoo["split-brain"][c] = NewSplitBrain(in, c, forged)
+		zoo["structure-liar"][c] = NewStructureLiar(in, c)
+		i++
+		return true
+	})
+	return zoo
+}

@@ -1,0 +1,45 @@
+// Package core implements the paper's primary contribution: the RMT
+// Partial Knowledge Algorithm (RMT-PKA, Protocol 1) and the RMT-cut
+// characterization (Definition 3, Theorems 3–5) of when reliable message
+// transmission is achievable under partial topology knowledge and a general
+// adversary.
+//
+// # Protocol 1 (RMT-PKA)
+//
+// Two message types flood the network, each carrying its propagation trail:
+//
+//	type 1: (x, p)                — a claimed dealer value x over path p
+//	type 2: ((u, γ(u), Z_u), p)   — node u's initial knowledge over path p
+//
+// The dealer sends (x_D, {D}) and ((D, γ(D), Z_D), {D}) to its neighbors
+// and terminates. Every other non-receiver node v announces its own
+// ((v, γ(v), Z_v), {v}) and relays any received (a, p) as (a, p‖v) to all
+// neighbors — unless v ∈ p or tail(p) is not the actual sender, which
+// guarantees that a forged trail must contain at least one corrupted node.
+//
+// The receiver R decides by one of two rules:
+//
+//	dealer rule:   R ∈ N(D) and R received (x_D, {D}) from D itself;
+//	full-set rule: R holds a valid message set M (Definition 4: a single
+//	               value, a single info version per node) that is full
+//	               (Definition 5: every D–R path of the graph G_M appears
+//	               among M's type-1 messages) and has no adversary cover
+//	               (Definition 6: no cut C of G_M with C ∩ V(γ(B)) ∈ Z_B,
+//	               with B the receiver-side component and Z_B the ⊕-joint
+//	               structure computed from M's own claims).
+//
+// RMT-PKA is safe — it never decides a wrong value, even against
+// adversaries that invent fictitious nodes, edges and local structures
+// (Theorem 4) — and it decides whenever no RMT-cut exists (Theorem 5),
+// making it a unique algorithm (Corollary 6).
+//
+// # Complexity
+//
+// RMT-PKA floods one message per simple path prefix, and the receiver's
+// full-set rule searches over candidate message subsets; both are
+// exponential in the worst case. This is inherent to the problem (Section 5
+// of the paper studies exactly this gap) and the implementation documents
+// and bounds it rather than hiding it: the decision search enumerates
+// subsets only of the ≤ 24 known node IDs, and experiment E8 measures the
+// growth against Z-CPA's polynomial footprint.
+package core

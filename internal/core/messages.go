@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rmt/internal/adversary"
+	"rmt/internal/graph"
+	"rmt/internal/network"
+)
+
+// NodeInfo is the first component of a type-2 message: node u's claimed
+// identity and initial knowledge (γ(u), Z_u). For honest nodes the claim is
+// the truth; corrupted nodes may claim anything, including information
+// about fictitious nodes.
+type NodeInfo struct {
+	Node int
+	View *graph.Graph
+	Z    adversary.Restricted
+}
+
+// VersionKey canonically encodes the claim's content, so that two claims
+// about the same node are "the same first component" (Definition 4) iff
+// their keys match.
+func (ni NodeInfo) VersionKey() string {
+	return fmt.Sprintf("%d|%s|%s", ni.Node, ni.View.String(), ni.Z.String())
+}
+
+// bitSize estimates the encoded size: node IDs at 16 bits, edges at 32,
+// antichain entries at 16 bits per element.
+func (ni NodeInfo) bitSize() int {
+	bits := 16
+	bits += 16*ni.View.NumNodes() + 32*ni.View.NumEdges()
+	bits += 16 * ni.Z.Domain.Len()
+	for _, m := range ni.Z.Structure.Maximal() {
+		bits += 16 * (m.Len() + 1)
+	}
+	return bits
+}
+
+func pathKey(p graph.Path) string {
+	var b strings.Builder
+	for i, v := range p {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// ValueMsg is a type-1 message: a claimed dealer value with its trail.
+type ValueMsg struct {
+	X network.Value
+	P graph.Path
+}
+
+// BitSize implements network.Payload.
+func (m ValueMsg) BitSize() int { return 8*len(m.X) + 16*len(m.P) }
+
+// Key implements network.Payload.
+func (m ValueMsg) Key() string { return fmt.Sprintf("t1[%s](%s)", m.X, pathKey(m.P)) }
+
+// InfoMsg is a type-2 message: a node's initial knowledge with its trail.
+type InfoMsg struct {
+	Info NodeInfo
+	P    graph.Path
+}
+
+// BitSize implements network.Payload.
+func (m InfoMsg) BitSize() int { return m.Info.bitSize() + 16*len(m.P) }
+
+// Key implements network.Payload.
+func (m InfoMsg) Key() string { return fmt.Sprintf("t2[%s](%s)", m.Info.VersionKey(), pathKey(m.P)) }
+
+// relayable extracts the trail of either message type and rebuilds the
+// message with an extended trail. It returns false for foreign payloads.
+func relayable(p network.Payload) (graph.Path, func(newPath graph.Path) network.Payload, bool) {
+	switch m := p.(type) {
+	case ValueMsg:
+		return m.P, func(np graph.Path) network.Payload { return ValueMsg{X: m.X, P: np} }, true
+	case InfoMsg:
+		return m.P, func(np graph.Path) network.Payload { return InfoMsg{Info: m.Info, P: np} }, true
+	default:
+		return nil, nil, false
+	}
+}

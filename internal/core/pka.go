@@ -1,0 +1,203 @@
+package core
+
+import (
+	"rmt/internal/adversary"
+	"rmt/internal/byzantine"
+	"rmt/internal/graph"
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+)
+
+// Dealer is RMT-PKA's dealer process: it sends (x_D, {D}) and
+// ((D, γ(D), Z_D), {D}) to all neighbors and terminates.
+type Dealer struct {
+	Value     network.Value
+	id        int
+	neighbors nodeset.Set
+	info      NodeInfo
+}
+
+// NewDealer builds the dealer process for the instance.
+func NewDealer(in *instance.Instance, xD network.Value) *Dealer {
+	d := in.Dealer
+	return &Dealer{
+		Value:     xD,
+		id:        d,
+		neighbors: in.G.Neighbors(d),
+		info:      NodeInfo{Node: d, View: in.Gamma.Of(d), Z: in.LocalStructure(d)},
+	}
+}
+
+// Init implements network.Process.
+func (d *Dealer) Init(out network.Outbox) {
+	trail := graph.Path{d.id}
+	d.neighbors.ForEach(func(u int) bool {
+		out(u, ValueMsg{X: d.Value, P: trail})
+		out(u, InfoMsg{Info: d.info, P: trail})
+		return true
+	})
+}
+
+// Round implements network.Process: the dealer terminates after Init.
+func (d *Dealer) Round(int, []network.Message, network.Outbox) bool { return false }
+
+// Decision implements network.Process.
+func (d *Dealer) Decision() (network.Value, bool) { return d.Value, true }
+
+// Relay is an honest non-dealer, non-receiver player: it announces its own
+// knowledge once and relays every admissible message with its trail
+// extended, exactly as in Protocol 1. With a non-zero horizon it
+// additionally drops trails that could no longer reach the receiver within
+// the horizon (the Horizon-PKA ablation, experiment E10).
+type Relay struct {
+	id        int
+	neighbors nodeset.Set
+	info      NodeInfo
+	horizon   int // max D–R path length in nodes; 0 = unlimited
+}
+
+// NewRelay builds the relay process for node id.
+func NewRelay(in *instance.Instance, id int) *Relay {
+	return NewRelayAt(id, in.G.Neighbors(id),
+		NodeInfo{Node: id, View: in.Gamma.Of(id), Z: in.LocalStructure(id)})
+}
+
+// NewRelayAt builds a relay from explicit parameters, for reuse outside
+// full RMT instances (e.g. Byzantine topology discovery).
+func NewRelayAt(id int, neighbors nodeset.Set, info NodeInfo) *Relay {
+	return &Relay{id: id, neighbors: neighbors, info: info}
+}
+
+// Init implements network.Process.
+func (r *Relay) Init(out network.Outbox) {
+	r.broadcast(out, InfoMsg{Info: r.info, P: graph.Path{r.id}})
+}
+
+// Round implements network.Process.
+func (r *Relay) Round(_ int, inbox []network.Message, out network.Outbox) bool {
+	for _, m := range inbox {
+		trail, rebuild, ok := relayable(m.Payload)
+		if !ok {
+			continue // erroneous message; discard
+		}
+		// Protocol 1's admission check: discard if v ∈ p or tail(p) ≠ u.
+		// The tail check pins the trail to the authenticated channel, so a
+		// forged trail necessarily contains a corrupted node.
+		if len(trail) == 0 || trail.Contains(r.id) || trail.Tail() != m.From {
+			continue
+		}
+		if r.horizon > 0 && len(trail)+1 > r.horizon-1 {
+			continue // the extended trail plus the receiver would exceed the horizon
+		}
+		r.broadcast(out, rebuild(trail.Append(r.id)))
+	}
+	return true
+}
+
+func (r *Relay) broadcast(out network.Outbox, p network.Payload) {
+	r.neighbors.ForEach(func(u int) bool {
+		out(u, p)
+		return true
+	})
+}
+
+// Decision implements network.Process: relays do not decide in RMT.
+func (r *Relay) Decision() (network.Value, bool) { return "", false }
+
+// NewProcesses assembles the full process map for an RMT-PKA run, replacing
+// the nodes of corrupt with the supplied Byzantine processes (the dealer
+// and receiver cannot be corrupted).
+func NewProcesses(in *instance.Instance, xD network.Value, corrupt map[int]network.Process, opts Options) map[int]network.Process {
+	procs := make(map[int]network.Process, in.N())
+	in.G.Nodes().ForEach(func(v int) bool {
+		switch v {
+		case in.Dealer:
+			procs[v] = NewDealer(in, xD)
+		case in.Receiver:
+			rcv := NewReceiver(in)
+			rcv.horizon = opts.Horizon
+			procs[v] = rcv
+		default:
+			rel := NewRelay(in, v)
+			rel.horizon = opts.Horizon
+			procs[v] = rel
+		}
+		return true
+	})
+	for v, proc := range corrupt {
+		if v == in.Dealer || v == in.Receiver {
+			continue
+		}
+		procs[v] = proc
+	}
+	return procs
+}
+
+// Options tweaks an RMT-PKA run.
+type Options struct {
+	Engine           network.Engine
+	RecordTranscript bool
+	MaxRounds        int
+	// Horizon, when positive, runs the Horizon-PKA ablation: relays drop
+	// trails that cannot complete into a D–R path of at most Horizon
+	// nodes, and the receiver evaluates the full-set rule on the subgraph
+	// of G_M spanned by such bounded paths. Safety is preserved (the
+	// Theorem 4 argument is parametric in the decision graph); liveness
+	// shrinks to instances whose bounded-path subgraph has no RMT-cut and
+	// no longer combination paths. Experiment E10 quantifies the
+	// message-complexity savings against the solvability loss.
+	Horizon int
+}
+
+// Run executes RMT-PKA on the instance with dealer value xD and the given
+// corrupted players, stopping as soon as the receiver decides.
+func Run(in *instance.Instance, xD network.Value, corrupt map[int]network.Process, opts Options) (*network.Result, error) {
+	cfg := network.Config{
+		Graph:            in.G,
+		Processes:        NewProcesses(in, xD, corrupt, opts),
+		Engine:           opts.Engine,
+		RecordTranscript: opts.RecordTranscript,
+		MaxRounds:        opts.MaxRounds,
+		StopEarly: func(d map[int]network.Value) bool {
+			_, ok := d[in.Receiver]
+			return ok
+		},
+	}
+	return network.Run(cfg)
+}
+
+// Resilient reports whether RMT-PKA achieves RMT on the instance for every
+// admissible corruption: it simulates the silent adversary on each maximal
+// corruption set (the liveness-worst behavior, DESIGN.md §5).
+func Resilient(in *instance.Instance) (bool, error) {
+	for _, t := range in.MaximalCorruptions() {
+		res, err := Run(in, "1", byzantine.SilentProcesses(t), Options{})
+		if err != nil {
+			return false, err
+		}
+		if _, ok := res.DecisionOf(in.Receiver); !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// trueInfo returns the honest NodeInfo of a node, used by the receiver for
+// its own knowledge.
+func trueInfo(in *instance.Instance, v int) NodeInfo {
+	return NodeInfo{Node: v, View: in.Gamma.Of(v), Z: in.LocalStructure(v)}
+}
+
+// restrictedFromClaims rebuilds Z_B from the (possibly adversarial) claims
+// in a message set: the ⊕-fold of the claimed Z_v over v ∈ B.
+func restrictedFromClaims(claims map[int]NodeInfo, b nodeset.Set) adversary.Restricted {
+	acc := adversary.Identity()
+	b.ForEach(func(v int) bool {
+		if ni, ok := claims[v]; ok {
+			acc = adversary.Join(acc, ni.Z)
+		}
+		return true
+	})
+	return acc
+}

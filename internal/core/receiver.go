@@ -1,0 +1,383 @@
+package core
+
+import (
+	"sort"
+
+	"rmt/internal/graph"
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+)
+
+// maxSearchIDs bounds the receiver's full-set subset search. Beyond this
+// many known node IDs the receiver only attempts the canonical
+// all-information candidate (which is the one that fires in honest and
+// silent-adversary runs); the exhaustive fallback would be intractable
+// anyway, matching the protocol's inherently super-polynomial local
+// computation (Section 5 of the paper).
+const maxSearchIDs = 22
+
+// Receiver is RMT-PKA's receiver process. It accumulates both message
+// types and evaluates the decision subroutine after every round:
+//
+//	(* dealer propagation rule *)    decide x_D received directly from D;
+//	(* full message set rule *)      decide x if some valid, full message
+//	                                 set M with value(M) = x has no
+//	                                 adversary cover.
+type Receiver struct {
+	id     int
+	dealer int
+
+	// type1[x][pathKey] records a received type-1 message (x, p).
+	type1 map[network.Value]map[string]graph.Path
+	// type2[node][versionKey] records a received type-2 claim about node.
+	type2 map[int]map[string]NodeInfo
+	// own is R's own initial knowledge, implicitly part of every M.
+	own NodeInfo
+
+	decided bool
+	value   network.Value
+	dirty   bool // new messages since the last search
+	horizon int  // Horizon-PKA bound on D–R path length in nodes; 0 = off
+}
+
+// NewReceiver builds the receiver process for the instance.
+func NewReceiver(in *instance.Instance) *Receiver {
+	return &Receiver{
+		id:     in.Receiver,
+		dealer: in.Dealer,
+		type1:  make(map[network.Value]map[string]graph.Path),
+		type2:  make(map[int]map[string]NodeInfo),
+		own:    trueInfo(in, in.Receiver),
+	}
+}
+
+// Init implements network.Process: R announces nothing (Protocol 1 gives R
+// no send code).
+func (r *Receiver) Init(network.Outbox) {}
+
+// Round implements network.Process.
+func (r *Receiver) Round(_ int, inbox []network.Message, _ network.Outbox) bool {
+	if r.decided {
+		return false
+	}
+	for _, m := range inbox {
+		r.ingest(m)
+	}
+	if r.decided { // dealer rule fired during ingestion
+		return false
+	}
+	if r.dirty {
+		r.dirty = false
+		if x, ok := r.searchDecision(); ok {
+			r.decided, r.value = true, x
+			return false
+		}
+	}
+	return true
+}
+
+// Decision implements network.Process.
+func (r *Receiver) Decision() (network.Value, bool) { return r.value, r.decided }
+
+// ingest validates a message's trail against the authenticated channel and
+// records it. Trails that already contain R, or whose tail is not the
+// actual sender, are forged (R relays nothing) and are discarded — the same
+// admission rule the relays apply, which Theorem 4's safety argument needs.
+func (r *Receiver) ingest(m network.Message) {
+	trail, _, ok := relayable(m.Payload)
+	if !ok {
+		return // erroneous message
+	}
+	if len(trail) == 0 || trail.Contains(r.id) || trail.Tail() != m.From {
+		return
+	}
+	switch msg := m.Payload.(type) {
+	case ValueMsg:
+		// Dealer propagation rule: a direct (x_D, {D}) from D itself.
+		if m.From == r.dealer && len(msg.P) == 1 && msg.P[0] == r.dealer {
+			r.decided, r.value = true, msg.X
+			return
+		}
+		byPath, ok := r.type1[msg.X]
+		if !ok {
+			byPath = make(map[string]graph.Path)
+			r.type1[msg.X] = byPath
+		}
+		// The trail ends at the sender; the D–R path it witnesses is the
+		// trail extended by R itself, which is what fullness matches on.
+		full := msg.P.Append(r.id)
+		k := pathKey(full)
+		if _, dup := byPath[k]; !dup {
+			byPath[k] = full
+			r.dirty = true
+		}
+	case InfoMsg:
+		byVersion, ok := r.type2[msg.Info.Node]
+		if !ok {
+			byVersion = make(map[string]NodeInfo)
+			r.type2[msg.Info.Node] = byVersion
+		}
+		k := msg.Info.VersionKey()
+		if _, dup := byVersion[k]; !dup {
+			byVersion[k] = msg.Info
+			r.dirty = true
+		}
+	}
+}
+
+// searchDecision implements the full message set propagation rule: it
+// searches for a valid M = (claims, x) that is full and has no adversary
+// cover. It first tries the canonical candidate that includes every known
+// node (the one that fires against silent adversaries, per the Theorem 5
+// sufficiency proof), then falls back to an exhaustive search over node
+// subsets and claim versions.
+func (r *Receiver) searchDecision() (network.Value, bool) {
+	if _, haveDealer := r.type2[r.dealer]; !haveDealer {
+		return "", false // G_M cannot contain D–R paths without D's info
+	}
+	values := r.sortedValues()
+	if len(values) == 0 {
+		return "", false
+	}
+
+	ids := r.sortedKnownIDs()
+	// Canonical candidate: all known nodes, when every claim is
+	// uncontested (one version per node).
+	if claims, ok := r.uncontestedClaims(ids); ok {
+		for _, x := range values {
+			if r.fullAndUncovered(claims, x) {
+				return x, true
+			}
+		}
+	}
+	if len(ids) > maxSearchIDs {
+		return "", false
+	}
+
+	// Exhaustive fallback: subsets S ∋ D, R of the known IDs, larger sets
+	// first, with every combination of claim versions for contested nodes.
+	optional := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if id != r.dealer && id != r.id {
+			optional = append(optional, id)
+		}
+	}
+	for size := len(optional); size >= 0; size-- {
+		var found network.Value
+		ok := false
+		forEachSubsetOfSize(optional, size, func(subset []int) bool {
+			members := append([]int{r.dealer, r.id}, subset...)
+			claimsSet := r.claimVersions(members)
+			forEachClaimCombo(members, claimsSet, func(claims map[int]NodeInfo) bool {
+				for _, x := range values {
+					if r.fullAndUncovered(claims, x) {
+						found, ok = x, true
+						return false
+					}
+				}
+				return true
+			})
+			return !ok
+		})
+		if ok {
+			return found, true
+		}
+	}
+	return "", false
+}
+
+func (r *Receiver) sortedValues() []network.Value {
+	vals := make([]network.Value, 0, len(r.type1))
+	for x := range r.type1 {
+		vals = append(vals, x)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// sortedKnownIDs lists every node R has information about: claimed nodes
+// plus itself.
+func (r *Receiver) sortedKnownIDs() []int {
+	ids := make([]int, 0, len(r.type2)+1)
+	for id := range r.type2 {
+		if id != r.id {
+			ids = append(ids, id)
+		}
+	}
+	ids = append(ids, r.id)
+	sort.Ints(ids)
+	return ids
+}
+
+// uncontestedClaims assembles one claim per node if no node is contested.
+func (r *Receiver) uncontestedClaims(ids []int) (map[int]NodeInfo, bool) {
+	claims := make(map[int]NodeInfo, len(ids))
+	for _, id := range ids {
+		if id == r.id {
+			claims[id] = r.own
+			continue
+		}
+		versions := r.type2[id]
+		if len(versions) != 1 {
+			return nil, false
+		}
+		for _, ni := range versions {
+			claims[id] = ni
+		}
+	}
+	return claims, true
+}
+
+// claimVersions lists the available versions per member, in a canonical
+// order.
+func (r *Receiver) claimVersions(members []int) map[int][]NodeInfo {
+	out := make(map[int][]NodeInfo, len(members))
+	for _, id := range members {
+		if id == r.id {
+			out[id] = []NodeInfo{r.own}
+			continue
+		}
+		versions := r.type2[id]
+		keys := make([]string, 0, len(versions))
+		for k := range versions {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		list := make([]NodeInfo, 0, len(keys))
+		for _, k := range keys {
+			list = append(list, versions[k])
+		}
+		out[id] = list
+	}
+	return out
+}
+
+// fullAndUncovered checks Definitions 5 and 6 for the candidate M given by
+// the claims and the value x: every D–R path of G_M must have been received
+// as a type-1 message carrying x, and no adversary cover may exist.
+func (r *Receiver) fullAndUncovered(claims map[int]NodeInfo, x network.Value) bool {
+	gm := graphOfClaims(claims)
+	if !gm.HasNode(r.dealer) || !gm.HasNode(r.id) {
+		return false
+	}
+	if r.horizon > 0 {
+		// Horizon-PKA: evaluate the rule on the subgraph of G_M spanned by
+		// D–R paths of at most Horizon nodes. The Theorem 4 safety
+		// argument is parametric in this graph; fullness below still
+		// quantifies over ALL its D–R paths, so combination paths longer
+		// than the horizon (which relays never deliver) block decisions
+		// rather than weaken safety.
+		span := gm.BoundedPathSpan(r.dealer, r.id, r.horizon)
+		gm = gm.InducedSubgraph(span)
+		if !gm.HasNode(r.dealer) || !gm.HasNode(r.id) {
+			return false
+		}
+	}
+	received := r.type1[x]
+	full := true
+	hasPath := false
+	gm.AllPaths(r.dealer, r.id, nodeset.Empty(), func(p graph.Path) bool {
+		hasPath = true
+		if _, ok := received[pathKey(p)]; !ok {
+			full = false
+			return false
+		}
+		return true
+	})
+	if !full || !hasPath {
+		// With no D–R path the empty set is an adversary cover, so a
+		// pathless M never certifies.
+		return false
+	}
+	return !hasAdversaryCover(gm, claims, r.dealer, r.id)
+}
+
+// graphOfClaims builds G_M: the union of the claimed views γ(V_M), induced
+// on the claimed node set V_M.
+func graphOfClaims(claims map[int]NodeInfo) *graph.Graph {
+	vm := nodeset.Empty()
+	for id := range claims {
+		vm = vm.Add(id)
+	}
+	joint := graph.New()
+	// Deterministic union order.
+	ids := vm.Members()
+	for _, id := range ids {
+		joint = joint.Union(claims[id].View)
+	}
+	return joint.InducedSubgraph(vm)
+}
+
+// hasAdversaryCover checks Definition 6: some cut C of G_M between D and R
+// with C ∩ V(γ(B)) ∈ Z_B, where B is the receiver-side component and both
+// γ(B) and Z_B are computed from the claims in M. Minimal cuts C = N(B)
+// per receiver-side candidate B are sufficient (the membership condition is
+// monotone-decreasing in C).
+func hasAdversaryCover(gm *graph.Graph, claims map[int]NodeInfo, dealer, receiver int) bool {
+	covered := false
+	gm.ReceiverSideCandidates(dealer, receiver, func(b, cut nodeset.Set) bool {
+		vgb := nodeset.Empty()
+		b.ForEach(func(v int) bool {
+			if ni, ok := claims[v]; ok {
+				vgb = vgb.Union(ni.View.Nodes())
+			}
+			return true
+		})
+		zb := restrictedFromClaims(claims, b)
+		if zb.Contains(cut.Intersect(vgb)) {
+			covered = true
+			return false
+		}
+		return true
+	})
+	return covered
+}
+
+// forEachSubsetOfSize enumerates size-k subsets of items in a stable order.
+func forEachSubsetOfSize(items []int, k int, fn func(subset []int) bool) {
+	n := len(items)
+	if k > n {
+		return
+	}
+	subset := make([]int, 0, k)
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(subset) == k {
+			return fn(subset)
+		}
+		// Not enough items left to finish the subset.
+		for i := start; i <= n-(k-len(subset)); i++ {
+			subset = append(subset, items[i])
+			cont := rec(i + 1)
+			subset = subset[:len(subset)-1]
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// forEachClaimCombo enumerates every combination of claim versions for the
+// given members.
+func forEachClaimCombo(members []int, versions map[int][]NodeInfo, fn func(claims map[int]NodeInfo) bool) {
+	claims := make(map[int]NodeInfo, len(members))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(members) {
+			return fn(claims)
+		}
+		id := members[i]
+		for _, ni := range versions[id] {
+			claims[id] = ni
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		delete(claims, id)
+		return true
+	}
+	rec(0)
+}

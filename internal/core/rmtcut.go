@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"rmt/internal/instance"
+	"rmt/internal/nodeset"
+)
+
+// RMTCut is a witness for Definition 3: a cut C = C1 ∪ C2 separating D
+// from R with C1 ∈ 𝒵 and C2 ∩ V(γ(B)) ∈ Z_B, where B is the connected
+// component of R in G − C and Z_B = ⊕_{v∈B} Z_v. Its existence is the tight
+// impossibility condition for RMT in the partial knowledge model
+// (Theorems 3 and 5).
+type RMTCut struct {
+	C1, C2 nodeset.Set
+	B      nodeset.Set
+}
+
+// Cut returns C1 ∪ C2.
+func (c RMTCut) Cut() nodeset.Set { return c.C1.Union(c.C2) }
+
+func (c RMTCut) String() string {
+	return fmt.Sprintf("RMTCut(C1=%v, C2=%v, B=%v)", c.C1, c.C2, c.B)
+}
+
+// FindRMTCut searches the instance for an RMT-cut, returning a witness if
+// one exists.
+//
+// Completeness of the search (DESIGN.md §4): for any RMT-cut C with
+// receiver component B, the boundary N(B) is itself an RMT-cut witness for
+// the same B — C1 may be replaced by N(B) ∩ M for the maximal M ∈ 𝒵
+// covering it (monotone), and shrinking C2 only shrinks C2 ∩ V(γ(B))
+// (monotone again). So enumerating connected receiver-side candidates B
+// with C = N(B), against every maximal M, is exhaustive.
+func FindRMTCut(in *instance.Instance) (RMTCut, bool) {
+	cut, found, _ := FindRMTCutBounded(in, 0)
+	return cut, found
+}
+
+// FindRMTCutBounded is FindRMTCut with a search budget: at most
+// maxCandidates receiver-side candidates are inspected (0 = unlimited).
+// complete reports whether the search space was fully covered; when it is
+// false and found is false, the instance's status is unknown — larger
+// graphs can use this as an anytime check. A found witness is always
+// genuine regardless of completeness (VerifyRMTCut accepts it).
+func FindRMTCutBounded(in *instance.Instance, maxCandidates int) (witness RMTCut, found, complete bool) {
+	if !in.G.Connected(in.Dealer, in.Receiver) {
+		return RMTCut{
+			C1: nodeset.Empty(),
+			C2: nodeset.Empty(),
+			B:  in.G.ComponentOf(in.Receiver),
+		}, true, true
+	}
+	inspected := 0
+	complete = true
+	in.G.ReceiverSideCandidates(in.Dealer, in.Receiver, func(b, cut nodeset.Set) bool {
+		if maxCandidates > 0 && inspected >= maxCandidates {
+			complete = false
+			return false
+		}
+		inspected++
+		vgb := in.Gamma.Joint(b).Nodes()
+		zb := in.JointStructure(b)
+		for _, m := range in.Z.Maximal() {
+			c2 := cut.Minus(m)
+			if zb.Contains(c2.Intersect(vgb)) {
+				witness = RMTCut{C1: cut.Intersect(m), C2: c2, B: b}
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return witness, found, complete
+}
+
+// Solvable reports whether RMT is solvable on the instance, by the tight
+// condition of Theorems 3 and 5 (no RMT-cut). By Theorem 5 this is exactly
+// when RMT-PKA succeeds, which Resilient verifies operationally; the two
+// must always agree, and the test suite and experiment E2 assert they do.
+func Solvable(in *instance.Instance) bool {
+	_, found := FindRMTCut(in)
+	return !found
+}

@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestE9NoMismatches(t *testing.T) {
+	tab := E9BroadcastTightness(fast())
+	for _, row := range tab.Rows {
+		if row[4] != "0" {
+			t.Errorf("n=%s: %s broadcast mismatches", row[0], row[4])
+		}
+		if row[1] == "0" {
+			t.Errorf("n=%s: no instances", row[0])
+		}
+	}
+}
+
+func TestE10SavingsAndSafety(t *testing.T) {
+	tab := E10HorizonAblation(fast())
+	baselines := map[string]int{}
+	for _, row := range tab.Rows {
+		msgs := atoiOrFail(t, row[2])
+		if row[1] == "∞" {
+			baselines[row[0]] = msgs
+			if row[4] != "true" {
+				t.Errorf("%s: unbounded PKA undecided", row[0])
+			}
+			continue
+		}
+		base, ok := baselines[row[0]]
+		if !ok {
+			t.Fatalf("%s: bounded row before baseline", row[0])
+		}
+		if msgs > base {
+			t.Errorf("%s horizon %s: more messages than unbounded (%d > %d)",
+				row[0], row[1], msgs, base)
+		}
+	}
+	// At least one configuration must show real savings.
+	saved := false
+	for _, row := range tab.Rows {
+		if strings.HasSuffix(row[5], "%") && row[5] != "0%" {
+			saved = true
+		}
+	}
+	if !saved {
+		t.Error("no configuration showed message savings")
+	}
+}
+
+func TestE11SpeedupPositive(t *testing.T) {
+	tab := E11RepresentationAblation(fast())
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		fastUs, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q: %v", row[2], err)
+		}
+		slowUs, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q: %v", row[3], err)
+		}
+		if slowUs < fastUs {
+			t.Errorf("universe %s: brute force (%.1fµs) beat the antichain (%.1fµs)",
+				row[0], slowUs, fastUs)
+		}
+	}
+}
+
+func TestE12NoFakeEdges(t *testing.T) {
+	tab := E12Discovery(fast())
+	var contestedTotal int
+	for _, row := range tab.Rows {
+		if row[3] != "0" {
+			t.Errorf("strategy %s: %s fake edges accepted", row[0], row[3])
+		}
+		if row[0] == "honest" || row[0] == "silent" || row[0] == "fake-edge" {
+			parts := strings.SplitN(row[2], "/", 2)
+			if parts[0] != parts[1] {
+				t.Errorf("strategy %s: confirmed %s of confirmable honest edges", row[0], row[2])
+			}
+		}
+		if row[0] == "split-brain" {
+			contestedTotal += atoiOrFail(t, row[4])
+		}
+	}
+	if contestedTotal == 0 {
+		t.Error("split-brain runs flagged nothing as contested")
+	}
+}
+
+func TestRunAllIncludesExtensions(t *testing.T) {
+	tables := RunAll(fast())
+	if len(tables) != 15 {
+		t.Fatalf("RunAll returned %d tables, want 15", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, tab := range tables {
+		ids[tab.ID] = true
+	}
+	for _, id := range []string{"E9", "E10", "E11", "E12"} {
+		if !ids[id] {
+			t.Errorf("missing %s", id)
+		}
+	}
+}
+
+func TestE13ExhaustiveZeroMismatches(t *testing.T) {
+	tab := E13Exhaustive(fast())
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[2] != "64" {
+			t.Errorf("%s/%s: %s instances, want 64", row[0], row[1], row[2])
+		}
+		if row[4] != "0" {
+			t.Errorf("%s/%s: %s PKA mismatches", row[0], row[1], row[4])
+		}
+		if row[1] == "adhoc" && row[5] != "0" {
+			t.Errorf("%s/%s: %s Z-CPA mismatches", row[0], row[1], row[5])
+		}
+	}
+}

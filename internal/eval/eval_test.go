@@ -1,0 +1,214 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func fast() Params { return Params{Seed: 2016, Trials: 20} }
+
+func cell(t *testing.T, tab *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Columns) {
+		t.Fatalf("table %s has no cell (%d,%d)", tab.ID, row, col)
+	}
+	return tab.Rows[row][col]
+}
+
+func TestE1NoViolations(t *testing.T) {
+	tab := E1JoinAlgebra(fast())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if row[2] != "0" {
+			t.Errorf("row %d (%s): %s violations", i, row[0], row[2])
+		}
+	}
+}
+
+func TestE2NoMismatches(t *testing.T) {
+	tab := E2PKATightness(fast())
+	for _, row := range tab.Rows {
+		if row[4] != "0" {
+			t.Errorf("knowledge %s: %s mismatches — tightness broken", row[0], row[4])
+		}
+		if row[1] == "0" {
+			t.Errorf("knowledge %s: no instances tested", row[0])
+		}
+	}
+}
+
+func TestE3ZeroWrongDecisions(t *testing.T) {
+	tab := E3Safety(fast())
+	if len(tab.Rows) == 0 {
+		t.Fatal("no safety rows")
+	}
+	sawUndecided := false
+	for _, row := range tab.Rows {
+		if row[5] != "0" {
+			t.Errorf("%s/%s: %s WRONG decisions — safety violated", row[0], row[1], row[5])
+		}
+		if row[4] != "0" {
+			sawUndecided = true
+		}
+	}
+	if !sawUndecided {
+		t.Error("expected some undecided runs on the unsolvable fixture")
+	}
+}
+
+func TestE4NoMismatches(t *testing.T) {
+	tab := E4ZCPATightness(fast())
+	for _, row := range tab.Rows {
+		if row[4] != "0" {
+			t.Errorf("n=%s: %s mismatches", row[0], row[4])
+		}
+	}
+}
+
+func TestE5ChimeraSeparatesAndMonotone(t *testing.T) {
+	tab := E5KnowledgeSweep(fast())
+	for _, row := range tab.Rows {
+		if row[6] != "true" {
+			t.Errorf("family %s: knowledge not monotone", row[0])
+		}
+		if strings.HasPrefix(row[0], "chimera") {
+			if row[1] != "0/1" {
+				t.Errorf("family %s solvable ad hoc: %s", row[0], row[1])
+			}
+			if row[3] != "1/1" {
+				t.Errorf("family %s not solvable at radius2: %s", row[0], row[3])
+			}
+		}
+	}
+}
+
+func TestE6MinimalKnowledge(t *testing.T) {
+	tab := E6MinimalKnowledge(fast())
+	want := map[string]string{
+		"chimera(k=2)": "2",
+		"chimera(k=3)": "2",
+		"chimera(k=4)": "2",
+		"weak-diamond": "unsolvable",
+		"triple-path":  "1",
+	}
+	for _, row := range tab.Rows {
+		if w, ok := want[row[0]]; ok && row[2] != w {
+			t.Errorf("%s minimal radius = %s, want %s", row[0], row[2], w)
+		}
+	}
+}
+
+func TestE7FullAgreement(t *testing.T) {
+	tab := E7DecisionProtocol(fast())
+	for _, row := range tab.Rows {
+		if row[3] != "0" {
+			t.Errorf("attack %s: %s disagreements between Π-simulation and direct oracle", row[0], row[3])
+		}
+		if row[1] == "0" {
+			t.Errorf("attack %s: no runs", row[0])
+		}
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tab := E8Scaling(fast())
+	// Collect Z-CPA line rows: messages must grow linearly (exactly: each
+	// player sends ≤ deg messages once → ~2 per node on a line).
+	var lineZ []int
+	byKey := map[string][]string{}
+	for _, row := range tab.Rows {
+		byKey[row[0]+"/"+row[3]] = row
+		if strings.HasPrefix(row[0], "line-") && row[3] == "Z-CPA" {
+			lineZ = append(lineZ, atoiOrFail(t, row[5]))
+		}
+		if row[7] != "true" {
+			t.Errorf("%s/%s: receiver undecided on a trivially solvable instance", row[0], row[3])
+		}
+	}
+	for i := 1; i < len(lineZ); i++ {
+		if lineZ[i] <= lineZ[i-1] {
+			t.Errorf("Z-CPA line messages not increasing: %v", lineZ)
+		}
+	}
+	// On layered-3x3 (27 paths) PKA must send far more messages than Z-CPA.
+	z3 := atoiOrFail(t, byKey["layered-3x3/Z-CPA"][5])
+	p3 := atoiOrFail(t, byKey["layered-3x3/RMT-PKA"][5])
+	if p3 < 5*z3 {
+		t.Errorf("PKA messages (%d) not dominating Z-CPA (%d) on layered-3x3", p3, z3)
+	}
+}
+
+func atoiOrFail(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func TestF1Frontier(t *testing.T) {
+	tab := F1BasicFrontier(fast())
+	for _, row := range tab.Rows {
+		k := atoiOrFail(t, row[0])
+		thr := atoiOrFail(t, row[1])
+		wantSolvable := 2*thr < k
+		if (row[3] == "true") != wantSolvable {
+			t.Errorf("k=%d t=%d: solvable=%s, want %v", k, thr, row[3], wantSolvable)
+		}
+		if row[4] != row[3] {
+			t.Errorf("k=%d t=%d: Π success %s != solvable %s", k, thr, row[4], row[3])
+		}
+	}
+}
+
+func TestF2ViewsEqual(t *testing.T) {
+	tab := F2IndistinguishableRuns(fast())
+	for _, row := range tab.Rows {
+		if row[2] != "true" {
+			t.Errorf("%s: views not equal", row[0])
+		}
+		if row[3] != "true" {
+			t.Errorf("%s: decisions differ across indistinguishable views", row[0])
+		}
+	}
+}
+
+func TestRunAllAndRender(t *testing.T) {
+	tables := RunAll(fast())
+	if len(tables) != 15 {
+		t.Fatalf("RunAll returned %d tables", len(tables))
+	}
+	var sb strings.Builder
+	seen := map[string]bool{}
+	for _, tab := range tables {
+		if seen[tab.ID] {
+			t.Errorf("duplicate table ID %s", tab.ID)
+		}
+		seen[tab.ID] = true
+		tab.Render(&sb)
+	}
+	out := sb.String()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "F1", "F2"} {
+		if !strings.Contains(out, "== "+id) {
+			t.Errorf("render missing table %s", id)
+		}
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{ID: "X", Title: "t", Columns: []string{"a", "long-column"}}
+	tab.AddRow("wide-cell-content", 1)
+	tab.Notes = append(tab.Notes, "a note")
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "wide-cell-content") || !strings.Contains(out, "note: a note") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}

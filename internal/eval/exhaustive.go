@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"fmt"
+
+	"rmt/internal/adversary"
+	"rmt/internal/core"
+	"rmt/internal/gen"
+	"rmt/internal/graph"
+	"rmt/internal/instance"
+	"rmt/internal/nodeset"
+	"rmt/internal/zcpa"
+)
+
+// E13Exhaustive verifies the tight characterizations EXHAUSTIVELY on every
+// labeled graph with n = 4 nodes (all 2^6 edge subsets) under several
+// canonical structure families and knowledge levels — not a random sample
+// but the complete space. A single counterexample anywhere would falsify
+// Theorems 3/5 or 7/8 as implemented.
+func E13Exhaustive(p Params) *Table {
+	t := &Table{
+		ID:      "E13",
+		Title:   "exhaustive verification on ALL 4-node graphs (Thms 3&5, 7&8)",
+		Columns: []string{"structure family", "knowledge", "instances", "solvable", "PKA mismatches", "Z-CPA mismatches"},
+	}
+	const n = 4
+	dealer, receiver := 0, n-1
+	relays := nodeset.Of(1, 2)
+	structures := []struct {
+		name string
+		z    adversary.Structure
+	}{
+		{"trivial", adversary.Trivial()},
+		{"singletons", gen.Singletons(relays)},
+		{"threshold-1", adversary.GlobalThreshold(relays, 1)},
+		{"both-relays", adversary.FromSets(relays)},
+	}
+	pairs := allEdgePairs(n)
+	for _, s := range structures {
+		for _, k := range []gen.Knowledge{gen.AdHoc, gen.FullKnowledge} {
+			var total, solvable, pkaMis, zcpaMis int
+			for mask := 0; mask < 1<<len(pairs); mask++ {
+				g := graph.NewWithNodes(n)
+				for i, e := range pairs {
+					if mask&(1<<i) != 0 {
+						g.AddEdge(e[0], e[1])
+					}
+				}
+				in, err := instance.New(g, s.z, k.View(g), dealer, receiver)
+				if err != nil {
+					continue
+				}
+				total++
+				cutFree := core.Solvable(in)
+				ok, err := core.Resilient(in)
+				if err != nil {
+					panic(err)
+				}
+				if cutFree != ok {
+					pkaMis++
+				}
+				if cutFree {
+					solvable++
+				}
+				if k == gen.AdHoc {
+					zOK, err := zcpa.Resilient(in)
+					if err != nil {
+						panic(err)
+					}
+					if zcpa.Solvable(in) != zOK {
+						zcpaMis++
+					}
+				}
+			}
+			zcpaCell := fmt.Sprint(zcpaMis)
+			if k != gen.AdHoc {
+				zcpaCell = "-"
+			}
+			t.AddRow(s.name, k.String(), total, solvable, pkaMis, zcpaCell)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"every labeled 4-node graph (64 edge subsets) is checked — zero mismatches expected",
+		"Z-CPA column applies to the ad hoc rows only")
+	return t
+}
+
+func allEdgePairs(n int) [][2]int {
+	var pairs [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,444 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rmt/internal/adversary"
+	"rmt/internal/core"
+	"rmt/internal/gen"
+	"rmt/internal/instance"
+	"rmt/internal/nodeset"
+	"rmt/internal/zcpa"
+)
+
+// Params tunes the experiment suite. Zero values select the defaults used
+// by EXPERIMENTS.md.
+type Params struct {
+	Seed   int64
+	Trials int // random trials per configuration
+}
+
+func (p Params) withDefaults() Params {
+	if p.Seed == 0 {
+		p.Seed = 2016 // PODC 2016
+	}
+	if p.Trials == 0 {
+		p.Trials = 60
+	}
+	return p
+}
+
+// RunAll executes every experiment and returns the tables in index order.
+func RunAll(p Params) []*Table {
+	return []*Table{
+		E1JoinAlgebra(p),
+		E2PKATightness(p),
+		E3Safety(p),
+		E4ZCPATightness(p),
+		E5KnowledgeSweep(p),
+		E6MinimalKnowledge(p),
+		E7DecisionProtocol(p),
+		E8Scaling(p),
+		E9BroadcastTightness(p),
+		E10HorizonAblation(p),
+		E11RepresentationAblation(p),
+		E12Discovery(p),
+		E13Exhaustive(p),
+		F1BasicFrontier(p),
+		F2IndistinguishableRuns(p),
+	}
+}
+
+// E1JoinAlgebra validates the ⊕ algebra (Theorems 1, 11, 13, 14 and
+// Corollary 2) on random structures, counting violations (all must be 0).
+func E1JoinAlgebra(p Params) *Table {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed))
+	t := &Table{
+		ID:      "E1",
+		Title:   "⊕ join-view algebra (Thms 1, 11, 13, 14; Cor 2)",
+		Columns: []string{"property", "trials", "violations"},
+	}
+	draw := func() adversary.Restricted {
+		n := 3 + r.Intn(6)
+		u := nodeset.Universe(n + 2)
+		dom := nodeset.Empty()
+		u.ForEach(func(v int) bool {
+			if r.Intn(2) == 0 {
+				dom = dom.Add(v)
+			}
+			return true
+		})
+		return adversary.Restricted{Domain: dom, Structure: adversary.Random(r, dom, 1+r.Intn(4), 0.4)}
+	}
+	var commut, assoc, idem, maximal int
+	for i := 0; i < p.Trials; i++ {
+		a, b, c := draw(), draw(), draw()
+		if !adversary.Join(a, b).Equal(adversary.Join(b, a)) {
+			commut++
+		}
+		if !adversary.Join(adversary.Join(a, b), c).Equal(adversary.Join(a, adversary.Join(b, c))) {
+			assoc++
+		}
+		if !adversary.Join(a, a).Equal(a) {
+			idem++
+		}
+		// Corollary 2 on restrictions of one real structure.
+		u := nodeset.Universe(8)
+		z := adversary.Random(r, u, 3, 0.4)
+		da, db := randomSubset(r, u), randomSubset(r, u)
+		j := adversary.Join(z.RestrictTo(da), z.RestrictTo(db))
+		if !z.Restrict(da.Union(db)).SubfamilyOf(j.Structure) {
+			maximal++
+		}
+	}
+	t.AddRow("commutativity (Thm 11)", p.Trials, commut)
+	t.AddRow("associativity (Thm 13)", p.Trials, assoc)
+	t.AddRow("idempotence (Thm 14)", p.Trials, idem)
+	t.AddRow("Z^{A∪B} ⊆ Z^A⊕Z^B (Cor 2)", p.Trials, maximal)
+	t.Notes = append(t.Notes, "expected: 0 violations in every row")
+	return t
+}
+
+func randomSubset(r *rand.Rand, u nodeset.Set) nodeset.Set {
+	s := nodeset.Empty()
+	u.ForEach(func(v int) bool {
+		if r.Intn(2) == 0 {
+			s = s.Add(v)
+		}
+		return true
+	})
+	return s
+}
+
+// E2PKATightness cross-validates Theorems 3 & 5: RMT-cut existence must
+// equal RMT-PKA failure, per knowledge level, over random instances.
+func E2PKATightness(p Params) *Table {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed + 2))
+	t := &Table{
+		ID:      "E2",
+		Title:   "RMT-cut ⇔ RMT-PKA failure (Thms 3 & 5 tightness)",
+		Columns: []string{"knowledge", "instances", "solvable", "unsolvable", "mismatches"},
+	}
+	for _, k := range []gen.Knowledge{gen.AdHoc, gen.Radius2, gen.FullKnowledge} {
+		var solvable, unsolvable, mismatches, total int
+		for total < p.Trials {
+			in, err := gen.RandomInstance(r, 4+r.Intn(3), 0.5, 1+r.Intn(2), 0.4, k)
+			if err != nil {
+				continue
+			}
+			total++
+			cutFree := core.Solvable(in)
+			ok, err := core.Resilient(in)
+			if err != nil {
+				panic(err)
+			}
+			if cutFree != ok {
+				mismatches++
+			}
+			if cutFree {
+				solvable++
+			} else {
+				unsolvable++
+			}
+		}
+		t.AddRow(k.String(), total, solvable, unsolvable, mismatches)
+	}
+	t.Notes = append(t.Notes, "expected: 0 mismatches — the condition is tight at every knowledge level")
+	return t
+}
+
+// E3Safety runs the full Byzantine strategy zoo against RMT-PKA and counts
+// wrong receiver decisions (Theorem 4: must be 0, even on unsolvable
+// instances and against fictitious topology).
+func E3Safety(p Params) *Table {
+	p = p.withDefaults()
+	t := &Table{
+		ID:      "E3",
+		Title:   "RMT-PKA safety under the Byzantine strategy zoo (Thm 4)",
+		Columns: []string{"instance", "strategy", "runs", "correct", "undecided", "wrong"},
+	}
+	fixtures := safetyFixtures()
+	for _, fx := range fixtures {
+		perStrategy := map[string]*[3]int{}
+		for _, m := range fx.in.MaximalCorruptions() {
+			if m.IsEmpty() {
+				continue
+			}
+			zoo := core.Strategies(fx.in, m, "forged")
+			for name, corrupt := range zoo {
+				res, err := core.Run(fx.in, "real", corrupt, core.Options{})
+				if err != nil {
+					panic(err)
+				}
+				c := perStrategy[name]
+				if c == nil {
+					c = &[3]int{}
+					perStrategy[name] = c
+				}
+				if got, ok := res.DecisionOf(fx.in.Receiver); !ok {
+					c[1]++
+				} else if got == "real" {
+					c[0]++
+				} else {
+					c[2]++
+				}
+			}
+		}
+		for _, name := range []string{"silent", "value-flip", "path-forgery", "ghost-node", "split-brain", "structure-liar"} {
+			c := perStrategy[name]
+			if c == nil {
+				continue
+			}
+			t.AddRow(fx.name, name, c[0]+c[1]+c[2], c[0], c[1], c[2])
+		}
+	}
+	t.Notes = append(t.Notes, "expected: 0 in the wrong column everywhere (safety)")
+	t.Notes = append(t.Notes, "undecided > 0 is expected on the unsolvable fixture — safety over liveness")
+	return t
+}
+
+type fixture struct {
+	name string
+	in   *instance.Instance
+}
+
+func safetyFixtures() []fixture {
+	g1, d1, r1 := gen.DisjointPaths(3, 1)
+	z1 := gen.Singletons(g1.Nodes().Minus(nodeset.Of(d1, r1)))
+	in1, err := gen.Build(g1, z1, gen.AdHoc, d1, r1)
+	if err != nil {
+		panic(err)
+	}
+	g2, d2, r2 := gen.DisjointPaths(2, 1)
+	z2 := gen.Singletons(g2.Nodes().Minus(nodeset.Of(d2, r2)))
+	in2, err := gen.Build(g2, z2, gen.AdHoc, d2, r2)
+	if err != nil {
+		panic(err)
+	}
+	g3, z3, d3, r3 := gen.Chimera()
+	in3, err := gen.Build(g3, z3, gen.Radius2, d3, r3)
+	if err != nil {
+		panic(err)
+	}
+	return []fixture{
+		{"triple-path (solvable)", in1},
+		{"weak-diamond (unsolvable)", in2},
+		{"chimera radius-2 (solvable)", in3},
+	}
+}
+
+// E4ZCPATightness cross-validates Theorems 7 & 8 in the ad hoc model:
+// RMT Z-pp cut existence must equal Z-CPA failure.
+func E4ZCPATightness(p Params) *Table {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed + 4))
+	t := &Table{
+		ID:      "E4",
+		Title:   "RMT Z-pp cut ⇔ Z-CPA failure (Thms 7 & 8 tightness, ad hoc)",
+		Columns: []string{"n", "instances", "solvable", "unsolvable", "mismatches"},
+	}
+	for _, n := range []int{4, 5, 6, 7} {
+		var solvable, unsolvable, mismatches, total int
+		for total < p.Trials {
+			in, err := gen.RandomInstance(r, n, 0.5, 1+r.Intn(3), 0.4, gen.AdHoc)
+			if err != nil {
+				continue
+			}
+			total++
+			cutFree := zcpa.Solvable(in)
+			ok, err := zcpa.Resilient(in)
+			if err != nil {
+				panic(err)
+			}
+			if cutFree != ok {
+				mismatches++
+			}
+			if cutFree {
+				solvable++
+			} else {
+				unsolvable++
+			}
+		}
+		t.AddRow(n, total, solvable, unsolvable, mismatches)
+	}
+	t.Notes = append(t.Notes, "expected: 0 mismatches")
+	return t
+}
+
+// E5KnowledgeSweep measures solvability across knowledge levels on the
+// chimera family and random graphs: more knowledge never hurts and the
+// chimera family separates ad hoc from radius 2 (Cor 6 / uniqueness
+// consequences).
+func E5KnowledgeSweep(p Params) *Table {
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed + 5))
+	t := &Table{
+		ID:      "E5",
+		Title:   "solvability by knowledge level (uniqueness / Cor 6)",
+		Columns: []string{"family", "adhoc", "radius1", "radius2", "radius3", "full", "monotone?"},
+	}
+	families := []struct {
+		name      string
+		instances func() []*instance.Instance
+	}{
+		{"chimera(k=2)", func() []*instance.Instance { return chimeraInstances(2) }},
+		{"chimera(k=3)", func() []*instance.Instance { return chimeraInstances(3) }},
+		{"chimera(k=4)", func() []*instance.Instance { return chimeraInstances(4) }},
+		{"random(n=6)", func() []*instance.Instance { return randomPerLevel(r, 6, p.Trials/3) }},
+	}
+	for _, fam := range families {
+		ins := fam.instances()
+		counts := make([]int, len(gen.Levels()))
+		monotone := true
+		perInstance := len(ins) / len(gen.Levels())
+		for i, in := range ins {
+			level := i % len(gen.Levels())
+			if core.Solvable(in) {
+				counts[level]++
+			}
+		}
+		for i := 1; i < len(counts); i++ {
+			if counts[i] < counts[i-1] {
+				monotone = false
+			}
+		}
+		frac := func(c int) string {
+			if perInstance == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%d/%d", c, perInstance)
+		}
+		t.AddRow(fam.name, frac(counts[0]), frac(counts[1]), frac(counts[2]), frac(counts[3]), frac(counts[4]), monotone)
+	}
+	t.Notes = append(t.Notes,
+		"expected: chimera rows flip from unsolvable (adhoc) to solvable (radius2+)",
+		"expected: monotone? = true — refining knowledge never loses solvability")
+	return t
+}
+
+func chimeraInstances(k int) []*instance.Instance {
+	g, z, d, r := gen.ChimeraScaled(k)
+	out := make([]*instance.Instance, 0, len(gen.Levels()))
+	for _, lvl := range gen.Levels() {
+		in, err := gen.Build(g, z, lvl, d, r)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func randomPerLevel(r *rand.Rand, n, trials int) []*instance.Instance {
+	var out []*instance.Instance
+	for t := 0; t < trials; t++ {
+		g := gen.RandomGNP(r, n, 0.5)
+		z := adversary.Random(r, g.Nodes().Minus(nodeset.Of(0, n-1)), 2, 0.35)
+		for _, lvl := range gen.Levels() {
+			in, err := gen.Build(g, z, lvl, 0, n-1)
+			if err != nil {
+				panic(err)
+			}
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// E6MinimalKnowledge finds, per instance family, the minimal view radius at
+// which RMT becomes solvable — the paper's "minimal amount of initial
+// knowledge" (end of Section 3).
+func E6MinimalKnowledge(p Params) *Table {
+	p = p.withDefaults()
+	t := &Table{
+		ID:      "E6",
+		Title:   "minimal knowledge radius for solvability (Sec. 3)",
+		Columns: []string{"family", "diameter", "minimal radius", "solvable at full?"},
+	}
+	cases := []struct {
+		name   string
+		mk     func() (*instance.Instance, func(radius int) *instance.Instance)
+		maxRad int
+	}{
+		{"chimera(k=2)", chimeraAtRadius(2), 4},
+		{"chimera(k=3)", chimeraAtRadius(3), 4},
+		{"chimera(k=4)", chimeraAtRadius(4), 4},
+		{"weak-diamond", weakDiamondAtRadius(), 3},
+		{"triple-path", triplePathAtRadius(), 3},
+	}
+	for _, c := range cases {
+		full, at := c.mk()
+		minRadius := -1
+		for rad := 0; rad <= c.maxRad; rad++ {
+			if core.Solvable(at(rad)) {
+				minRadius = rad
+				break
+			}
+		}
+		radStr := "unsolvable"
+		if minRadius >= 0 {
+			radStr = fmt.Sprint(minRadius)
+		}
+		t.AddRow(c.name, full.G.Diameter(), radStr, core.Solvable(full))
+	}
+	t.Notes = append(t.Notes,
+		"chimera families need radius 2 — the receiver must see both halves of the chimera set",
+		"weak-diamond stays unsolvable at every radius: the cut is information-theoretic")
+	return t
+}
+
+func chimeraAtRadius(k int) func() (*instance.Instance, func(int) *instance.Instance) {
+	return func() (*instance.Instance, func(int) *instance.Instance) {
+		g, z, d, r := gen.ChimeraScaled(k)
+		full, err := gen.Build(g, z, gen.FullKnowledge, d, r)
+		if err != nil {
+			panic(err)
+		}
+		return full, func(radius int) *instance.Instance {
+			in, err := instance.New(g, z, radiusView(g, radius), d, r)
+			if err != nil {
+				panic(err)
+			}
+			return in
+		}
+	}
+}
+
+func weakDiamondAtRadius() func() (*instance.Instance, func(int) *instance.Instance) {
+	return func() (*instance.Instance, func(int) *instance.Instance) {
+		g, d, r := gen.DisjointPaths(2, 1)
+		z := gen.Singletons(g.Nodes().Minus(nodeset.Of(d, r)))
+		full, err := gen.Build(g, z, gen.FullKnowledge, d, r)
+		if err != nil {
+			panic(err)
+		}
+		return full, func(radius int) *instance.Instance {
+			in, err := instance.New(g, z, radiusView(g, radius), d, r)
+			if err != nil {
+				panic(err)
+			}
+			return in
+		}
+	}
+}
+
+func triplePathAtRadius() func() (*instance.Instance, func(int) *instance.Instance) {
+	return func() (*instance.Instance, func(int) *instance.Instance) {
+		g, d, r := gen.DisjointPaths(3, 1)
+		z := gen.Singletons(g.Nodes().Minus(nodeset.Of(d, r)))
+		full, err := gen.Build(g, z, gen.FullKnowledge, d, r)
+		if err != nil {
+			panic(err)
+		}
+		return full, func(radius int) *instance.Instance {
+			in, err := instance.New(g, z, radiusView(g, radius), d, r)
+			if err != nil {
+				panic(err)
+			}
+			return in
+		}
+	}
+}

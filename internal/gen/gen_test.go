@@ -1,0 +1,191 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"rmt/internal/core"
+	"rmt/internal/nodeset"
+	"rmt/internal/zcpa"
+)
+
+func TestLine(t *testing.T) {
+	g := Line(4)
+	if g.NumNodes() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("Line(4) = %v", g)
+	}
+	if Line(1).NumNodes() != 1 || Line(1).NumEdges() != 0 {
+		t.Fatal("Line(1) wrong")
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(5)
+	if g.NumNodes() != 5 || g.NumEdges() != 5 {
+		t.Fatalf("Ring(5) = %v", g)
+	}
+	g.Nodes().ForEach(func(v int) bool {
+		if g.Degree(v) != 2 {
+			t.Fatalf("ring degree %d at %d", g.Degree(v), v)
+		}
+		return true
+	})
+}
+
+func TestRingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ring(2) did not panic")
+		}
+	}()
+	Ring(2)
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumNodes() != 12 {
+		t.Fatalf("Grid nodes = %d", g.NumNodes())
+	}
+	// Edges: horizontal 3*3 + vertical 2*4 = 17.
+	if g.NumEdges() != 17 {
+		t.Fatalf("Grid edges = %d", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 4) || g.HasEdge(3, 4) {
+		t.Fatal("grid adjacency wrong")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(5)
+	if g.NumEdges() != 10 {
+		t.Fatalf("K5 edges = %d", g.NumEdges())
+	}
+}
+
+func TestDisjointPaths(t *testing.T) {
+	g, d, r := DisjointPaths(3, 2)
+	if g.NumNodes() != 8 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.VertexConnectivity(d, r) != 3 {
+		t.Fatalf("connectivity = %d, want 3", g.VertexConnectivity(d, r))
+	}
+	if got := g.CountPaths(d, r, nodeset.Empty(), 0); got != 3 {
+		t.Fatalf("paths = %d, want 3", got)
+	}
+}
+
+func TestLayered(t *testing.T) {
+	g, d, r := Layered(2, 3)
+	if g.NumNodes() != 8 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// D→layer0: 3 edges; bipartite 3x3 = 9; layer1→R: 3. Total 15.
+	if g.NumEdges() != 15 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if g.VertexConnectivity(d, r) != 3 {
+		t.Fatalf("connectivity = %d", g.VertexConnectivity(d, r))
+	}
+}
+
+func TestChimeraSeparation(t *testing.T) {
+	g, z, d, r := Chimera()
+	adhoc, err := Build(g, z, AdHoc, d, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Solvable(adhoc) {
+		t.Fatal("chimera solvable ad hoc")
+	}
+	r2, err := Build(g, z, Radius2, d, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.Solvable(r2) {
+		t.Fatal("chimera unsolvable at radius 2")
+	}
+}
+
+func TestChimeraScaled(t *testing.T) {
+	for k := 2; k <= 3; k++ {
+		g, z, d, r := ChimeraScaled(k)
+		adhoc, err := Build(g, z, AdHoc, d, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if core.Solvable(adhoc) {
+			t.Fatalf("k=%d: scaled chimera solvable ad hoc", k)
+		}
+		r2, err := Build(g, z, Radius2, d, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !core.Solvable(r2) {
+			t.Fatalf("k=%d: scaled chimera unsolvable at radius 2", k)
+		}
+	}
+}
+
+func TestChimeraScaledMatchesChimera(t *testing.T) {
+	// ChimeraScaled(2)'s shape must match the hand-built Chimera (up to
+	// node numbering): same counts and same solvability profile.
+	g1, _, _, _ := Chimera()
+	g2, _, _, _ := ChimeraScaled(2)
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("shape mismatch: %v vs %v", g1, g2)
+	}
+}
+
+func TestSingletons(t *testing.T) {
+	z := Singletons(nodeset.Of(1, 2))
+	if z.NumMaximal() != 2 || !z.Contains(nodeset.Of(1)) || z.Contains(nodeset.Of(1, 2)) {
+		t.Fatalf("Singletons = %v", z)
+	}
+}
+
+func TestKnowledgeLevels(t *testing.T) {
+	g := Line(5)
+	levels := Levels()
+	if len(levels) != 5 {
+		t.Fatalf("levels = %v", levels)
+	}
+	for i := 1; i < len(levels); i++ {
+		if !levels[i].View(g).Refines(levels[i-1].View(g)) &&
+			levels[i-1] != AdHoc { // Radius1 vs AdHoc both fine; others must refine
+			t.Fatalf("%v does not refine %v", levels[i], levels[i-1])
+		}
+	}
+	if AdHoc.String() != "adhoc" || FullKnowledge.String() != "full" {
+		t.Fatal("Knowledge.String wrong")
+	}
+}
+
+func TestRandomInstanceDeterministic(t *testing.T) {
+	a, err := RandomInstance(rand.New(rand.NewSource(5)), 6, 0.5, 2, 0.4, AdHoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomInstance(rand.New(rand.NewSource(5)), 6, 0.5, 2, 0.4, AdHoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.G.Equal(b.G) || !a.Z.Equal(b.Z) {
+		t.Fatal("same seed produced different instances")
+	}
+}
+
+func TestDisjointPathsSolvability(t *testing.T) {
+	// paths=t+1 disjoint relays with global threshold t: solvable ad hoc;
+	// with threshold t = paths: unsolvable.
+	g, d, r := DisjointPaths(3, 1)
+	relays := g.Nodes().Minus(nodeset.Of(d, r))
+	z2 := Singletons(relays) // each relay individually corruptible
+	in, err := Build(g, z2, AdHoc, d, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zcpa.Solvable(in) {
+		t.Fatal("3 disjoint paths with singleton corruption should be solvable")
+	}
+}

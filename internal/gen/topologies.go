@@ -1,0 +1,88 @@
+package gen
+
+import (
+	"math/rand"
+
+	"rmt/internal/graph"
+)
+
+// Star returns the star graph: center 0 with n-1 leaves.
+func Star(n int) *graph.Graph {
+	if n < 2 {
+		panic("gen: star needs n ≥ 2")
+	}
+	g := graph.New()
+	for leaf := 1; leaf < n; leaf++ {
+		g.AddEdge(0, leaf)
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}: left nodes 0..a-1, right a..a+b-1.
+func CompleteBipartite(a, b int) *graph.Graph {
+	if a < 1 || b < 1 {
+		panic("gen: bipartite needs a, b ≥ 1")
+	}
+	g := graph.New()
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Butterfly returns the k-dimensional wrapped butterfly-style network used
+// as a constant-degree relay fabric: 2^k columns × (k+1) rows, with the
+// straight and cross edges of the classic FFT/butterfly diagram. Node IDs
+// are row*2^k + column. Dealer-side row 0 and receiver-side row k make it
+// a natural multi-hop RMT substrate with many partially-overlapping paths.
+func Butterfly(k int) *graph.Graph {
+	if k < 1 || k > 6 {
+		panic("gen: butterfly needs 1 ≤ k ≤ 6")
+	}
+	cols := 1 << k
+	id := func(row, col int) int { return row*cols + col }
+	g := graph.New()
+	for row := 0; row < k; row++ {
+		for col := 0; col < cols; col++ {
+			g.AddEdge(id(row, col), id(row+1, col))          // straight
+			g.AddEdge(id(row, col), id(row+1, col^(1<<row))) // cross
+		}
+	}
+	return g
+}
+
+// RandomRegular returns a seeded random d-regular graph on n nodes via the
+// pairing model with restarts (n·d must be even, d < n). Useful for
+// constant-degree scaling experiments.
+func RandomRegular(r *rand.Rand, n, d int) *graph.Graph {
+	if d < 1 || d >= n || (n*d)%2 != 0 {
+		panic("gen: invalid regular-graph parameters")
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		if g, ok := tryPairing(r, n, d); ok {
+			return g
+		}
+	}
+	panic("gen: pairing model failed to converge (parameters too tight)")
+}
+
+func tryPairing(r *rand.Rand, n, d int) (*graph.Graph, bool) {
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	g := graph.NewWithNodes(n)
+	for i := 0; i < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v || g.HasEdge(u, v) {
+			return nil, false
+		}
+		g.AddEdge(u, v)
+	}
+	return g, true
+}

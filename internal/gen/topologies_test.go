@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStar(t *testing.T) {
+	g := Star(5)
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("Star(5) = %v", g)
+	}
+	if g.Degree(0) != 4 || g.Degree(1) != 1 {
+		t.Fatal("star degrees wrong")
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(2, 3)
+	if g.NumNodes() != 5 || g.NumEdges() != 6 {
+		t.Fatalf("K_{2,3} = %v", g)
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(2, 3) {
+		t.Fatal("intra-side edge")
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(1, 4) {
+		t.Fatal("cross edge missing")
+	}
+}
+
+func TestButterfly(t *testing.T) {
+	g := Butterfly(2) // 4 columns × 3 rows
+	if g.NumNodes() != 12 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Each of the 2 inner row-transitions contributes cols straight +
+	// cols cross edges, minus merges when col == col^(1<<row) (never).
+	if g.NumEdges() != 2*4*2 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if !g.IsConnected() {
+		t.Fatal("butterfly disconnected")
+	}
+	// Rows 0..k have degree ≤ 4 (2 up + 2 down).
+	g.Nodes().ForEach(func(v int) bool {
+		if g.Degree(v) > 4 {
+			t.Fatalf("degree %d at node %d", g.Degree(v), v)
+		}
+		return true
+	})
+}
+
+func TestButterflyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Butterfly(0) did not panic")
+		}
+	}()
+	Butterfly(0)
+}
+
+func TestRandomRegular(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for _, tc := range []struct{ n, d int }{{6, 2}, {8, 3}, {10, 4}} {
+		g := RandomRegular(r, tc.n, tc.d)
+		if g.NumNodes() != tc.n {
+			t.Fatalf("n=%d d=%d: nodes = %d", tc.n, tc.d, g.NumNodes())
+		}
+		g.Nodes().ForEach(func(v int) bool {
+			if g.Degree(v) != tc.d {
+				t.Fatalf("n=%d d=%d: degree %d at %d", tc.n, tc.d, g.Degree(v), v)
+			}
+			return true
+		})
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	a := RandomRegular(rand.New(rand.NewSource(5)), 8, 3)
+	b := RandomRegular(rand.New(rand.NewSource(5)), 8, 3)
+	if !a.Equal(b) {
+		t.Fatal("same seed, different graphs")
+	}
+}
+
+func TestRandomRegularPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd n·d did not panic")
+		}
+	}()
+	RandomRegular(rand.New(rand.NewSource(1)), 5, 3)
+}

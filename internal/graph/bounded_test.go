@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rmt/internal/nodeset"
+)
+
+func TestAllPathsBounded(t *testing.T) {
+	g := mustParse(t, "0-1 0-2 1-3 2-3 1-2")
+	count := func(maxNodes int) int {
+		n := 0
+		g.AllPathsBounded(0, 3, nodeset.Empty(), maxNodes, func(Path) bool {
+			n++
+			return true
+		})
+		return n
+	}
+	if got := count(0); got != 4 { // unbounded = all 4 paths
+		t.Fatalf("unbounded = %d", got)
+	}
+	if got := count(3); got != 2 { // 0-1-3 and 0-2-3
+		t.Fatalf("≤3 nodes = %d", got)
+	}
+	if got := count(2); got != 0 { // no direct edge 0-3
+		t.Fatalf("≤2 nodes = %d", got)
+	}
+	if got := count(4); got != 4 {
+		t.Fatalf("≤4 nodes = %d", got)
+	}
+}
+
+func TestAllPathsBoundedRespectsBound(t *testing.T) {
+	g := mustParse(t, "0-1 0-2 1-3 2-3 1-2 0-3")
+	g.AllPathsBounded(0, 3, nodeset.Empty(), 3, func(p Path) bool {
+		if len(p) > 3 {
+			t.Fatalf("path %v exceeds bound", p)
+		}
+		if !p.ValidIn(g) {
+			t.Fatalf("invalid path %v", p)
+		}
+		return true
+	})
+}
+
+func TestAllPathsBoundedEarlyStop(t *testing.T) {
+	g := mustParse(t, "0-1 0-2 1-3 2-3")
+	n := 0
+	g.AllPathsBounded(0, 3, nodeset.Empty(), 3, func(Path) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early stop after %d", n)
+	}
+}
+
+func TestBoundedPathSpan(t *testing.T) {
+	// Line with a long detour: 0-1-4 direct (3 nodes), 0-2-3-4 detour.
+	g := mustParse(t, "0-1 1-4 0-2 2-3 3-4")
+	if got := g.BoundedPathSpan(0, 4, 3); !got.Equal(nodeset.Of(0, 1, 4)) {
+		t.Fatalf("span(3) = %v", got)
+	}
+	if got := g.BoundedPathSpan(0, 4, 0); !got.Equal(g.Nodes()) {
+		t.Fatalf("span(∞) = %v", got)
+	}
+	if got := g.BoundedPathSpan(0, 4, 2); !got.IsEmpty() {
+		t.Fatalf("span(2) = %v", got)
+	}
+}
+
+func TestQuickBoundedSubsetOfAll(t *testing.T) {
+	// Every bounded path appears in the unbounded enumeration; the bounded
+	// count equals the number of unbounded paths within the limit.
+	r := rand.New(rand.NewSource(33))
+	f := func(a genGraph) bool {
+		g := a.G
+		src, dst := 0, g.NumNodes()-1
+		limit := 2 + r.Intn(4)
+		wantCount := 0
+		all := map[string]bool{}
+		g.AllPaths(src, dst, nodeset.Empty(), func(p Path) bool {
+			all[pathString(p)] = true
+			if len(p) <= limit {
+				wantCount++
+			}
+			return true
+		})
+		got := 0
+		ok := true
+		g.AllPathsBounded(src, dst, nodeset.Empty(), limit, func(p Path) bool {
+			got++
+			if len(p) > limit || !all[pathString(p)] {
+				ok = false
+			}
+			return true
+		})
+		return ok && got == wantCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pathString(p Path) string {
+	s := ""
+	for _, v := range p {
+		s += string(rune('A' + v))
+	}
+	return s
+}

@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+
+	"rmt/internal/nodeset"
+)
+
+func collectPaths(g *Graph, src, dst int, avoid nodeset.Set) []Path {
+	var out []Path
+	g.AllPaths(src, dst, avoid, func(p Path) bool {
+		out = append(out, p.Clone())
+		return true
+	})
+	return out
+}
+
+func TestPathBasics(t *testing.T) {
+	p := Path{0, 1, 2}
+	if p.Head() != 0 || p.Tail() != 2 {
+		t.Fatal("Head/Tail wrong")
+	}
+	if !p.Contains(1) || p.Contains(3) {
+		t.Fatal("Contains wrong")
+	}
+	q := p.Append(3)
+	if !q.Equal(Path{0, 1, 2, 3}) {
+		t.Fatalf("Append = %v", q)
+	}
+	if !p.Equal(Path{0, 1, 2}) {
+		t.Fatal("Append mutated the path")
+	}
+	if !p.Set().Equal(nodeset.Of(0, 1, 2)) {
+		t.Fatal("Set wrong")
+	}
+	if !p.Interior().Equal(nodeset.Of(1)) {
+		t.Fatal("Interior wrong")
+	}
+	if !(Path{5}).Interior().IsEmpty() {
+		t.Fatal("singleton Interior not empty")
+	}
+	cp := p.Clone()
+	cp[0] = 9
+	if p[0] != 0 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestPathValidIn(t *testing.T) {
+	g := mustParse(t, "0-1 1-2 2-3 0-3")
+	tests := []struct {
+		p    Path
+		want bool
+	}{
+		{Path{0, 1, 2, 3}, true},
+		{Path{0}, true},
+		{Path{}, false},
+		{Path{0, 2}, false},      // not adjacent
+		{Path{0, 1, 0}, false},   // repeats
+		{Path{0, 1, 9}, false},   // non-node
+		{Path{3, 0, 1, 2}, true}, //
+		{Path{0, 3, 2, 1}, true}} //
+	for _, tt := range tests {
+		if got := tt.p.ValidIn(g); got != tt.want {
+			t.Errorf("ValidIn(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestAllPathsDiamond(t *testing.T) {
+	// 0-1-3 and 0-2-3 plus chord 1-2.
+	g := mustParse(t, "0-1 0-2 1-3 2-3 1-2")
+	paths := collectPaths(g, 0, 3, nodeset.Empty())
+	want := []Path{{0, 1, 2, 3}, {0, 1, 3}, {0, 2, 1, 3}, {0, 2, 3}}
+	if len(paths) != len(want) {
+		t.Fatalf("got %d paths %v, want %d", len(paths), paths, len(want))
+	}
+	for i := range want {
+		if !paths[i].Equal(want[i]) {
+			t.Errorf("path[%d] = %v, want %v", i, paths[i], want[i])
+		}
+	}
+}
+
+func TestAllPathsAvoid(t *testing.T) {
+	g := mustParse(t, "0-1 0-2 1-3 2-3")
+	paths := collectPaths(g, 0, 3, nodeset.Of(1))
+	if len(paths) != 1 || !paths[0].Equal(Path{0, 2, 3}) {
+		t.Fatalf("avoid paths = %v", paths)
+	}
+	// Avoiding an endpoint yields nothing.
+	if got := collectPaths(g, 0, 3, nodeset.Of(0)); got != nil {
+		t.Fatalf("paths avoiding src = %v", got)
+	}
+}
+
+func TestAllPathsSrcEqualsDst(t *testing.T) {
+	g := mustParse(t, "0-1")
+	paths := collectPaths(g, 0, 0, nodeset.Empty())
+	if len(paths) != 1 || !paths[0].Equal(Path{0}) {
+		t.Fatalf("self paths = %v", paths)
+	}
+}
+
+func TestAllPathsEarlyStop(t *testing.T) {
+	g := mustParse(t, "0-1 0-2 1-3 2-3 1-2")
+	n := 0
+	g.AllPaths(0, 3, nodeset.Empty(), func(Path) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop after %d", n)
+	}
+}
+
+func TestCountPaths(t *testing.T) {
+	g := mustParse(t, "0-1 0-2 1-3 2-3 1-2")
+	if got := g.CountPaths(0, 3, nodeset.Empty(), 0); got != 4 {
+		t.Fatalf("CountPaths = %d, want 4", got)
+	}
+	if got := g.CountPaths(0, 3, nodeset.Empty(), 2); got != 2 {
+		t.Fatalf("CountPaths limited = %d, want 2", got)
+	}
+	if got := g.CountPaths(0, 3, nodeset.Of(1, 2), 0); got != 0 {
+		t.Fatalf("CountPaths all blocked = %d, want 0", got)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := mustParse(t, "0-1 1-2 2-3 0-4 4-3")
+	p := g.ShortestPath(0, 3, nodeset.Empty())
+	if len(p) != 3 || p.Head() != 0 || p.Tail() != 3 {
+		t.Fatalf("ShortestPath = %v", p)
+	}
+	if !p.ValidIn(g) {
+		t.Fatalf("ShortestPath invalid: %v", p)
+	}
+	p2 := g.ShortestPath(0, 3, nodeset.Of(4))
+	if !p2.Equal(Path{0, 1, 2, 3}) {
+		t.Fatalf("ShortestPath avoiding 4 = %v", p2)
+	}
+	if g.ShortestPath(0, 3, nodeset.Of(1, 4)) != nil {
+		t.Fatal("ShortestPath found through blocked cut")
+	}
+	if !g.ShortestPath(2, 2, nodeset.Empty()).Equal(Path{2}) {
+		t.Fatal("ShortestPath self wrong")
+	}
+	if g.ShortestPath(0, 99, nodeset.Empty()) != nil {
+		t.Fatal("ShortestPath to non-node")
+	}
+}
+
+func TestHasHonestPath(t *testing.T) {
+	g := mustParse(t, "0-1 1-2 0-3 3-2")
+	if !g.HasHonestPath(0, 2, nodeset.Of(1)) {
+		t.Fatal("honest path via 3 missed")
+	}
+	if g.HasHonestPath(0, 2, nodeset.Of(1, 3)) {
+		t.Fatal("phantom honest path")
+	}
+}
+
+func TestAllPathsMatchBruteForceCount(t *testing.T) {
+	// Complete graph K5: paths from 0 to 4 = sum over k of P(3,k) = 1 + 3 + 6 + 6 = 16.
+	g := New()
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	if got := g.CountPaths(0, 4, nodeset.Empty(), 0); got != 16 {
+		t.Fatalf("K5 path count = %d, want 16", got)
+	}
+	// All enumerated paths are valid simple paths and pairwise distinct.
+	seen := map[string]bool{}
+	g.AllPaths(0, 4, nodeset.Empty(), func(p Path) bool {
+		if !p.ValidIn(g) {
+			t.Errorf("invalid path %v", p)
+		}
+		k := ""
+		for _, v := range p {
+			k += string(rune('a' + v))
+		}
+		if seen[k] {
+			t.Errorf("duplicate path %v", p)
+		}
+		seen[k] = true
+		return true
+	})
+}
+
+func TestPathsReflectDealerReceiverConvention(t *testing.T) {
+	// A path graph: exactly one D-R path; removing the middle kills it.
+	g := mustParse(t, "0-1 1-2")
+	paths := collectPaths(g, 0, 2, nodeset.Empty())
+	if len(paths) != 1 {
+		t.Fatalf("paths = %v", paths)
+	}
+	if reflect.DeepEqual(paths[0], Path{0, 2}) {
+		t.Fatal("nonexistent shortcut")
+	}
+}

@@ -1,0 +1,128 @@
+// Package instance defines the RMT problem instance tuple
+// 𝓘 = (G, 𝒵, γ, D, R) from the paper, with validation and the derived
+// quantities protocols consume: local structures Z_v, joint structures Z_B,
+// and admissible corruption sets.
+package instance
+
+import (
+	"errors"
+	"fmt"
+
+	"rmt/internal/adversary"
+	"rmt/internal/graph"
+	"rmt/internal/nodeset"
+	"rmt/internal/view"
+)
+
+// Instance is one RMT problem instance. Immutable after New.
+type Instance struct {
+	G        *graph.Graph
+	Z        adversary.Structure
+	Gamma    view.Function
+	Dealer   int
+	Receiver int
+
+	local adversary.LocalKnowledge // memoized Z_v per node
+}
+
+// Validation errors returned by New.
+var (
+	ErrDealerMissing    = errors.New("instance: dealer is not a node of G")
+	ErrReceiverMissing  = errors.New("instance: receiver is not a node of G")
+	ErrDealerIsReceiver = errors.New("instance: dealer equals receiver")
+	ErrDealerCorruptib  = errors.New("instance: adversary structure can corrupt the dealer")
+	ErrReceiverCorrupt  = errors.New("instance: adversary structure can corrupt the receiver")
+)
+
+// New validates the tuple and builds an Instance. Following the paper, the
+// dealer and the receiver are presumed honest, so structures that allow
+// corrupting either are rejected; views must be consistent subgraphs of G.
+func New(g *graph.Graph, z adversary.Structure, gamma view.Function, dealer, receiver int) (*Instance, error) {
+	if !g.HasNode(dealer) {
+		return nil, ErrDealerMissing
+	}
+	if !g.HasNode(receiver) {
+		return nil, ErrReceiverMissing
+	}
+	if dealer == receiver {
+		return nil, ErrDealerIsReceiver
+	}
+	if z.Ground().Contains(dealer) {
+		return nil, ErrDealerCorruptib
+	}
+	if z.Ground().Contains(receiver) {
+		return nil, ErrReceiverCorrupt
+	}
+	if !z.Ground().SubsetOf(g.Nodes()) {
+		return nil, fmt.Errorf("instance: adversary structure mentions non-nodes %v", z.Ground().Minus(g.Nodes()))
+	}
+	if err := gamma.ConsistentWith(g); err != nil {
+		return nil, fmt.Errorf("instance: %w", err)
+	}
+	if !gamma.Domain().Equal(g.Nodes()) {
+		return nil, fmt.Errorf("instance: view function domain %v != V(G) %v", gamma.Domain(), g.Nodes())
+	}
+	return &Instance{
+		G:        g,
+		Z:        z,
+		Gamma:    gamma,
+		Dealer:   dealer,
+		Receiver: receiver,
+		local:    gamma.AllLocalStructures(z),
+	}, nil
+}
+
+// MustNew is New for tests and examples; it panics on invalid tuples.
+func MustNew(g *graph.Graph, z adversary.Structure, gamma view.Function, dealer, receiver int) *Instance {
+	in, err := New(g, z, gamma, dealer, receiver)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// AdHoc builds an instance in the ad hoc model (γ = neighborhood stars).
+func AdHoc(g *graph.Graph, z adversary.Structure, dealer, receiver int) (*Instance, error) {
+	return New(g, z, view.AdHoc(g), dealer, receiver)
+}
+
+// LocalStructure returns the memoized Z_v for node v.
+func (in *Instance) LocalStructure(v int) adversary.Restricted {
+	if r, ok := in.local[v]; ok {
+		return r
+	}
+	return adversary.Identity()
+}
+
+// LocalKnowledge returns the full node → Z_v map. Callers must not modify it.
+func (in *Instance) LocalKnowledge() adversary.LocalKnowledge { return in.local }
+
+// JointStructure returns Z_B = ⊕_{v∈B} Z_v for a node set B.
+func (in *Instance) JointStructure(b nodeset.Set) adversary.Restricted {
+	return in.local.JointOf(b)
+}
+
+// Admissible reports whether t is a corruption set the adversary may choose.
+func (in *Instance) Admissible(t nodeset.Set) bool { return in.Z.Contains(t) }
+
+// MaximalCorruptions returns the maximal admissible corruption sets. For
+// resilience checks it suffices to consider these (monotonicity: a protocol
+// resilient against T is resilient against every T' ⊆ T only needs the
+// direction that checking all maximal T covers all T — which the checkers
+// rely on because a smaller corruption set gives the adversary strictly
+// fewer nodes to silence or subvert).
+func (in *Instance) MaximalCorruptions() []nodeset.Set { return in.Z.Maximal() }
+
+// HonestNodes returns V(G) \ t.
+func (in *Instance) HonestNodes(t nodeset.Set) nodeset.Set {
+	return in.G.Nodes().Minus(t)
+}
+
+// N returns the number of players.
+func (in *Instance) N() int { return in.G.NumNodes() }
+
+// String gives a compact description for logs and errors.
+func (in *Instance) String() string {
+	return fmt.Sprintf("Instance(n=%d, m=%d, |Zmax|=%d, D=%d, R=%d)",
+		in.G.NumNodes(), in.G.NumEdges(), in.Z.NumMaximal(), in.Dealer, in.Receiver)
+}

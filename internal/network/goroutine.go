@@ -1,0 +1,91 @@
+package network
+
+import "sync"
+
+// runGoroutine executes the run with one goroutine per player per round and
+// a barrier between rounds — the natural Go embedding of a synchronous
+// distributed system. Each player writes sends into its own buffer, so the
+// concurrent phase is data-race free; buffers are merged in player-ID order
+// after the barrier, which makes results identical to the lockstep engine
+// for deterministic protocols. All goroutines are joined before the
+// function returns.
+func runGoroutine(cfg Config) (*Result, error) {
+	st := newRunState(cfg)
+
+	// Round 0: Init, concurrently.
+	bufs := make(map[int]*sendBuf, len(st.ids))
+	var wg sync.WaitGroup
+	for _, v := range st.ids {
+		buf := &sendBuf{from: v}
+		bufs[v] = buf
+		out := st.newOutbox(v, buf)
+		proc := cfg.Processes[v]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			proc.Init(out)
+		}()
+	}
+	wg.Wait()
+	for _, v := range st.ids {
+		st.merge(0, bufs[v])
+	}
+	st.sealRound(0)
+	st.refreshDecisions() // record Init-time decisions as round 0
+
+	haltedNow := make(map[int]bool, len(st.ids))
+	for round := 1; round <= st.maxRounds; round++ {
+		pending := st.takePending()
+		live := st.liveDeliveries(pending)
+		if live == 0 && st.allHalted() {
+			break
+		}
+		quiescent := live == 0
+
+		var mu sync.Mutex // guards haltedNow
+		for k := range haltedNow {
+			delete(haltedNow, k)
+		}
+		for _, v := range st.ids {
+			if st.halted[v] {
+				continue
+			}
+			inbox := pending[v]
+			sortInbox(inbox)
+			st.noteInbox(v, round, inbox)
+			buf := &sendBuf{from: v}
+			bufs[v] = buf
+			out := st.newOutbox(v, buf)
+			proc := cfg.Processes[v]
+			node := v
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if !proc.Round(round, inbox, out) {
+					mu.Lock()
+					haltedNow[node] = true
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		for _, v := range st.ids {
+			if st.halted[v] {
+				continue
+			}
+			st.merge(round, bufs[v])
+			if haltedNow[v] {
+				st.halted[v] = true
+			}
+		}
+		st.sealRound(round)
+		st.rounds = round
+		if st.stopEarly() {
+			break
+		}
+		if quiescent && st.metrics.MessagesPerRound[round] == 0 {
+			break
+		}
+	}
+	return st.result(), nil
+}

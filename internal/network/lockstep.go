@@ -1,0 +1,49 @@
+package network
+
+// runLockstep executes the run in a single goroutine, stepping players in
+// increasing ID order. It is fully deterministic.
+func runLockstep(cfg Config) (*Result, error) {
+	st := newRunState(cfg)
+
+	// Round 0: Init.
+	for _, v := range st.ids {
+		st.collectSends(v, 0, func(out Outbox) {
+			cfg.Processes[v].Init(out)
+		})
+	}
+	st.sealRound(0)
+	st.refreshDecisions() // record Init-time decisions as round 0
+
+	for round := 1; round <= st.maxRounds; round++ {
+		pending := st.takePending()
+		live := st.liveDeliveries(pending)
+		if live == 0 && st.allHalted() {
+			break
+		}
+		quiescent := live == 0
+		for _, v := range st.ids {
+			if st.halted[v] {
+				continue
+			}
+			inbox := pending[v]
+			sortInbox(inbox)
+			st.noteInbox(v, round, inbox)
+			st.collectSends(v, round, func(out Outbox) {
+				if !cfg.Processes[v].Round(round, inbox, out) {
+					st.halted[v] = true
+				}
+			})
+		}
+		st.sealRound(round)
+		st.rounds = round
+		if st.stopEarly() {
+			break
+		}
+		// Quiescence: nothing was in flight and nothing new was produced,
+		// so every later round is identical — stop.
+		if quiescent && st.metrics.MessagesPerRound[round] == 0 {
+			break
+		}
+	}
+	return st.result(), nil
+}

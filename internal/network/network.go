@@ -1,0 +1,205 @@
+// Package network simulates a synchronous message-passing network of
+// players connected by undirected authenticated channels — the execution
+// substrate for every protocol in this repository.
+//
+// Semantics (the standard synchronous model used by the paper):
+//
+//   - Execution proceeds in rounds 1, 2, 3, ...
+//   - A message sent in round k is delivered at the start of round k+1.
+//     Init sends count as round-0 sends, delivered in round 1.
+//   - Channels are authenticated: a delivered message carries the true
+//     sender identity, and messages can only travel along edges of the
+//     network graph. The engine silently drops sends along non-edges, so a
+//     Byzantine process cannot forge either endpoint of a channel.
+//   - Corrupted players are ordinary Process implementations with arbitrary
+//     behavior; honesty is a property of the implementation, not the engine.
+//
+// Two engines implement identical semantics: the deterministic lockstep
+// engine (Run with Engine = Lockstep) steps players in ID order in a single
+// goroutine; the goroutine engine gives every player its own goroutine with
+// a round barrier, exercising the natural Go embedding of a distributed
+// node. For deterministic protocols the two produce identical transcripts,
+// which a property test asserts.
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"rmt/internal/graph"
+)
+
+// Value is an element of the message space X: the payload the dealer wants
+// to transmit. Values are opaque to the engine.
+type Value string
+
+// Payload is the content of one message. Implementations must be immutable
+// after sending: engines deliver payloads by reference and may deliver one
+// payload to several recipients.
+type Payload interface {
+	// BitSize returns the payload size in bits, for bit-complexity
+	// accounting. It needs to be consistent, not exact.
+	BitSize() int
+	// Key returns a canonical string encoding of the payload: two payloads
+	// are semantically identical iff their keys are equal. Used for
+	// transcript comparison (indistinguishability arguments) and dedup.
+	Key() string
+}
+
+// Message is one delivered message.
+type Message struct {
+	From    int
+	To      int
+	Payload Payload
+}
+
+// Key canonically encodes the full message (sender, receiver, payload).
+func (m Message) Key() string {
+	return fmt.Sprintf("%d>%d:%s", m.From, m.To, m.Payload.Key())
+}
+
+// Outbox lets a process send a message to a neighbor during Init or Round.
+// Sends to non-neighbors are dropped by the engine.
+type Outbox func(to int, p Payload)
+
+// Process is one player's protocol state machine. Engines call Init once,
+// then Round once per round until it returns false (the player halts) or
+// the run ends. Implementations need no internal locking: engines
+// serialize all calls to a single process.
+type Process interface {
+	// Init is called before round 1. Sends are delivered in round 1.
+	Init(out Outbox)
+	// Round is called with the messages delivered this round, sorted by
+	// sender ID (ties broken by payload key). Returning false halts the
+	// player: it neither sends nor receives afterwards.
+	Round(round int, inbox []Message, out Outbox) bool
+	// Decision returns the player's decided value, if it has decided.
+	// Decisions are write-once: once decided, a process must keep
+	// returning the same value.
+	Decision() (Value, bool)
+}
+
+// Engine selects the execution engine.
+type Engine int
+
+// Available engines.
+const (
+	Lockstep Engine = iota + 1
+	Goroutine
+)
+
+func (e Engine) String() string {
+	switch e {
+	case Lockstep:
+		return "lockstep"
+	case Goroutine:
+		return "goroutine"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Config describes one run.
+type Config struct {
+	// Graph is the communication topology. Required.
+	Graph *graph.Graph
+	// Processes maps every node of Graph to its protocol state machine.
+	// Required, with exactly the graph's nodes as keys.
+	Processes map[int]Process
+	// MaxRounds bounds the execution; 0 means 2·|V|+2, enough for every
+	// protocol in this repository (Z-CPA needs ≤ n rounds, RMT-PKA floods
+	// paths of length ≤ n).
+	MaxRounds int
+	// Engine selects lockstep (default) or goroutine execution.
+	Engine Engine
+	// RecordTranscript enables full message recording (memory-heavy).
+	RecordTranscript bool
+	// StopEarly, if non-nil, is evaluated after every round with the
+	// current decisions; returning true ends the run.
+	StopEarly func(decisions map[int]Value) bool
+}
+
+func (c *Config) validate() error {
+	if c.Graph == nil {
+		return fmt.Errorf("network: nil graph")
+	}
+	n := c.Graph.NumNodes()
+	if len(c.Processes) != n {
+		return fmt.Errorf("network: %d processes for %d nodes", len(c.Processes), n)
+	}
+	ok := true
+	c.Graph.Nodes().ForEach(func(v int) bool {
+		if c.Processes[v] == nil {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		return fmt.Errorf("network: missing or nil process for some node")
+	}
+	return nil
+}
+
+func (c *Config) maxRounds() int {
+	if c.MaxRounds > 0 {
+		return c.MaxRounds
+	}
+	return 2*c.Graph.NumNodes() + 2
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Rounds is the number of executed rounds.
+	Rounds int
+	// Decisions maps each node that decided to its value.
+	Decisions map[int]Value
+	// DecidedAtRound maps each decided node to the round in which the
+	// engine first observed its decision (0 = during Init).
+	DecidedAtRound map[int]int
+	// Metrics holds message/bit complexity counters.
+	Metrics Metrics
+	// Transcript is non-nil iff Config.RecordTranscript was set.
+	Transcript *Transcript
+}
+
+// DecisionOf returns node v's decision.
+func (r *Result) DecisionOf(v int) (Value, bool) {
+	val, ok := r.Decisions[v]
+	return val, ok
+}
+
+// Metrics counts the complexity measures the paper discusses: round,
+// message and bit complexity.
+type Metrics struct {
+	MessagesSent      int   // accepted sends (along edges)
+	MessagesDropped   int   // sends along non-edges or to self (Byzantine noise)
+	BitsSent          int   // Σ payload BitSize over accepted sends
+	MessagesPerRound  []int // accepted sends indexed by round (0 = Init)
+	MaxInboxPerPlayer int   // largest single-round inbox observed
+}
+
+// Run executes the configured protocol and returns the result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Engine {
+	case Goroutine:
+		return runGoroutine(cfg)
+	case Lockstep, 0:
+		return runLockstep(cfg)
+	default:
+		return nil, fmt.Errorf("network: unknown engine %v", cfg.Engine)
+	}
+}
+
+// sortInbox orders an inbox by sender, then payload key, for determinism.
+func sortInbox(msgs []Message) {
+	sort.SliceStable(msgs, func(i, j int) bool {
+		if msgs[i].From != msgs[j].From {
+			return msgs[i].From < msgs[j].From
+		}
+		return msgs[i].Payload.Key() < msgs[j].Payload.Key()
+	})
+}

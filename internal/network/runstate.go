@@ -1,0 +1,153 @@
+package network
+
+// runState holds the bookkeeping shared by both engines. One engine round
+// proceeds as: takePending (messages sent last round) → per-player Round
+// calls writing into per-player send buffers → merge buffers in ID order →
+// sealRound. Keeping merges in ID order makes the goroutine engine's
+// observable behavior identical to lockstep for deterministic protocols.
+type runState struct {
+	cfg       Config
+	ids       []int
+	maxRounds int
+	halted    map[int]bool
+	next      map[int][]Message // messages to deliver next round
+	metrics   Metrics
+	trans     *Transcript
+	rounds    int
+	roundSend int
+	decisions map[int]Value
+	decidedAt map[int]int
+}
+
+func newRunState(cfg Config) *runState {
+	st := &runState{
+		cfg:       cfg,
+		ids:       cfg.Graph.SortedIDs(),
+		maxRounds: cfg.maxRounds(),
+		halted:    make(map[int]bool),
+		next:      make(map[int][]Message),
+		decisions: make(map[int]Value),
+		decidedAt: make(map[int]int),
+	}
+	if cfg.RecordTranscript {
+		st.trans = newTranscript()
+	}
+	return st
+}
+
+// sendBuf collects one player's sends during one round.
+type sendBuf struct {
+	from int
+	recs []sendRec
+}
+
+type sendRec struct {
+	msg Message
+	ok  bool
+}
+
+// newOutbox returns the Outbox for player v writing into buf. The edge
+// check enforces authenticated channels: only existing links carry data.
+func (st *runState) newOutbox(v int, buf *sendBuf) Outbox {
+	return func(to int, p Payload) {
+		ok := to != v && st.cfg.Graph.HasEdge(v, to)
+		buf.recs = append(buf.recs, sendRec{msg: Message{From: v, To: to, Payload: p}, ok: ok})
+	}
+}
+
+// merge folds one player's send buffer into the next-round queues and the
+// metrics. Must be called serially, in player-ID order, with the round in
+// which the sends happened.
+func (st *runState) merge(round int, buf *sendBuf) {
+	for _, r := range buf.recs {
+		if !r.ok {
+			st.metrics.MessagesDropped++
+			continue
+		}
+		st.metrics.MessagesSent++
+		st.roundSend++
+		st.metrics.BitsSent += r.msg.Payload.BitSize()
+		st.next[r.msg.To] = append(st.next[r.msg.To], r.msg)
+		if st.trans != nil {
+			st.trans.record(round+1, r.msg) // delivered next round
+		}
+	}
+}
+
+// collectSends runs fn with a fresh outbox for v and merges immediately.
+// Lockstep-only convenience (merging inline is not goroutine-safe).
+func (st *runState) collectSends(v, round int, fn func(out Outbox)) {
+	buf := &sendBuf{from: v}
+	fn(st.newOutbox(v, buf))
+	st.merge(round, buf)
+}
+
+// takePending swaps out the messages due for delivery this round.
+func (st *runState) takePending() map[int][]Message {
+	pending := st.next
+	st.next = make(map[int][]Message)
+	return pending
+}
+
+// sealRound finalizes per-round counters.
+func (st *runState) sealRound(round int) {
+	for len(st.metrics.MessagesPerRound) <= round {
+		st.metrics.MessagesPerRound = append(st.metrics.MessagesPerRound, 0)
+	}
+	st.metrics.MessagesPerRound[round] = st.roundSend
+	st.roundSend = 0
+}
+
+func (st *runState) noteInbox(v, round int, inbox []Message) {
+	if len(inbox) > st.metrics.MaxInboxPerPlayer {
+		st.metrics.MaxInboxPerPlayer = len(inbox)
+	}
+}
+
+func (st *runState) allHalted() bool {
+	return len(st.halted) == len(st.ids)
+}
+
+// liveDeliveries counts pending messages addressed to players that have not
+// halted. Mail to halted players can never influence the run.
+func (st *runState) liveDeliveries(pending map[int][]Message) int {
+	live := 0
+	for to, msgs := range pending {
+		if !st.halted[to] {
+			live += len(msgs)
+		}
+	}
+	return live
+}
+
+// stopEarly refreshes the decision map and evaluates the config predicate.
+func (st *runState) stopEarly() bool {
+	st.refreshDecisions()
+	if st.cfg.StopEarly == nil {
+		return false
+	}
+	return st.cfg.StopEarly(st.decisions)
+}
+
+func (st *runState) refreshDecisions() {
+	for _, v := range st.ids {
+		if _, have := st.decisions[v]; have {
+			continue
+		}
+		if val, ok := st.cfg.Processes[v].Decision(); ok {
+			st.decisions[v] = val
+			st.decidedAt[v] = st.rounds
+		}
+	}
+}
+
+func (st *runState) result() *Result {
+	st.refreshDecisions()
+	return &Result{
+		Rounds:         st.rounds,
+		Decisions:      st.decisions,
+		DecidedAtRound: st.decidedAt,
+		Metrics:        st.metrics,
+		Transcript:     st.trans,
+	}
+}

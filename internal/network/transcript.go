@@ -1,0 +1,109 @@
+package network
+
+import (
+	"sort"
+	"strings"
+)
+
+// Transcript records every channel event (one accepted send = one delivery)
+// of a run, indexed by delivery round. It supports the paper's view(v, e)
+// notation: the messages exchanged by a player and its neighbors, which
+// drives the indistinguishability constructions (Theorem 8's runs e and e',
+// Theorem 9's simulated runs e_0^l / e_1^l).
+type Transcript struct {
+	byRound map[int][]Message
+	maxRnd  int
+}
+
+func newTranscript() *Transcript {
+	return &Transcript{byRound: make(map[int][]Message)}
+}
+
+func (t *Transcript) record(deliveryRound int, m Message) {
+	t.byRound[deliveryRound] = append(t.byRound[deliveryRound], m)
+	if deliveryRound > t.maxRnd {
+		t.maxRnd = deliveryRound
+	}
+}
+
+// Rounds returns the last delivery round recorded.
+func (t *Transcript) Rounds() int { return t.maxRnd }
+
+// Deliveries returns the messages delivered in the given round, in the
+// deterministic engine order.
+func (t *Transcript) Deliveries(round int) []Message {
+	out := make([]Message, len(t.byRound[round]))
+	copy(out, t.byRound[round])
+	return out
+}
+
+// ViewOf returns view(v, e, k): every message sent or received by player v
+// with delivery round ≤ upTo (0 means the whole run), in delivery order.
+func (t *Transcript) ViewOf(v, upTo int) []Message {
+	if upTo <= 0 {
+		upTo = t.maxRnd
+	}
+	var out []Message
+	for r := 1; r <= upTo; r++ {
+		for _, m := range t.byRound[r] {
+			if m.From == v || m.To == v {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// ViewKey canonically encodes view(v, e, upTo) so that two views are equal
+// iff their keys are equal. The per-round message order is canonicalized,
+// so the key is engine-independent.
+func (t *Transcript) ViewKey(v, upTo int) string {
+	if upTo <= 0 {
+		upTo = t.maxRnd
+	}
+	var b strings.Builder
+	for r := 1; r <= upTo; r++ {
+		var keys []string
+		for _, m := range t.byRound[r] {
+			if m.From == v || m.To == v {
+				keys = append(keys, m.Key())
+			}
+		}
+		sort.Strings(keys)
+		b.WriteString("r")
+		for _, k := range keys {
+			b.WriteByte('|')
+			b.WriteString(k)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Key canonically encodes the entire transcript.
+func (t *Transcript) Key() string {
+	var b strings.Builder
+	for r := 1; r <= t.maxRnd; r++ {
+		var keys []string
+		for _, m := range t.byRound[r] {
+			keys = append(keys, m.Key())
+		}
+		sort.Strings(keys)
+		b.WriteString("r")
+		for _, k := range keys {
+			b.WriteByte('|')
+			b.WriteString(k)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// NumMessages returns the total number of recorded channel events.
+func (t *Transcript) NumMessages() int {
+	n := 0
+	for _, ms := range t.byRound {
+		n += len(ms)
+	}
+	return n
+}

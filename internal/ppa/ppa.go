@@ -1,0 +1,218 @@
+// Package ppa implements the Path Propagation Algorithm — the classic
+// full-topology-knowledge baseline for RMT against a general adversary
+// (used in [13] and subsumed by RMT-PKA as a special case).
+//
+// Dealer value messages flood the network carrying their propagation trail,
+// exactly like RMT-PKA's type-1 messages (type-2 knowledge exchange is
+// unnecessary: every player already knows G and 𝒵). The receiver decides x
+// as soon as it holds a path set P_x, all carrying x, such that for every
+// admissible corruption set T some path in P_x has a T-free interior.
+//
+// Safety: for a wrong value x' every x'-carrying path passes through the
+// actual corruption set T* (an honest path would have relayed x_D), so the
+// quantifier fails at T = T*. Liveness: with full knowledge, RMT is
+// solvable iff no D–R cut is the union of two admissible sets ("𝒵-pair
+// cut"); then for the actual T* the honest paths hit every T ∈ 𝒵 and the
+// receiver decides. Both facts are exercised against RMT-PKA in the eval
+// package's baseline comparison.
+package ppa
+
+import (
+	"rmt/internal/byzantine"
+	"rmt/internal/core"
+	"rmt/internal/graph"
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+)
+
+// Receiver is PPA's receiver: it collects value-trail messages and applies
+// the every-corruption-set-misses-a-path rule.
+type Receiver struct {
+	id      int
+	dealer  int
+	z       []nodeset.Set // maximal corruption sets (checking those suffices)
+	byValue map[network.Value][]graph.Path
+	decided bool
+	value   network.Value
+}
+
+// NewReceiver builds PPA's receiver for the instance.
+func NewReceiver(in *instance.Instance) *Receiver {
+	return &Receiver{
+		id:      in.Receiver,
+		dealer:  in.Dealer,
+		z:       in.Z.Maximal(),
+		byValue: make(map[network.Value][]graph.Path),
+	}
+}
+
+// Init implements network.Process.
+func (r *Receiver) Init(network.Outbox) {}
+
+// Round implements network.Process.
+func (r *Receiver) Round(_ int, inbox []network.Message, _ network.Outbox) bool {
+	if r.decided {
+		return false
+	}
+	for _, m := range inbox {
+		vm, ok := m.Payload.(core.ValueMsg)
+		if !ok {
+			continue
+		}
+		trail := vm.P
+		if len(trail) == 0 || trail.Contains(r.id) || trail.Tail() != m.From {
+			continue // forged trail
+		}
+		if trail.Head() != r.dealer {
+			continue // PPA only cares about dealer-rooted paths
+		}
+		r.byValue[vm.X] = append(r.byValue[vm.X], trail.Append(r.id))
+	}
+	for x, paths := range r.byValue {
+		if r.certifies(paths) {
+			r.decided, r.value = true, x
+			return false
+		}
+	}
+	return true
+}
+
+// certifies checks: ∀ maximal T ∈ 𝒵 ∃ path whose interior avoids T.
+func (r *Receiver) certifies(paths []graph.Path) bool {
+	for _, t := range r.z {
+		hit := false
+		for _, p := range paths {
+			if p.Interior().Disjoint(t) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}
+
+// Decision implements network.Process.
+func (r *Receiver) Decision() (network.Value, bool) { return r.value, r.decided }
+
+// relay forwards value-trail messages with the Protocol-1 admission rule.
+// PPA relays are RMT-PKA relays minus the knowledge announcements; reusing
+// core.Relay directly would also announce type-2 info, so PPA has its own
+// lean relay.
+type relay struct {
+	id        int
+	neighbors nodeset.Set
+}
+
+// Init implements network.Process.
+func (r *relay) Init(network.Outbox) {}
+
+// Round implements network.Process.
+func (r *relay) Round(_ int, inbox []network.Message, out network.Outbox) bool {
+	for _, m := range inbox {
+		vm, ok := m.Payload.(core.ValueMsg)
+		if !ok {
+			continue
+		}
+		if len(vm.P) == 0 || vm.P.Contains(r.id) || vm.P.Tail() != m.From {
+			continue
+		}
+		next := core.ValueMsg{X: vm.X, P: vm.P.Append(r.id)}
+		r.neighbors.ForEach(func(u int) bool {
+			out(u, next)
+			return true
+		})
+	}
+	return true
+}
+
+// Decision implements network.Process.
+func (r *relay) Decision() (network.Value, bool) { return "", false }
+
+// dealer sends (x_D, {D}) to all neighbors and terminates.
+type dealer struct {
+	id        int
+	value     network.Value
+	neighbors nodeset.Set
+}
+
+func (d *dealer) Init(out network.Outbox) {
+	d.neighbors.ForEach(func(u int) bool {
+		out(u, core.ValueMsg{X: d.value, P: graph.Path{d.id}})
+		return true
+	})
+}
+func (d *dealer) Round(int, []network.Message, network.Outbox) bool { return false }
+func (d *dealer) Decision() (network.Value, bool)                   { return d.value, true }
+
+// NewProcesses assembles the PPA process map.
+func NewProcesses(in *instance.Instance, xD network.Value, corrupt map[int]network.Process) map[int]network.Process {
+	procs := make(map[int]network.Process, in.N())
+	in.G.Nodes().ForEach(func(v int) bool {
+		switch v {
+		case in.Dealer:
+			procs[v] = &dealer{id: v, value: xD, neighbors: in.G.Neighbors(v)}
+		case in.Receiver:
+			procs[v] = NewReceiver(in)
+		default:
+			procs[v] = &relay{id: v, neighbors: in.G.Neighbors(v)}
+		}
+		return true
+	})
+	for v, proc := range corrupt {
+		if v == in.Dealer || v == in.Receiver {
+			continue
+		}
+		procs[v] = proc
+	}
+	return procs
+}
+
+// Run executes PPA on the instance.
+func Run(in *instance.Instance, xD network.Value, corrupt map[int]network.Process, engine network.Engine) (*network.Result, error) {
+	return network.Run(network.Config{
+		Graph:     in.G,
+		Processes: NewProcesses(in, xD, corrupt),
+		Engine:    engine,
+		StopEarly: func(d map[int]network.Value) bool {
+			_, ok := d[in.Receiver]
+			return ok
+		},
+	})
+}
+
+// Resilient reports whether PPA achieves RMT against every maximal silent
+// corruption set.
+func Resilient(in *instance.Instance) (bool, error) {
+	for _, t := range in.MaximalCorruptions() {
+		res, err := Run(in, "1", byzantine.SilentProcesses(t), 0)
+		if err != nil {
+			return false, err
+		}
+		if _, ok := res.DecisionOf(in.Receiver); !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// PairCut searches for a 𝒵-pair cut: a D–R separator C = Z1 ∪ Z2 with
+// Z1, Z2 ∈ 𝒵 — the full-knowledge impossibility condition PPA is tight
+// against. It returns a witness if one exists.
+func PairCut(in *instance.Instance) (z1, z2 nodeset.Set, found bool) {
+	if !in.G.Connected(in.Dealer, in.Receiver) {
+		return nodeset.Empty(), nodeset.Empty(), true
+	}
+	in.G.ReceiverSideCandidates(in.Dealer, in.Receiver, func(b, cut nodeset.Set) bool {
+		// A pair cut is exactly a cut on which Q2 fails.
+		if c1, c2, covered := in.Z.CoversWith(cut); covered {
+			z1, z2, found = c1, c2, true
+			return false
+		}
+		return true
+	})
+	return z1, z2, found
+}

@@ -1,0 +1,87 @@
+package protocoltest
+
+import (
+	"testing"
+
+	"rmt/internal/core"
+	"rmt/internal/gen"
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/ppa"
+	"rmt/internal/selfred"
+	"rmt/internal/zcpa"
+)
+
+func newPi(in *instance.Instance) zcpa.Decider {
+	return &selfred.PiDecider{LK: in.LocalKnowledge()}
+}
+
+func TestConformancePKA(t *testing.T) {
+	Run(t, Factory{
+		Name: "RMT-PKA",
+		NewProcesses: func(in *instance.Instance, xD network.Value, corrupt map[int]network.Process) map[int]network.Process {
+			return core.NewProcesses(in, xD, corrupt, core.Options{})
+		},
+		Solvable:  core.Solvable,
+		Knowledge: gen.AdHoc,
+	}, Config{})
+}
+
+func TestConformancePKAFullKnowledge(t *testing.T) {
+	Run(t, Factory{
+		Name: "RMT-PKA-full",
+		NewProcesses: func(in *instance.Instance, xD network.Value, corrupt map[int]network.Process) map[int]network.Process {
+			return core.NewProcesses(in, xD, corrupt, core.Options{})
+		},
+		Solvable:  core.Solvable,
+		Knowledge: gen.FullKnowledge,
+	}, Config{Trials: 25})
+}
+
+func TestConformanceZCPA(t *testing.T) {
+	Run(t, Factory{
+		Name: "Z-CPA",
+		NewProcesses: func(in *instance.Instance, xD network.Value, corrupt map[int]network.Process) map[int]network.Process {
+			return zcpa.NewProcesses(in, xD, corrupt, nil)
+		},
+		Solvable:  zcpa.Solvable,
+		Knowledge: gen.AdHoc,
+	}, Config{})
+}
+
+func TestConformanceZCPAWithPiDecider(t *testing.T) {
+	Run(t, Factory{
+		Name: "Z-CPA+Pi",
+		NewProcesses: func(in *instance.Instance, xD network.Value, corrupt map[int]network.Process) map[int]network.Process {
+			return zcpa.NewProcessesWithDecider(in, xD, corrupt, newPi(in))
+		},
+		Solvable:  zcpa.Solvable,
+		Knowledge: gen.AdHoc,
+	}, Config{Trials: 25})
+}
+
+func TestConformancePPA(t *testing.T) {
+	Run(t, Factory{
+		Name:         "PPA",
+		NewProcesses: ppa.NewProcesses,
+		Solvable: func(in *instance.Instance) bool {
+			_, _, cut := ppa.PairCut(in)
+			return !cut
+		},
+		Knowledge: gen.FullKnowledge,
+	}, Config{})
+}
+
+func TestConformanceHorizonPKASafetyOnly(t *testing.T) {
+	// Horizon-PKA is deliberately not tight (it trades liveness), so no
+	// Solvable condition is given; a horizon of 5 covers both standard
+	// fixtures (the 5-line's single path has exactly 5 nodes), letting the
+	// honest-delivery, safety and engine slices all apply.
+	Run(t, Factory{
+		Name: "Horizon-PKA",
+		NewProcesses: func(in *instance.Instance, xD network.Value, corrupt map[int]network.Process) map[int]network.Process {
+			return core.NewProcesses(in, xD, corrupt, core.Options{Horizon: 5})
+		},
+		Knowledge: gen.AdHoc,
+	}, Config{})
+}

@@ -1,0 +1,202 @@
+// Package protocoltest is a reusable conformance battery for RMT protocol
+// implementations. Given a factory that builds a protocol's process map,
+// it checks the properties every correct RMT protocol must have — honest
+// delivery, safety under the Byzantine strategy zoo, engine independence —
+// and, for protocols that declare a tight feasibility condition, the
+// cut-versus-simulation agreement that backs the paper's theorems.
+//
+// The repository's three protocols (RMT-PKA, 𝒵-CPA, PPA) all pass the
+// battery (see conformance_test.go); a downstream user adding a protocol
+// can run the same battery against it with a few lines of glue.
+package protocoltest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rmt/internal/adversary"
+	"rmt/internal/core"
+	"rmt/internal/gen"
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+)
+
+// Factory describes a protocol under test.
+type Factory struct {
+	// Name labels test output.
+	Name string
+	// NewProcesses builds the protocol's process map; corrupted nodes are
+	// replaced by the given processes.
+	NewProcesses func(in *instance.Instance, xD network.Value, corrupt map[int]network.Process) map[int]network.Process
+	// Solvable, if non-nil, is the protocol's tight feasibility condition;
+	// the battery then asserts Solvable ⇔ operational resilience.
+	Solvable func(in *instance.Instance) bool
+	// Knowledge is the knowledge level the protocol is designed for.
+	Knowledge gen.Knowledge
+}
+
+// Config tunes the battery.
+type Config struct {
+	Seed       int64
+	Trials     int // random instances for the tightness sweep
+	MaxRounds  int
+	SkipEngine bool // skip the goroutine-engine equivalence check
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	if c.Trials == 0 {
+		c.Trials = 40
+	}
+	return c
+}
+
+// Run executes the full battery.
+func Run(t *testing.T, f Factory, cfg Config) {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	t.Run(f.Name+"/honest-delivery", func(t *testing.T) { honestDelivery(t, f, cfg) })
+	t.Run(f.Name+"/safety-zoo", func(t *testing.T) { safetyZoo(t, f, cfg) })
+	if !cfg.SkipEngine {
+		t.Run(f.Name+"/engine-equivalence", func(t *testing.T) { engineEquivalence(t, f, cfg) })
+	}
+	if f.Solvable != nil {
+		t.Run(f.Name+"/tightness", func(t *testing.T) { tightness(t, f, cfg) })
+	}
+}
+
+func run(f Factory, in *instance.Instance, xD network.Value, corrupt map[int]network.Process, engine network.Engine, maxRounds int) (*network.Result, error) {
+	return network.Run(network.Config{
+		Graph:     in.G,
+		Processes: f.NewProcesses(in, xD, corrupt),
+		Engine:    engine,
+		MaxRounds: maxRounds,
+		StopEarly: func(d map[int]network.Value) bool {
+			_, ok := d[in.Receiver]
+			return ok
+		},
+	})
+}
+
+// fixtures returns the standard solvable fixtures at the factory's
+// knowledge level.
+func fixtures(t *testing.T, f Factory) []*instance.Instance {
+	t.Helper()
+	var out []*instance.Instance
+	// Triple relays with singleton corruption: solvable at every level.
+	g1, d1, r1 := gen.DisjointPaths(3, 1)
+	in1, err := gen.Build(g1, gen.Singletons(g1.Nodes().Minus(nodeset.Of(d1, r1))), f.Knowledge, d1, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, in1)
+	// An honest line: trivially solvable.
+	g2 := gen.Line(5)
+	in2, err := gen.Build(g2, adversary.Trivial(), f.Knowledge, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, in2)
+	return out
+}
+
+func honestDelivery(t *testing.T, f Factory, cfg Config) {
+	for i, in := range fixtures(t, f) {
+		res, err := run(f, in, "x", nil, network.Lockstep, cfg.MaxRounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := res.DecisionOf(in.Receiver); !ok || got != "x" {
+			t.Errorf("fixture %d: honest decision = %q, %v", i, got, ok)
+		}
+	}
+}
+
+func safetyZoo(t *testing.T, f Factory, cfg Config) {
+	for i, in := range fixtures(t, f) {
+		for _, m := range in.MaximalCorruptions() {
+			if m.IsEmpty() {
+				continue
+			}
+			for name, corrupt := range core.Strategies(in, m, "forged") {
+				res, err := run(f, in, "real", corrupt, network.Lockstep, cfg.MaxRounds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, ok := res.DecisionOf(in.Receiver); ok && got != "real" {
+					t.Errorf("fixture %d, strategy %s, corrupt %v: decided %q — SAFETY VIOLATION",
+						i, name, m, got)
+				}
+			}
+		}
+	}
+}
+
+func engineEquivalence(t *testing.T, f Factory, cfg Config) {
+	for i, in := range fixtures(t, f) {
+		for _, m := range in.MaximalCorruptions() {
+			mk := func() map[int]network.Process {
+				if m.IsEmpty() {
+					return nil
+				}
+				return core.Strategies(in, m, "forged")["silent"]
+			}
+			a, err := run(f, in, "x", mk(), network.Lockstep, cfg.MaxRounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := run(f, in, "x", mk(), network.Goroutine, cfg.MaxRounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			av, aok := a.DecisionOf(in.Receiver)
+			bv, bok := b.DecisionOf(in.Receiver)
+			if av != bv || aok != bok {
+				t.Errorf("fixture %d, corrupt %v: engines disagree (%q/%v vs %q/%v)",
+					i, m, av, aok, bv, bok)
+			}
+		}
+	}
+}
+
+func tightness(t *testing.T, f Factory, cfg Config) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	checked := 0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		n := 4 + r.Intn(3)
+		g := gen.RandomGNP(r, n, 0.5)
+		z := adversary.Random(r, g.Nodes().Minus(nodeset.Of(0, n-1)), 1+r.Intn(2), 0.4)
+		in, err := gen.Build(g, z, f.Knowledge, 0, n-1)
+		if err != nil {
+			continue
+		}
+		checked++
+		want := f.Solvable(in)
+		got := true
+		for _, tset := range in.MaximalCorruptions() {
+			res, err := run(f, in, "1", core.Strategies(in, tset, "x")["silent"], network.Lockstep, cfg.MaxRounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := res.DecisionOf(in.Receiver); !ok {
+				got = false
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf(fmtMismatch(f.Name, trial, want, got, in))
+		}
+	}
+	if checked < cfg.Trials/2 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}
+
+func fmtMismatch(name string, trial int, want, got bool, in *instance.Instance) string {
+	return fmt.Sprintf("%s trial %d: feasibility condition says %v but simulation says %v on %v",
+		name, trial, want, got, in)
+}

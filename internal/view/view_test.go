@@ -1,0 +1,188 @@
+package view
+
+import (
+	"testing"
+
+	"rmt/internal/adversary"
+	"rmt/internal/graph"
+	"rmt/internal/nodeset"
+)
+
+func line(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestAdHoc(t *testing.T) {
+	g := line(t, 4) // 0-1-2-3
+	f := AdHoc(g)
+	v1 := f.Of(1)
+	if !v1.Nodes().Equal(nodeset.Of(0, 1, 2)) {
+		t.Fatalf("γ(1) nodes = %v", v1.Nodes())
+	}
+	if !v1.HasEdge(0, 1) || !v1.HasEdge(1, 2) {
+		t.Fatal("γ(1) misses star edges")
+	}
+	if v1.HasEdge(0, 2) {
+		t.Fatal("γ(1) invented an edge")
+	}
+	// Triangle: ad hoc star must NOT include the opposite edge.
+	tri := graph.New()
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	fa := AdHoc(tri)
+	if fa.Of(0).HasEdge(1, 2) {
+		t.Fatal("ad hoc view of 0 contains edge 1-2")
+	}
+}
+
+func TestRadius(t *testing.T) {
+	g := line(t, 5)
+	f := Radius(g, 2)
+	if !f.NodesOf(2).Equal(nodeset.Of(0, 1, 2, 3, 4)) {
+		t.Fatalf("radius-2 ball of 2 = %v", f.NodesOf(2))
+	}
+	if !f.NodesOf(0).Equal(nodeset.Of(0, 1, 2)) {
+		t.Fatalf("radius-2 ball of 0 = %v", f.NodesOf(0))
+	}
+	f0 := Radius(g, 0)
+	if !f0.NodesOf(3).Equal(nodeset.Of(3)) {
+		t.Fatal("radius-0 should be self only")
+	}
+	// Radius 1 on a triangle includes the far edge (induced).
+	tri := graph.New()
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	if !Radius(tri, 1).Of(0).HasEdge(1, 2) {
+		t.Fatal("radius-1 induced view should contain edge 1-2")
+	}
+}
+
+func TestFull(t *testing.T) {
+	g := line(t, 4)
+	f := Full(g)
+	if !f.Of(3).Equal(g) {
+		t.Fatal("full view is not G")
+	}
+}
+
+func TestOfUnknownNode(t *testing.T) {
+	f := AdHoc(line(t, 3))
+	if f.Of(99).NumNodes() != 0 {
+		t.Fatal("unknown node has non-empty view")
+	}
+}
+
+func TestJoint(t *testing.T) {
+	g := line(t, 5)
+	f := AdHoc(g)
+	j := f.Joint(nodeset.Of(1, 3))
+	if !j.Nodes().Equal(nodeset.Of(0, 1, 2, 3, 4)) {
+		t.Fatalf("joint nodes = %v", j.Nodes())
+	}
+	if !j.HasEdge(0, 1) || !j.HasEdge(2, 3) || !j.HasEdge(3, 4) {
+		t.Fatal("joint view missing edges")
+	}
+	if j.HasEdge(1, 3) {
+		t.Fatal("joint view invented an edge")
+	}
+}
+
+func TestDomain(t *testing.T) {
+	g := line(t, 3)
+	if !AdHoc(g).Domain().Equal(g.Nodes()) {
+		t.Fatal("domain != node set")
+	}
+}
+
+func TestFromMapValidation(t *testing.T) {
+	sub := graph.New()
+	sub.AddNode(1)
+	if _, err := FromMap(map[int]*graph.Graph{2: sub}); err == nil {
+		t.Fatal("FromMap accepted a view missing its owner")
+	}
+	if _, err := FromMap(map[int]*graph.Graph{1: sub}); err != nil {
+		t.Fatalf("FromMap rejected valid input: %v", err)
+	}
+}
+
+func TestLocalStructure(t *testing.T) {
+	g := line(t, 4)
+	z := adversary.FromSlices([]int{1, 3}, []int{2})
+	f := AdHoc(g)
+	r := f.LocalStructure(z, 0) // V(γ(0)) = {0,1}
+	if !r.Domain.Equal(nodeset.Of(0, 1)) {
+		t.Fatalf("domain = %v", r.Domain)
+	}
+	if !r.Structure.Equal(adversary.FromSlices([]int{1})) {
+		t.Fatalf("Z_0 = %v", r.Structure)
+	}
+	lk := f.AllLocalStructures(z)
+	if len(lk) != 4 {
+		t.Fatalf("AllLocalStructures has %d entries", len(lk))
+	}
+	if !lk[0].Equal(r) {
+		t.Fatal("AllLocalStructures disagrees with LocalStructure")
+	}
+}
+
+func TestRefines(t *testing.T) {
+	g := line(t, 4)
+	full := Full(g)
+	adhoc := AdHoc(g)
+	r1 := Radius(g, 1)
+	if !full.Refines(adhoc) || !full.Refines(r1) || !full.Refines(full) {
+		t.Fatal("full should refine everything")
+	}
+	if adhoc.Refines(full) {
+		t.Fatal("ad hoc refines full?")
+	}
+	if !r1.Refines(adhoc) {
+		t.Fatal("radius-1 should refine ad hoc")
+	}
+}
+
+func TestConsistentWith(t *testing.T) {
+	g := line(t, 4)
+	if err := AdHoc(g).ConsistentWith(g); err != nil {
+		t.Fatalf("AdHoc inconsistent: %v", err)
+	}
+	if err := Radius(g, 2).ConsistentWith(g); err != nil {
+		t.Fatalf("Radius inconsistent: %v", err)
+	}
+	// A fabricated view with a non-edge must be rejected.
+	bad := graph.New()
+	bad.AddEdge(0, 3)
+	f, err := FromMap(map[int]*graph.Graph{0: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ConsistentWith(g); err == nil {
+		t.Fatal("ConsistentWith accepted a fictitious edge")
+	}
+	// A view with a fictitious node must be rejected.
+	ghost := graph.New()
+	ghost.AddNode(0)
+	ghost.AddNode(77)
+	f2, err := FromMap(map[int]*graph.Graph{0: ghost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.ConsistentWith(g); err == nil {
+		t.Fatal("ConsistentWith accepted a fictitious node")
+	}
+}
+
+func TestRadiusConvergesToFull(t *testing.T) {
+	g := line(t, 6)
+	k := g.Diameter()
+	if !Radius(g, k).Refines(Full(g)) {
+		t.Fatal("radius=diameter should equal full knowledge")
+	}
+}

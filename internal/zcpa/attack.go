@@ -1,0 +1,80 @@
+package zcpa
+
+import (
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+)
+
+// WrongValue is a Byzantine player that runs the 𝒵-CPA message format but
+// relays a chosen false value to all its neighbors, posing as a decided
+// player from round one.
+type WrongValue struct {
+	Neighbors nodeset.Set
+	Value     network.Value
+	sent      bool
+}
+
+// Init implements network.Process.
+func (w *WrongValue) Init(network.Outbox) {}
+
+// Round implements network.Process.
+func (w *WrongValue) Round(_ int, _ []network.Message, out network.Outbox) bool {
+	if w.sent {
+		return true
+	}
+	w.sent = true
+	w.Neighbors.ForEach(func(u int) bool {
+		out(u, ValuePayload{X: w.Value})
+		return true
+	})
+	return true
+}
+
+// Decision implements network.Process.
+func (*WrongValue) Decision() (network.Value, bool) { return "", false }
+
+// WrongValueProcesses corrupts every node of t with a WrongValue attacker
+// pushing the given false value.
+func WrongValueProcesses(in *instance.Instance, t nodeset.Set, false_ network.Value) map[int]network.Process {
+	m := make(map[int]network.Process, t.Len())
+	t.ForEach(func(v int) bool {
+		m[v] = &WrongValue{Neighbors: in.G.Neighbors(v), Value: false_}
+		return true
+	})
+	return m
+}
+
+// TwoFaced relays the true value to some neighbors and a false value to the
+// others, splitting the network's perception — the strongest simple attack
+// against certification-style protocols.
+type TwoFaced struct {
+	TellTruth nodeset.Set // neighbors that get the true value
+	TellLie   nodeset.Set // neighbors that get the false value
+	Truth     network.Value
+	Lie       network.Value
+	sent      bool
+}
+
+// Init implements network.Process.
+func (a *TwoFaced) Init(network.Outbox) {}
+
+// Round implements network.Process.
+func (a *TwoFaced) Round(_ int, _ []network.Message, out network.Outbox) bool {
+	if a.sent {
+		return true
+	}
+	a.sent = true
+	a.TellTruth.ForEach(func(u int) bool {
+		out(u, ValuePayload{X: a.Truth})
+		return true
+	})
+	a.TellLie.ForEach(func(u int) bool {
+		out(u, ValuePayload{X: a.Lie})
+		return true
+	})
+	return true
+}
+
+// Decision implements network.Process.
+func (*TwoFaced) Decision() (network.Value, bool) { return "", false }

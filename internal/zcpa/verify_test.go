@@ -1,0 +1,104 @@
+package zcpa
+
+import (
+	"math/rand"
+	"testing"
+
+	"rmt/internal/adversary"
+	"rmt/internal/graph"
+	"rmt/internal/instance"
+	"rmt/internal/nodeset"
+)
+
+func TestVerifyZppCutAcceptsFound(t *testing.T) {
+	in := weakDiamond(t)
+	cut, found := FindRMTZppCut(in)
+	if !found {
+		t.Fatal("no cut")
+	}
+	if err := VerifyZppCut(in, cut); err != nil {
+		t.Fatalf("found witness rejected: %v", err)
+	}
+}
+
+func TestVerifyZppCutRejectsForgeries(t *testing.T) {
+	in := weakDiamond(t)
+	good, _ := FindRMTZppCut(in)
+	forgeries := []struct {
+		name string
+		cut  ZppCut
+	}{
+		{"overlap", ZppCut{C1: nodeset.Of(1), C2: nodeset.Of(1), B: good.B}},
+		{"terminal in cut", ZppCut{C1: nodeset.Of(3), C2: nodeset.Of(1), B: good.B}},
+		{"not separating", ZppCut{C1: nodeset.Of(1), C2: nodeset.Empty(), B: nodeset.Of(2, 3)}},
+		{"wrong B", ZppCut{C1: good.C1, C2: good.C2, B: nodeset.Of(0, 3)}},
+		{"inadmissible C1", ZppCut{C1: nodeset.Of(1, 2), C2: nodeset.Empty(), B: good.B}},
+	}
+	for _, f := range forgeries {
+		if err := VerifyZppCut(in, f.cut); err == nil {
+			t.Errorf("forgery %q accepted", f.name)
+		}
+	}
+}
+
+func TestVerifyZppCutLocalCondition(t *testing.T) {
+	// Same orientation trick as the RMT-cut test: only {1} admissible.
+	in := mustInstance(t, "0-1 0-2 1-3 2-3", adversary.FromSlices([]int{1}), 0, 3)
+	bad := ZppCut{C1: nodeset.Of(1), C2: nodeset.Of(2), B: nodeset.Of(3)}
+	if err := VerifyZppCut(in, bad); err == nil {
+		t.Fatal("verifier accepted a cut violating the N(u)∩C2 condition")
+	}
+}
+
+func TestVerifyZppCutAllFoundRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(89))
+	verified := 0
+	for trial := 0; trial < 80; trial++ {
+		n := 4 + r.Intn(3)
+		g := graph.NewWithNodes(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Float64() < 0.5 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		z := adversary.Random(r, g.Nodes().Minus(nodeset.Of(0, n-1)), 1+r.Intn(2), 0.4)
+		in, err := instance.AdHoc(g, z, 0, n-1)
+		if err != nil {
+			continue
+		}
+		cut, found := FindRMTZppCut(in)
+		if !found {
+			continue
+		}
+		if err := VerifyZppCut(in, cut); err != nil {
+			t.Fatalf("trial %d: witness %v rejected: %v", trial, cut, err)
+		}
+		verified++
+	}
+	if verified < 10 {
+		t.Fatalf("only %d witnesses verified", verified)
+	}
+}
+
+func TestFindRMTZppCutBounded(t *testing.T) {
+	in := weakDiamond(t)
+	cut, found, complete := FindRMTZppCutBounded(in, 0)
+	if !found || !complete {
+		t.Fatalf("unbounded: found=%v complete=%v", found, complete)
+	}
+	if err := VerifyZppCut(in, cut); err != nil {
+		t.Fatal(err)
+	}
+	// A line has multiple receiver-side candidates, so budget 1 must
+	// report an incomplete search on a solvable line.
+	solvable := mustInstance(t, "0-1 1-2 2-3 3-4", adversary.Trivial(), 0, 4)
+	if _, found, complete := FindRMTZppCutBounded(solvable, 1); found || complete {
+		t.Fatalf("budget 1 on solvable line: found=%v complete=%v", found, complete)
+	}
+	// The triple path has exactly one candidate: budget 1 is complete.
+	if _, found, complete := FindRMTZppCutBounded(triplePath(t), 1); found || !complete {
+		t.Fatalf("triple path budget 1: found=%v complete=%v", found, complete)
+	}
+}

@@ -1,0 +1,293 @@
+// Package zcpa implements the 𝒵-CPA protocol (Certified Propagation
+// Algorithm for general adversary structures) adapted for Reliable Message
+// Transmission in ad hoc networks, as in Section 4 of the paper, together
+// with the RMT 𝒵-pp cut characterization (Definition 7, Theorems 7–8).
+//
+// Protocol (code for player v, dealer D, receiver R):
+//
+//  1. The dealer sends its value x_D to all neighbors and terminates.
+//  2. If v ∈ N(D): upon reception of x_D from the dealer, decide x_D.
+//  3. If v ∉ N(D): upon receiving the same value x from all neighbors in a
+//     set N ⊆ N(v) with N ∉ Z_v, decide x.
+//  4. Upon deciding: R outputs and terminates; others relay the decided
+//     value to all neighbors once and terminate.
+//
+// The membership check "N ∉ Z_v" is a protocol-scheme subroutine
+// (Definition 8): it is abstracted behind the Oracle interface so that the
+// Section 5 self-reduction can plug in a simulated-Π implementation
+// (internal/selfred) while normal runs use the direct antichain check.
+package zcpa
+
+import (
+	"sort"
+
+	"rmt/internal/byzantine"
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+)
+
+// Oracle answers the 𝒵-CPA membership check: whether a set of same-value
+// reporting neighbors of v is an admissible corruption set in Z_v. Player v
+// decides on x exactly when its set of x-reporters is NOT a member.
+type Oracle interface {
+	Member(v int, reporters nodeset.Set) bool
+}
+
+// DirectOracle answers membership checks straight from the instance's
+// precomputed local structures — the "explicitly given structure" regime in
+// which the paper notes 𝒵-CPA is trivially fully polynomial.
+type DirectOracle struct {
+	In *instance.Instance
+}
+
+// Member implements Oracle.
+func (o DirectOracle) Member(v int, reporters nodeset.Set) bool {
+	return o.In.LocalStructure(v).Contains(reporters)
+}
+
+// Decider generalizes the decision subroutine of 𝒵-CPA: given the partition
+// of a player's same-value reporter classes, it returns the certified value,
+// if any. This is the protocol-scheme hook of Section 5 — the Theorem 9
+// construction (internal/selfred) implements it by simulating runs of a
+// basic-instance protocol Π instead of checking membership directly.
+type Decider interface {
+	Decide(v int, classes map[network.Value]nodeset.Set) (network.Value, bool)
+}
+
+// WrapOracle adapts a membership Oracle into a Decider implementing the
+// textbook rule: certify x iff the x-reporter class is not in Z_v. Values
+// are scanned in sorted order for determinism.
+func WrapOracle(o Oracle) Decider { return oracleDecider{o: o} }
+
+type oracleDecider struct{ o Oracle }
+
+func (d oracleDecider) Decide(v int, classes map[network.Value]nodeset.Set) (network.Value, bool) {
+	vals := make([]network.Value, 0, len(classes))
+	for x := range classes {
+		vals = append(vals, x)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, x := range vals {
+		if !d.o.Member(v, classes[x]) {
+			return x, true
+		}
+	}
+	return "", false
+}
+
+// ValuePayload is the single-value message exchanged by 𝒵-CPA (the paper's
+// type: each player transmits one value x ∈ X once).
+type ValuePayload struct {
+	X network.Value
+}
+
+// BitSize implements network.Payload.
+func (p ValuePayload) BitSize() int { return 8 * len(p.X) }
+
+// Key implements network.Payload.
+func (p ValuePayload) Key() string { return "v:" + string(p.X) }
+
+// Dealer is the dealer's process: send x_D to all neighbors, terminate.
+type Dealer struct {
+	Value     network.Value
+	neighbors nodeset.Set
+}
+
+// NewDealer builds a dealer process at an explicit graph position, for
+// callers outside the instance machinery (e.g. internal/broadcast).
+func NewDealer(neighbors nodeset.Set, xD network.Value) *Dealer {
+	return &Dealer{Value: xD, neighbors: neighbors}
+}
+
+// Init implements network.Process.
+func (d *Dealer) Init(out network.Outbox) {
+	d.neighbors.ForEach(func(u int) bool {
+		out(u, ValuePayload{X: d.Value})
+		return true
+	})
+}
+
+// Round implements network.Process: the dealer terminates immediately.
+func (d *Dealer) Round(int, []network.Message, network.Outbox) bool { return false }
+
+// Decision implements network.Process: the dealer trivially knows x_D.
+func (d *Dealer) Decision() (network.Value, bool) { return d.Value, true }
+
+// Player is an honest non-dealer player running 𝒵-CPA.
+type Player struct {
+	id         int
+	dealer     int
+	isReceiver bool
+	neighbors  nodeset.Set
+	decider    Decider
+
+	reporters map[network.Value]nodeset.Set
+	decided   bool
+	value     network.Value
+}
+
+// NewPlayer builds the process for node id of the given instance, deciding
+// through the membership oracle.
+func NewPlayer(in *instance.Instance, id int, oracle Oracle) *Player {
+	return NewPlayerWithDecider(in, id, WrapOracle(oracle))
+}
+
+// NewPlayerWithDecider builds the process for node id with a custom
+// decision subroutine.
+func NewPlayerWithDecider(in *instance.Instance, id int, decider Decider) *Player {
+	p := NewRelayPlayer(id, in.Dealer, in.G.Neighbors(id), decider)
+	p.isReceiver = id == in.Receiver
+	return p
+}
+
+// NewRelayPlayer builds a relay-and-decide player without a designated
+// receiver: upon deciding it always relays and terminates. This is the
+// player shape of 𝒵-CPA in its original Reliable Broadcast role, used by
+// internal/broadcast.
+func NewRelayPlayer(id, dealer int, neighbors nodeset.Set, decider Decider) *Player {
+	return &Player{
+		id:        id,
+		dealer:    dealer,
+		neighbors: neighbors,
+		decider:   decider,
+		reporters: make(map[network.Value]nodeset.Set),
+	}
+}
+
+// Init implements network.Process.
+func (p *Player) Init(network.Outbox) {}
+
+// Round implements network.Process.
+func (p *Player) Round(_ int, inbox []network.Message, out network.Outbox) bool {
+	if p.decided {
+		return false
+	}
+	for _, m := range inbox {
+		vp, ok := m.Payload.(ValuePayload)
+		if !ok {
+			continue // erroneous message (recognized in poly time); discard
+		}
+		if m.From == p.dealer {
+			// Dealer propagation rule: the dealer is honest by assumption.
+			p.decide(vp.X, out)
+			return false
+		}
+		set, exists := p.reporters[vp.X]
+		if !exists {
+			set = nodeset.Empty()
+		}
+		p.reporters[vp.X] = set.Add(m.From)
+	}
+	// Certification rule: decide on x iff the x-reporters form a set
+	// outside Z_v. Checking the full reporter set suffices: if it is a
+	// member, monotonicity puts every subset inside Z_v too. (At most one
+	// value can ever certify for an honest player, by the safety argument
+	// of Theorem 7.)
+	if len(p.reporters) > 0 {
+		if x, ok := p.decider.Decide(p.id, p.reporters); ok {
+			p.decide(x, out)
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Player) decide(x network.Value, out network.Outbox) {
+	p.decided = true
+	p.value = x
+	if p.isReceiver {
+		return // R outputs its decision and terminates without relaying
+	}
+	p.neighbors.ForEach(func(u int) bool {
+		out(u, ValuePayload{X: x})
+		return true
+	})
+}
+
+// Decision implements network.Process.
+func (p *Player) Decision() (network.Value, bool) { return p.value, p.decided }
+
+// NewProcesses assembles the process map for a 𝒵-CPA run: the dealer, honest
+// players, and the supplied corrupted processes (which take precedence for
+// their nodes; the dealer and receiver cannot be corrupted). A nil oracle
+// defaults to the DirectOracle.
+func NewProcesses(in *instance.Instance, xD network.Value, corrupt map[int]network.Process, oracle Oracle) map[int]network.Process {
+	if oracle == nil {
+		oracle = DirectOracle{In: in}
+	}
+	return NewProcessesWithDecider(in, xD, corrupt, WrapOracle(oracle))
+}
+
+// NewProcessesWithDecider assembles the process map with a custom decision
+// subroutine for every honest player.
+func NewProcessesWithDecider(in *instance.Instance, xD network.Value, corrupt map[int]network.Process, decider Decider) map[int]network.Process {
+	procs := make(map[int]network.Process, in.N())
+	in.G.Nodes().ForEach(func(v int) bool {
+		switch {
+		case v == in.Dealer:
+			procs[v] = &Dealer{Value: xD, neighbors: in.G.Neighbors(v)}
+		default:
+			procs[v] = NewPlayerWithDecider(in, v, decider)
+		}
+		return true
+	})
+	for v, proc := range corrupt {
+		if v == in.Dealer || v == in.Receiver {
+			continue
+		}
+		procs[v] = proc
+	}
+	return procs
+}
+
+// Options tweaks a run.
+type Options struct {
+	Engine           network.Engine
+	Oracle           Oracle
+	Decider          Decider // overrides Oracle when non-nil
+	RecordTranscript bool
+	MaxRounds        int
+}
+
+// Run executes 𝒵-CPA on the instance with dealer value xD and the given
+// corrupted players, stopping as soon as the receiver decides.
+func Run(in *instance.Instance, xD network.Value, corrupt map[int]network.Process, opts Options) (*network.Result, error) {
+	decider := opts.Decider
+	if decider == nil {
+		oracle := opts.Oracle
+		if oracle == nil {
+			oracle = DirectOracle{In: in}
+		}
+		decider = WrapOracle(oracle)
+	}
+	cfg := network.Config{
+		Graph:            in.G,
+		Processes:        NewProcessesWithDecider(in, xD, corrupt, decider),
+		Engine:           opts.Engine,
+		RecordTranscript: opts.RecordTranscript,
+		MaxRounds:        opts.MaxRounds,
+		StopEarly: func(d map[int]network.Value) bool {
+			_, ok := d[in.Receiver]
+			return ok
+		},
+	}
+	return network.Run(cfg)
+}
+
+// Resilient reports whether 𝒵-CPA achieves RMT on the instance for every
+// admissible corruption set. It simulates the silent adversary on every
+// maximal corruption set, which is the worst case for liveness because
+// 𝒵-CPA is safe (DESIGN.md §5); monotonicity makes maximal sets sufficient.
+func Resilient(in *instance.Instance) (bool, error) {
+	for _, t := range in.MaximalCorruptions() {
+		res, err := Run(in, "1", byzantine.SilentProcesses(t), Options{})
+		if err != nil {
+			return false, err
+		}
+		if _, ok := res.DecisionOf(in.Receiver); !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,235 @@
+// Package rmt is a library for Perfectly Reliable Message Transmission
+// (RMT) in synchronous networks under general (Hirt–Maurer) Byzantine
+// adversaries and partial topology knowledge, implementing
+//
+//	A. Pagourtzis, G. Panagiotakos, D. Sakavalas.
+//	"Reliable Message Transmission under Partial Knowledge and General
+//	Adversaries" (brief announcement at PODC 2016).
+//
+// The library provides:
+//
+//   - RMT-PKA, the paper's unique protocol for the partial knowledge model
+//     (RunPKA), with its tight feasibility characterization via RMT-cuts
+//     (SolvablePKA, FindRMTCut);
+//   - 𝒵-CPA for ad hoc networks (RunZCPA) with the RMT 𝒵-pp cut
+//     characterization (SolvableZCPA, FindZppCut);
+//   - the PPA full-knowledge baseline (RunPPA) with the 𝒵-pair cut
+//     condition (FindPairCut);
+//   - the ⊕ joint-view operation on adversary structures (JoinViews) and
+//     the partial-knowledge machinery (view functions, local structures);
+//   - Section 5's self-reduction: protocol Π on basic instances and the
+//     Decision Protocol plugged into 𝒵-CPA as a decider (selfred types);
+//   - a synchronous network simulator with deterministic lockstep and
+//     goroutine engines, a Byzantine strategy zoo, and an experiment
+//     harness regenerating every table in EXPERIMENTS.md.
+//
+// # Quick start
+//
+//	g, _ := rmt.ParseEdgeList("0-1 0-2 0-3 1-4 2-4 3-4")
+//	z := rmt.StructureOf([]int{1}, []int{2}, []int{3})
+//	in, _ := rmt.NewAdHocInstance(g, z, 0, 4)
+//	if rmt.SolvablePKA(in) {
+//		res, _ := rmt.RunPKA(in, "attack at dawn", nil, rmt.PKAOptions{})
+//		x, ok := res.DecisionOf(4) // "attack at dawn", true
+//		_ = x
+//		_ = ok
+//	}
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package rmt
+
+import (
+	"rmt/internal/adversary"
+	"rmt/internal/byzantine"
+	"rmt/internal/core"
+	"rmt/internal/graph"
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+	"rmt/internal/ppa"
+	"rmt/internal/selfred"
+	"rmt/internal/view"
+	"rmt/internal/zcpa"
+)
+
+// Core model types, aliased from the implementation packages so that public
+// and internal code share one set of values.
+type (
+	// Graph is an undirected network topology over integer node IDs.
+	Graph = graph.Graph
+	// Path is a simple path as a node sequence.
+	Path = graph.Path
+	// Set is a set of node IDs.
+	Set = nodeset.Set
+	// Structure is a monotone adversary structure (antichain form).
+	Structure = adversary.Structure
+	// Restricted is a structure together with the node set it is
+	// restricted to — the currency of the ⊕ joint-view operation.
+	Restricted = adversary.Restricted
+	// ViewFunction is a partial-knowledge view function γ.
+	ViewFunction = view.Function
+	// Instance is the RMT problem tuple (G, 𝒵, γ, D, R).
+	Instance = instance.Instance
+	// Value is an element of the message space X.
+	Value = network.Value
+	// Result summarizes a protocol run.
+	Result = network.Result
+	// Process is a player state machine; corrupted players are arbitrary
+	// Processes.
+	Process = network.Process
+	// Engine selects the lockstep or goroutine execution engine.
+	Engine = network.Engine
+	// RMTCut witnesses the partial-knowledge impossibility condition.
+	RMTCut = core.RMTCut
+	// ZppCut witnesses the ad hoc impossibility condition.
+	ZppCut = zcpa.ZppCut
+	// PKAOptions tweaks an RMT-PKA run.
+	PKAOptions = core.Options
+	// ZCPAOptions tweaks a 𝒵-CPA run.
+	ZCPAOptions = zcpa.Options
+	// Basic is a Figure-1 basic instance for the Section 5 machinery.
+	Basic = selfred.Basic
+	// PiDecider is the Theorem 9 Decision Protocol as a 𝒵-CPA decider.
+	PiDecider = selfred.PiDecider
+)
+
+// Engines.
+const (
+	Lockstep  = network.Lockstep
+	Goroutine = network.Goroutine
+)
+
+// NewGraph returns an empty topology; add channels with AddEdge.
+func NewGraph() *Graph { return graph.New() }
+
+// ParseEdgeList builds a topology from "0-1, 1-2; 7"-style text (bare
+// integers add isolated nodes).
+func ParseEdgeList(s string) (*Graph, error) { return graph.ParseEdgeList(s) }
+
+// NodeSet builds a Set from IDs.
+func NodeSet(ids ...int) Set { return nodeset.Of(ids...) }
+
+// StructureOf builds an adversary structure from its (not necessarily
+// maximal) corruption sets, given as ID slices.
+func StructureOf(sets ...[]int) Structure { return adversary.FromSlices(sets...) }
+
+// NoCorruption returns the structure {∅}.
+func NoCorruption() Structure { return adversary.Trivial() }
+
+// Threshold returns the global threshold structure: any ≤ t nodes of the
+// universe.
+func Threshold(universe Set, t int) Structure { return adversary.GlobalThreshold(universe, t) }
+
+// TLocal returns Koo's t-locally bounded structure on g (≤ t corruptions in
+// every neighborhood). Exponential construction; intended for small graphs.
+func TLocal(g *Graph, t int) Structure {
+	return adversary.TLocal(g.Nodes(), func(v int) Set { return g.Neighbors(v) }, t)
+}
+
+// AdHocView returns the ad hoc view function (neighborhood stars).
+func AdHocView(g *Graph) ViewFunction { return view.AdHoc(g) }
+
+// RadiusView returns the radius-k induced-ball view function.
+func RadiusView(g *Graph, k int) ViewFunction { return view.Radius(g, k) }
+
+// FullView returns the full-knowledge view function.
+func FullView(g *Graph) ViewFunction { return view.Full(g) }
+
+// NewInstance validates and assembles an RMT instance.
+func NewInstance(g *Graph, z Structure, gamma ViewFunction, dealer, receiver int) (*Instance, error) {
+	return instance.New(g, z, gamma, dealer, receiver)
+}
+
+// NewAdHocInstance assembles an instance in the ad hoc model.
+func NewAdHocInstance(g *Graph, z Structure, dealer, receiver int) (*Instance, error) {
+	return instance.AdHoc(g, z, dealer, receiver)
+}
+
+// JoinViews computes the ⊕ joint-view of restricted adversary structures
+// (Definition 2): the maximal structure consistent with all of them.
+func JoinViews(rs ...Restricted) Restricted { return adversary.JoinAll(rs...) }
+
+// RunPKA executes RMT-PKA (Protocol 1) with dealer value xD. Nodes in
+// corrupt run the supplied Byzantine processes instead of the protocol; the
+// dealer and receiver cannot be corrupted.
+func RunPKA(in *Instance, xD Value, corrupt map[int]Process, opts PKAOptions) (*Result, error) {
+	return core.Run(in, xD, corrupt, opts)
+}
+
+// RunZCPA executes 𝒵-CPA adapted for RMT (Section 4).
+func RunZCPA(in *Instance, xD Value, corrupt map[int]Process, opts ZCPAOptions) (*Result, error) {
+	return zcpa.Run(in, xD, corrupt, opts)
+}
+
+// RunPPA executes the full-knowledge Path Propagation baseline.
+func RunPPA(in *Instance, xD Value, corrupt map[int]Process, engine Engine) (*Result, error) {
+	return ppa.Run(in, xD, corrupt, engine)
+}
+
+// SolvablePKA reports whether RMT is solvable on the instance — the tight
+// condition of Theorems 3 & 5 (no RMT-cut). RMT-PKA succeeds exactly on
+// solvable instances (it is unique, Corollary 6).
+func SolvablePKA(in *Instance) bool { return core.Solvable(in) }
+
+// SolvableZCPA reports whether ad hoc RMT is solvable — Theorems 7 & 8 (no
+// RMT 𝒵-pp cut). 𝒵-CPA succeeds exactly on solvable instances.
+func SolvableZCPA(in *Instance) bool { return zcpa.Solvable(in) }
+
+// FindRMTCut searches for a Definition-3 RMT-cut witness.
+func FindRMTCut(in *Instance) (RMTCut, bool) { return core.FindRMTCut(in) }
+
+// FindZppCut searches for a Definition-7 RMT 𝒵-pp cut witness.
+func FindZppCut(in *Instance) (ZppCut, bool) { return zcpa.FindRMTZppCut(in) }
+
+// FindPairCut searches for the full-knowledge 𝒵-pair cut (PPA's condition).
+func FindPairCut(in *Instance) (z1, z2 Set, found bool) { return ppa.PairCut(in) }
+
+// VerifyRMTCut independently checks a claimed RMT-cut witness against
+// Definition 3 — the cheap counterpart to FindRMTCut's exponential search.
+func VerifyRMTCut(in *Instance, cut RMTCut) error { return core.VerifyRMTCut(in, cut) }
+
+// VerifyZppCut independently checks a claimed RMT 𝒵-pp cut witness against
+// Definition 7.
+func VerifyZppCut(in *Instance, cut ZppCut) error { return zcpa.VerifyZppCut(in, cut) }
+
+// FindRMTCutBounded is the anytime variant of FindRMTCut: it inspects at
+// most maxCandidates receiver-side candidates (0 = unlimited) and
+// additionally reports whether the search space was fully covered. Found
+// witnesses are always genuine.
+func FindRMTCutBounded(in *Instance, maxCandidates int) (cut RMTCut, found, complete bool) {
+	return core.FindRMTCutBounded(in, maxCandidates)
+}
+
+// FindZppCutBounded is the anytime variant of FindZppCut.
+func FindZppCutBounded(in *Instance, maxCandidates int) (cut ZppCut, found, complete bool) {
+	return zcpa.FindRMTZppCutBounded(in, maxCandidates)
+}
+
+// ResilientPKA verifies operationally that RMT-PKA delivers against every
+// maximal corruption set (silent adversary — the liveness worst case).
+func ResilientPKA(in *Instance) (bool, error) { return core.Resilient(in) }
+
+// ResilientZCPA verifies operationally that 𝒵-CPA delivers against every
+// maximal corruption set.
+func ResilientZCPA(in *Instance) (bool, error) { return zcpa.Resilient(in) }
+
+// SilentCorruption corrupts every node of t with the silent (blocking)
+// strategy — the worst case for liveness against safe protocols.
+func SilentCorruption(t Set) map[int]Process { return byzantine.SilentProcesses(t) }
+
+// AttackZoo returns the full named Byzantine strategy suite against an
+// instance for corruption set t: silent, value-flip, path-forgery,
+// ghost-node, split-brain and structure-liar (see Theorem 4's adversary
+// capabilities). Keys are strategy names.
+func AttackZoo(in *Instance, t Set, forged Value) map[string]map[int]Process {
+	return core.Strategies(in, t, forged)
+}
+
+// NewBasic builds a Figure-1 basic instance (middle set + structure).
+func NewBasic(middle Set, z Structure) Basic { return selfred.NewBasic(middle, z) }
+
+// NewPiDecider builds the Theorem 9 Decision Protocol for an instance's
+// local knowledge, pluggable into ZCPAOptions.Decider.
+func NewPiDecider(in *Instance) *PiDecider {
+	return &PiDecider{LK: in.LocalKnowledge()}
+}
