@@ -1,0 +1,31 @@
+# Convenience targets around the go toolchain — the source of truth for the
+# tier-1 verification flow referenced by ROADMAP.md.
+
+GO ?= go
+
+.PHONY: tier1 test race bench benchjson vet
+
+# tier1 is the gate every PR must keep green: build + full test suite +
+# vet + race detector on the packages that spawn goroutines (the lockstep/
+# goroutine network engines and the parallel experiment harness).
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) vet ./...
+	$(GO) test -race ./internal/network/ ./internal/eval/
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Machine-readable protocol micro-benchmarks (ns/op, B/op, allocs/op).
+benchjson:
+	$(GO) run ./cmd/rmtbench -benchjson BENCH.json

@@ -17,84 +17,98 @@ func benchParams() eval.Params { return eval.Params{Seed: 2016, Trials: 10} }
 // --- one bench per table/figure -----------------------------------------
 
 func BenchmarkE1JoinViewAlgebra(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.E1JoinAlgebra(benchParams())
 	}
 }
 
 func BenchmarkE2PKATightness(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.E2PKATightness(benchParams())
 	}
 }
 
 func BenchmarkE3PKAUnderAttack(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.E3Safety(benchParams())
 	}
 }
 
 func BenchmarkE4ZCPATightness(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.E4ZCPATightness(benchParams())
 	}
 }
 
 func BenchmarkE5KnowledgeSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.E5KnowledgeSweep(benchParams())
 	}
 }
 
 func BenchmarkE6MinimalKnowledge(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.E6MinimalKnowledge(benchParams())
 	}
 }
 
 func BenchmarkE7DecisionProtocol(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.E7DecisionProtocol(benchParams())
 	}
 }
 
 func BenchmarkE8Scaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.E8Scaling(benchParams())
 	}
 }
 
 func BenchmarkE9BroadcastTightness(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.E9BroadcastTightness(benchParams())
 	}
 }
 
 func BenchmarkE10HorizonAblation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.E10HorizonAblation(benchParams())
 	}
 }
 
 func BenchmarkE11RepresentationAblation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.E11RepresentationAblation(benchParams())
 	}
 }
 
 func BenchmarkE12Discovery(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.E12Discovery(benchParams())
 	}
 }
 
 func BenchmarkF1BasicInstances(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.F1BasicFrontier(benchParams())
 	}
 }
 
 func BenchmarkF2IndistinguishableRuns(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.F2IndistinguishableRuns(benchParams())
 	}
@@ -246,6 +260,7 @@ func BenchmarkRenderAllTables(b *testing.B) {
 }
 
 func BenchmarkE13Exhaustive(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eval.E13Exhaustive(benchParams())
 	}

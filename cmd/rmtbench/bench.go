@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"rmt"
+	"rmt/internal/gen"
+	"rmt/internal/nodeset"
+)
+
+// benchResult is one line of BENCH.json — the machine-readable counterpart
+// of `go test -bench . -benchmem` for the protocol hot paths.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// chainInstance mirrors bench_test.go's benchInstance: 3 disjoint relay
+// chains with singleton corruption, solvability depending on hops/knowledge.
+func chainInstance(hops int, level gen.Knowledge) (*rmt.Instance, error) {
+	g, d, r := gen.DisjointPaths(3, hops)
+	z := gen.Singletons(g.Nodes().Minus(nodeset.Of(d, r)))
+	return gen.Build(g, z, level, d, r)
+}
+
+func chimeraInstance(scale int) (*rmt.Instance, error) {
+	g, z, d, r := gen.ChimeraScaled(scale)
+	return gen.Build(g, z, gen.AdHoc, d, r)
+}
+
+// writeBenchJSON runs the micro-benchmark suite via testing.Benchmark and
+// writes the results as a JSON array to path.
+func writeBenchJSON(path string, out io.Writer) error {
+	pka, err := chainInstance(2, gen.Radius2)
+	if err != nil {
+		return err
+	}
+	zcpaIn, err := chainInstance(1, gen.AdHoc)
+	if err != nil {
+		return err
+	}
+	chimera, err := chimeraInstance(3)
+	if err != nil {
+		return err
+	}
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"PKARun", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rmt.RunPKA(pka, "x", nil, rmt.PKAOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"PKARunNoMemo", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rmt.RunPKA(pka, "x", nil, rmt.PKAOptions{DisableMemo: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ZCPARun", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rmt.RunZCPA(zcpaIn, "x", nil, rmt.ZCPAOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"RMTCutCheck", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rmt.FindRMTCut(chimera)
+			}
+		}},
+		{"ZppCutCheck", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rmt.FindZppCut(chimera)
+			}
+		}},
+	}
+	results := make([]benchResult, 0, len(benches))
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		res := benchResult{
+			Name:        bench.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Fprintf(out, "%-16s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		results = append(results, res)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

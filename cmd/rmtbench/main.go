@@ -1,11 +1,13 @@
 // Command rmtbench runs the full experiment suite and prints every table of
-// EXPERIMENTS.md (experiments E1–E8 and figure reproductions F1–F2).
+// EXPERIMENTS.md (experiments E1–E13 and figure reproductions F1–F2).
 //
 // Usage:
 //
-//	rmtbench                  # full suite, default seed/trials
-//	rmtbench -trials 100      # heavier randomized sweeps
-//	rmtbench -only E2,F1      # a subset of tables
+//	rmtbench                       # full suite, default seed/trials
+//	rmtbench -trials 100           # heavier randomized sweeps
+//	rmtbench -only E2,F1           # a subset of tables
+//	rmtbench -workers 1            # sequential trials (tables are identical)
+//	rmtbench -benchjson BENCH.json # protocol micro-benchmarks → JSON, no tables
 package main
 
 import (
@@ -28,14 +30,19 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rmtbench", flag.ContinueOnError)
 	var (
-		seed   = fs.Int64("seed", 2016, "RNG seed for the randomized sweeps")
-		trials = fs.Int("trials", 60, "random trials per configuration")
-		only   = fs.String("only", "", "comma-separated table IDs to run (default: all)")
+		seed      = fs.Int64("seed", 2016, "RNG seed for the randomized sweeps")
+		trials    = fs.Int("trials", 60, "random trials per configuration")
+		only      = fs.String("only", "", "comma-separated table IDs to run (default: all)")
+		workers   = fs.Int("workers", 0, "worker-pool size for randomized trials (0 = one per CPU)")
+		benchjson = fs.String("benchjson", "", "run the protocol micro-benchmarks and write JSON results to this path instead of tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p := eval.Params{Seed: *seed, Trials: *trials}
+	if *benchjson != "" {
+		return writeBenchJSON(*benchjson, out)
+	}
+	p := eval.Params{Seed: *seed, Trials: *trials, Workers: *workers}
 
 	wanted := map[string]bool{}
 	if *only != "" {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -16,6 +19,51 @@ func TestRunSubset(t *testing.T) {
 	}
 	if strings.Contains(out, "== E8") {
 		t.Fatal("ran tables outside -only")
+	}
+}
+
+func TestRunWorkersFlagDeterministic(t *testing.T) {
+	var seq, par strings.Builder
+	if err := run([]string{"-only", "E1", "-trials", "5", "-workers", "1"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-only", "E1", "-trials", "5", "-workers", "4"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("-workers changed table output:\n%s\nvs\n%s", seq.String(), par.String())
+	}
+}
+
+func TestBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the micro-benchmark suite")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	var sb strings.Builder
+	if err := run([]string{"-benchjson", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+	}
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("BENCH.json is not valid JSON: %v\n%s", err, data)
+	}
+	if len(results) < 4 {
+		t.Fatalf("only %d benchmark entries", len(results))
+	}
+	for _, r := range results {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			t.Fatalf("degenerate entry %+v", r)
+		}
 	}
 }
 

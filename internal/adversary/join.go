@@ -66,16 +66,25 @@ func Join(e, f Restricted) Restricted {
 	a, b := e.Domain, f.Domain
 	me, mf := e.Structure.Maximal(), f.Structure.Maximal()
 	candidates := make([]nodeset.Set, 0, len(me)*len(mf))
+	// The candidate (M1\B) ∪ (M2\A) ∪ (M1∩M2) equals M1\(B\M2) ∪ (M2\A),
+	// since M1\(B\M2) = (M1\B) ∪ (M1∩M2). Hoisting the per-M2 pieces out of
+	// the pair loop leaves two set operations (one allocation) per pair.
+	m2NotA := make([]nodeset.Set, len(mf))
+	bNotM2 := make([]nodeset.Set, len(mf))
+	for j, m2 := range mf {
+		m2NotA[j] = m2.Minus(a)
+		bNotM2[j] = b.Minus(m2)
+	}
 	for _, m1 := range me {
-		m1NotB := m1.Minus(b)
-		for _, m2 := range mf {
-			cand := m1NotB.Union(m2.Minus(a)).Union(m1.Intersect(m2))
+		for j := range mf {
+			cand := m1.Minus(bNotM2[j])
+			cand.MutateUnion(m2NotA[j])
 			candidates = append(candidates, cand)
 		}
 	}
 	return Restricted{
 		Domain:    a.Union(b),
-		Structure: Structure{maximal: reduceToAntichain(candidates)},
+		Structure: Structure{maximal: reduceToAntichainOwned(candidates)},
 	}
 }
 

@@ -53,17 +53,36 @@ func FromSlices(sets ...[]int) Structure {
 // reduceToAntichain sorts, dedups and removes dominated sets. An empty
 // input yields the antichain {∅} so the family always contains ∅.
 func reduceToAntichain(sets []nodeset.Set) []nodeset.Set {
+	cp := make([]nodeset.Set, len(sets))
+	copy(cp, sets)
+	return reduceToAntichainOwned(cp)
+}
+
+// reduceToAntichainOwned is reduceToAntichain taking ownership of its
+// argument: the slice is sorted and filtered in place, so callers must pass
+// a slice they will not use again. It sits under Union, Restrict and every
+// ⊕, so the domination scan is allocation-free: Compare orders by
+// cardinality first, hence after the descending sort duplicates are
+// adjacent and only the strictly-larger prefix of kept sets can dominate a
+// distinct candidate.
+func reduceToAntichainOwned(sets []nodeset.Set) []nodeset.Set {
 	if len(sets) == 0 {
 		return []nodeset.Set{nodeset.Empty()}
 	}
-	cp := make([]nodeset.Set, len(sets))
-	copy(cp, sets)
-	// Sort descending by cardinality so dominators come first.
-	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Compare(cp[j]) > 0 })
-	var max []nodeset.Set
-	for _, s := range cp {
+	sort.Slice(sets, func(i, j int) bool { return sets[i].Compare(sets[j]) > 0 })
+	max := sets[:0]
+	for _, s := range sets {
+		if len(max) > 0 && s.Equal(max[len(max)-1]) {
+			continue
+		}
 		dominated := false
+		sLen := s.Len()
 		for _, m := range max {
+			if m.Len() <= sLen {
+				// Kept sets are in descending order; once they are no larger
+				// than s, none of the remaining ones can strictly contain it.
+				break
+			}
 			if s.SubsetOf(m) {
 				dominated = true
 				break
@@ -73,8 +92,11 @@ func reduceToAntichain(sets []nodeset.Set) []nodeset.Set {
 			max = append(max, s)
 		}
 	}
-	// Canonical ascending order.
-	sort.SliceStable(max, func(i, j int) bool { return max[i].Compare(max[j]) < 0 })
+	// The kept sets are strictly descending; reverse in place for the
+	// canonical ascending order instead of sorting again.
+	for i, j := 0, len(max)-1; i < j; i, j = i+1, j-1 {
+		max[i], max[j] = max[j], max[i]
+	}
 	return max
 }
 
@@ -99,9 +121,9 @@ func (z Structure) NumMaximal() int { return len(z.maximal) }
 // Ground returns the union of all maximal sets: every node that appears in
 // some corruption set.
 func (z Structure) Ground() nodeset.Set {
-	g := nodeset.Empty()
+	var g nodeset.Set
 	for _, m := range z.maximal {
-		g = g.Union(m)
+		g.MutateUnion(m)
 	}
 	return g
 }
@@ -136,7 +158,7 @@ func (z Structure) Union(other Structure) Structure {
 	merged := make([]nodeset.Set, 0, len(z.maximal)+len(other.maximal))
 	merged = append(merged, z.maximal...)
 	merged = append(merged, other.maximal...)
-	return Structure{maximal: reduceToAntichain(merged)}
+	return Structure{maximal: reduceToAntichainOwned(merged)}
 }
 
 // WithSet returns z ∪ {s and all its subsets}.
@@ -150,7 +172,7 @@ func (z Structure) Restrict(a nodeset.Set) Structure {
 	for i, m := range z.maximal {
 		restricted[i] = m.Intersect(a)
 	}
-	return Structure{maximal: reduceToAntichain(restricted)}
+	return Structure{maximal: reduceToAntichainOwned(restricted)}
 }
 
 // RestrictTo returns the restriction as a Restricted value carrying its

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rmt/internal/adversary"
+	"rmt/internal/byzantine"
+	"rmt/internal/graph"
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+	"rmt/internal/view"
+)
+
+// requireSameRun asserts two results are observably identical at the
+// receiver: same decision, same decidedness, same round count.
+func requireSameRun(t *testing.T, label string, in *instance.Instance, memo, fresh *network.Result) {
+	t.Helper()
+	mv, mok := memo.DecisionOf(in.Receiver)
+	fv, fok := fresh.DecisionOf(in.Receiver)
+	if mv != fv || mok != fok || memo.Rounds != fresh.Rounds {
+		t.Fatalf("%s: memoized run (decision %q/%v, %d rounds) != fresh run (decision %q/%v, %d rounds)",
+			label, mv, mok, memo.Rounds, fv, fok, fresh.Rounds)
+	}
+}
+
+// TestReceiverMemoNeverChangesDecisions is the receiver-memoization
+// equivalence property: with Options.DisableMemo toggled, RMT-PKA must
+// produce identical decisions and round counts — across the full strategy
+// zoo on the protocol fixtures and across random instances under every
+// maximal silent corruption.
+func TestReceiverMemoNeverChangesDecisions(t *testing.T) {
+	fixtures := []struct {
+		name string
+		in   *instance.Instance
+	}{
+		{"triple-path", triplePath(t)},
+		{"weak-diamond", weakDiamond(t)},
+	}
+	for _, fx := range fixtures {
+		for _, m := range fx.in.MaximalCorruptions() {
+			for name := range Strategies(fx.in, m, "forged") {
+				// Strategies processes are stateful: build a fresh zoo per run.
+				memo, err := Run(fx.in, "real", Strategies(fx.in, m, "forged")[name], Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := Run(fx.in, "real", Strategies(fx.in, m, "forged")[name], Options{DisableMemo: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameRun(t, fx.name+"/"+name, fx.in, memo, fresh)
+			}
+		}
+	}
+}
+
+func TestReceiverMemoEquivalenceRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized memo-equivalence sweep")
+	}
+	r := rand.New(rand.NewSource(1606))
+	checked := 0
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + r.Intn(3)
+		g := graph.NewWithNodes(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Float64() < 0.5 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		d, rcv := 0, n-1
+		z := adversary.Random(r, g.Nodes().Minus(nodeset.Of(d, rcv)), 1+r.Intn(2), 0.4)
+		in, err := instance.New(g, z, view.AdHoc(g), d, rcv)
+		if err != nil {
+			continue
+		}
+		corruptions := append([]nodeset.Set{nodeset.Empty()}, in.MaximalCorruptions()...)
+		for _, m := range corruptions {
+			memo, err := Run(in, "real", byzantine.SilentProcesses(m), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := Run(in, "real", byzantine.SilentProcesses(m), Options{DisableMemo: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameRun(t, "random", in, memo, fresh)
+			checked++
+		}
+	}
+	if checked < 40 {
+		t.Fatalf("only %d runs compared", checked)
+	}
+}

@@ -18,13 +18,34 @@ type NodeInfo struct {
 	Node int
 	View *graph.Graph
 	Z    adversary.Restricted
+
+	// key memoizes VersionKey. NodeInfo travels by value through relays, so
+	// sealing the key once at construction (Sealed) removes the rendering
+	// from every later VersionKey call along the message's whole journey.
+	// Unsealed literals (e.g. forged claims in tests) fall back to rendering.
+	key string
 }
 
 // VersionKey canonically encodes the claim's content, so that two claims
 // about the same node are "the same first component" (Definition 4) iff
 // their keys match.
 func (ni NodeInfo) VersionKey() string {
+	if ni.key != "" {
+		return ni.key
+	}
+	return ni.renderVersionKey()
+}
+
+func (ni NodeInfo) renderVersionKey() string {
 	return fmt.Sprintf("%d|%s|%s", ni.Node, ni.View.String(), ni.Z.String())
+}
+
+// Sealed returns a copy of ni with its VersionKey precomputed.
+func (ni NodeInfo) Sealed() NodeInfo {
+	if ni.key == "" {
+		ni.key = ni.renderVersionKey()
+	}
+	return ni
 }
 
 // bitSize estimates the encoded size: node IDs at 16 bits, edges at 32,

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"rmt/internal/adversary"
 	"rmt/internal/byzantine"
 	"rmt/internal/graph"
 	"rmt/internal/instance"
@@ -25,7 +24,7 @@ func NewDealer(in *instance.Instance, xD network.Value) *Dealer {
 		Value:     xD,
 		id:        d,
 		neighbors: in.G.Neighbors(d),
-		info:      NodeInfo{Node: d, View: in.Gamma.Of(d), Z: in.LocalStructure(d)},
+		info:      NodeInfo{Node: d, View: in.Gamma.Of(d), Z: in.LocalStructure(d)}.Sealed(),
 	}
 }
 
@@ -66,7 +65,7 @@ func NewRelay(in *instance.Instance, id int) *Relay {
 // NewRelayAt builds a relay from explicit parameters, for reuse outside
 // full RMT instances (e.g. Byzantine topology discovery).
 func NewRelayAt(id int, neighbors nodeset.Set, info NodeInfo) *Relay {
-	return &Relay{id: id, neighbors: neighbors, info: info}
+	return &Relay{id: id, neighbors: neighbors, info: info.Sealed()}
 }
 
 // Init implements network.Process.
@@ -117,6 +116,7 @@ func NewProcesses(in *instance.Instance, xD network.Value, corrupt map[int]netwo
 		case in.Receiver:
 			rcv := NewReceiver(in)
 			rcv.horizon = opts.Horizon
+			rcv.nomemo = opts.DisableMemo
 			procs[v] = rcv
 		default:
 			rel := NewRelay(in, v)
@@ -148,6 +148,11 @@ type Options struct {
 	// no longer combination paths. Experiment E10 quantifies the
 	// message-complexity savings against the solvability loss.
 	Horizon int
+	// DisableMemo turns off the receiver's decision-subroutine memoization
+	// (claim-graph, path-set and cover-verdict caches). Decisions are
+	// identical either way — the flag exists for equivalence tests and as an
+	// escape hatch if memory is tighter than CPU.
+	DisableMemo bool
 }
 
 // Run executes RMT-PKA on the instance with dealer value xD and the given
@@ -186,18 +191,5 @@ func Resilient(in *instance.Instance) (bool, error) {
 // trueInfo returns the honest NodeInfo of a node, used by the receiver for
 // its own knowledge.
 func trueInfo(in *instance.Instance, v int) NodeInfo {
-	return NodeInfo{Node: v, View: in.Gamma.Of(v), Z: in.LocalStructure(v)}
-}
-
-// restrictedFromClaims rebuilds Z_B from the (possibly adversarial) claims
-// in a message set: the ⊕-fold of the claimed Z_v over v ∈ B.
-func restrictedFromClaims(claims map[int]NodeInfo, b nodeset.Set) adversary.Restricted {
-	acc := adversary.Identity()
-	b.ForEach(func(v int) bool {
-		if ni, ok := claims[v]; ok {
-			acc = adversary.Join(acc, ni.Z)
-		}
-		return true
-	})
-	return acc
+	return NodeInfo{Node: v, View: in.Gamma.Of(v), Z: in.LocalStructure(v)}.Sealed()
 }

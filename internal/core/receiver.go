@@ -2,7 +2,10 @@ package core
 
 import (
 	"sort"
+	"strconv"
+	"strings"
 
+	"rmt/internal/adversary"
 	"rmt/internal/graph"
 	"rmt/internal/instance"
 	"rmt/internal/network"
@@ -16,6 +19,31 @@ import (
 // anyway, matching the protocol's inherently super-polynomial local
 // computation (Section 5 of the paper).
 const maxSearchIDs = 22
+
+// Memoization bounds for the receiver's decision subroutine. Entries are
+// keyed by the exact claim versions of a candidate message set, so they
+// never need invalidation (a new claim version is a new key); the caps only
+// bound memory against adversaries that spray versions.
+const (
+	// maxMemoEntries caps the number of memoized candidate message sets.
+	maxMemoEntries = 1 << 14
+	// maxMemoPaths caps the stored D–R path keys per candidate; candidates
+	// with more paths keep their decision graph but re-stream enumeration.
+	maxMemoPaths = 2048
+)
+
+// candidateMemo caches the claim-version-determined parts of the full
+// message set rule for one candidate M: the decision graph G_M, its D–R
+// path set, and the adversary-cover verdict. Only fullness — membership of
+// each path in the growing type-1 store — depends on later messages, so it
+// is the only part re-evaluated per call.
+type candidateMemo struct {
+	gm       *graph.Graph // decision graph; nil if D or R missing from G_M
+	pathKeys []string     // keys of all D–R paths, unless overflowed
+	hasPath  bool
+	overflow bool // more than maxMemoPaths paths: re-stream instead
+	cover    int8 // 0 = not yet checked, 1 = has cover, 2 = no cover
+}
 
 // Receiver is RMT-PKA's receiver process. It accumulates both message
 // types and evaluates the decision subroutine after every round:
@@ -39,17 +67,43 @@ type Receiver struct {
 	value   network.Value
 	dirty   bool // new messages since the last search
 	horizon int  // Horizon-PKA bound on D–R path length in nodes; 0 = off
+
+	// Incrementally maintained search inputs (hoisted out of searchDecision).
+	values   []network.Value // distinct type-1 values, sorted
+	knownIDs []int           // claimed nodes plus r.id, sorted
+
+	// Decision-subroutine memoization (see candidateMemo).
+	verIdx     map[string]int // claim version key → dense intern index
+	memo       map[string]*candidateMemo
+	scratchIDs []int
+	nomemo     bool // Options.DisableMemo
 }
 
 // NewReceiver builds the receiver process for the instance.
 func NewReceiver(in *instance.Instance) *Receiver {
-	return &Receiver{
-		id:     in.Receiver,
-		dealer: in.Dealer,
-		type1:  make(map[network.Value]map[string]graph.Path),
-		type2:  make(map[int]map[string]NodeInfo),
-		own:    trueInfo(in, in.Receiver),
+	r := &Receiver{
+		id:       in.Receiver,
+		dealer:   in.Dealer,
+		type1:    make(map[network.Value]map[string]graph.Path),
+		type2:    make(map[int]map[string]NodeInfo),
+		own:      trueInfo(in, in.Receiver),
+		knownIDs: []int{in.Receiver},
+		verIdx:   make(map[string]int),
+		memo:     make(map[string]*candidateMemo),
 	}
+	r.internVersion(r.own.VersionKey())
+	return r
+}
+
+// internVersion assigns a dense index to a claim version key, for compact
+// candidate memo keys.
+func (r *Receiver) internVersion(k string) int {
+	if idx, ok := r.verIdx[k]; ok {
+		return idx
+	}
+	idx := len(r.verIdx)
+	r.verIdx[k] = idx
+	return idx
 }
 
 // Init implements network.Process: R announces nothing (Protocol 1 gives R
@@ -103,6 +157,7 @@ func (r *Receiver) ingest(m network.Message) {
 		if !ok {
 			byPath = make(map[string]graph.Path)
 			r.type1[msg.X] = byPath
+			r.values = insertSortedValue(r.values, msg.X)
 		}
 		// The trail ends at the sender; the D–R path it witnesses is the
 		// trail extended by R itself, which is what fullness matches on.
@@ -117,10 +172,18 @@ func (r *Receiver) ingest(m network.Message) {
 		if !ok {
 			byVersion = make(map[string]NodeInfo)
 			r.type2[msg.Info.Node] = byVersion
+			if msg.Info.Node != r.id {
+				r.knownIDs = insertSortedInt(r.knownIDs, msg.Info.Node)
+			}
 		}
 		k := msg.Info.VersionKey()
 		if _, dup := byVersion[k]; !dup {
-			byVersion[k] = msg.Info
+			// Seal the stored copy so every later VersionKey call — claim
+			// combos, candidate memo keys — reuses the rendered string.
+			ni := msg.Info
+			ni.key = k
+			byVersion[k] = ni
+			r.internVersion(k)
 			r.dirty = true
 		}
 	}
@@ -136,12 +199,12 @@ func (r *Receiver) searchDecision() (network.Value, bool) {
 	if _, haveDealer := r.type2[r.dealer]; !haveDealer {
 		return "", false // G_M cannot contain D–R paths without D's info
 	}
-	values := r.sortedValues()
+	values := r.values
 	if len(values) == 0 {
 		return "", false
 	}
 
-	ids := r.sortedKnownIDs()
+	ids := r.knownIDs
 	// Canonical candidate: all known nodes, when every claim is
 	// uncontested (one version per node).
 	if claims, ok := r.uncontestedClaims(ids); ok {
@@ -187,26 +250,28 @@ func (r *Receiver) searchDecision() (network.Value, bool) {
 	return "", false
 }
 
-func (r *Receiver) sortedValues() []network.Value {
-	vals := make([]network.Value, 0, len(r.type1))
-	for x := range r.type1 {
-		vals = append(vals, x)
+// insertSortedValue inserts x into sorted vals if absent (callers only call
+// it for new values, but the guard keeps it idempotent).
+func insertSortedValue(vals []network.Value, x network.Value) []network.Value {
+	i := sort.Search(len(vals), func(i int) bool { return vals[i] >= x })
+	if i < len(vals) && vals[i] == x {
+		return vals
 	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	vals = append(vals, "")
+	copy(vals[i+1:], vals[i:])
+	vals[i] = x
 	return vals
 }
 
-// sortedKnownIDs lists every node R has information about: claimed nodes
-// plus itself.
-func (r *Receiver) sortedKnownIDs() []int {
-	ids := make([]int, 0, len(r.type2)+1)
-	for id := range r.type2 {
-		if id != r.id {
-			ids = append(ids, id)
-		}
+// insertSortedInt inserts id into sorted ids if absent.
+func insertSortedInt(ids []int, id int) []int {
+	i := sort.SearchInts(ids, id)
+	if i < len(ids) && ids[i] == id {
+		return ids
 	}
-	ids = append(ids, r.id)
-	sort.Ints(ids)
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
 	return ids
 }
 
@@ -256,23 +321,60 @@ func (r *Receiver) claimVersions(members []int) map[int][]NodeInfo {
 // fullAndUncovered checks Definitions 5 and 6 for the candidate M given by
 // the claims and the value x: every D–R path of G_M must have been received
 // as a type-1 message carrying x, and no adversary cover may exist.
+//
+// G_M, its D–R path set, and the cover verdict are functions of the exact
+// claim versions alone, so they are memoized per candidate (candidateMemo)
+// and shared across rounds and values of x; only fullness — a membership
+// test against the growing type-1 store — is re-evaluated each call.
 func (r *Receiver) fullAndUncovered(claims map[int]NodeInfo, x network.Value) bool {
-	gm := graphOfClaims(claims)
-	if !gm.HasNode(r.dealer) || !gm.HasNode(r.id) {
+	if r.nomemo {
+		return r.fullAndUncoveredFresh(claims, x)
+	}
+	e := r.candidate(claims)
+	if e == nil { // memo at capacity: compute without caching
+		return r.fullAndUncoveredFresh(claims, x)
+	}
+	if e.gm == nil || !e.hasPath {
+		// With no D–R path the empty set is an adversary cover, so a
+		// pathless M never certifies.
 		return false
 	}
-	if r.horizon > 0 {
-		// Horizon-PKA: evaluate the rule on the subgraph of G_M spanned by
-		// D–R paths of at most Horizon nodes. The Theorem 4 safety
-		// argument is parametric in this graph; fullness below still
-		// quantifies over ALL its D–R paths, so combination paths longer
-		// than the horizon (which relays never deliver) block decisions
-		// rather than weaken safety.
-		span := gm.BoundedPathSpan(r.dealer, r.id, r.horizon)
-		gm = gm.InducedSubgraph(span)
-		if !gm.HasNode(r.dealer) || !gm.HasNode(r.id) {
+	received := r.type1[x]
+	if e.overflow {
+		full := true
+		e.gm.AllPaths(r.dealer, r.id, nodeset.Empty(), func(p graph.Path) bool {
+			if _, ok := received[pathKey(p)]; !ok {
+				full = false
+				return false
+			}
+			return true
+		})
+		if !full {
 			return false
 		}
+	} else {
+		for _, k := range e.pathKeys {
+			if _, ok := received[k]; !ok {
+				return false
+			}
+		}
+	}
+	if e.cover == 0 {
+		if hasAdversaryCover(e.gm, claims, r.dealer, r.id) {
+			e.cover = 1
+		} else {
+			e.cover = 2
+		}
+	}
+	return e.cover == 2
+}
+
+// fullAndUncoveredFresh is the memo-free evaluation (DisableMemo, or memo
+// at capacity).
+func (r *Receiver) fullAndUncoveredFresh(claims map[int]NodeInfo, x network.Value) bool {
+	gm := r.decisionGraph(claims)
+	if gm == nil {
+		return false
 	}
 	received := r.type1[x]
 	full := true
@@ -286,11 +388,82 @@ func (r *Receiver) fullAndUncovered(claims map[int]NodeInfo, x network.Value) bo
 		return true
 	})
 	if !full || !hasPath {
-		// With no D–R path the empty set is an adversary cover, so a
-		// pathless M never certifies.
 		return false
 	}
 	return !hasAdversaryCover(gm, claims, r.dealer, r.id)
+}
+
+// decisionGraph builds the graph the full-set rule is evaluated on: G_M,
+// restricted to the horizon span under Horizon-PKA. It returns nil when D
+// or R is missing (no candidate can certify).
+func (r *Receiver) decisionGraph(claims map[int]NodeInfo) *graph.Graph {
+	gm := graphOfClaims(claims)
+	if !gm.HasNode(r.dealer) || !gm.HasNode(r.id) {
+		return nil
+	}
+	if r.horizon > 0 {
+		// Horizon-PKA: evaluate the rule on the subgraph of G_M spanned by
+		// D–R paths of at most Horizon nodes. The Theorem 4 safety
+		// argument is parametric in this graph; fullness still quantifies
+		// over ALL its D–R paths, so combination paths longer than the
+		// horizon (which relays never deliver) block decisions rather than
+		// weaken safety.
+		span := gm.BoundedPathSpan(r.dealer, r.id, r.horizon)
+		gm = gm.InducedSubgraph(span)
+		if !gm.HasNode(r.dealer) || !gm.HasNode(r.id) {
+			return nil
+		}
+	}
+	return gm
+}
+
+// claimsKey canonically encodes a candidate's exact claim versions using the
+// interned version indices: "node:version;" per member in increasing node
+// order.
+func (r *Receiver) claimsKey(claims map[int]NodeInfo) string {
+	ids := r.scratchIDs[:0]
+	for id := range claims {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	r.scratchIDs = ids
+	var b strings.Builder
+	b.Grow(len(ids) * 8)
+	for _, id := range ids {
+		b.WriteString(strconv.Itoa(id))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(r.internVersion(claims[id].VersionKey())))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// candidate returns the memo entry for the claims, building it on first
+// encounter. It returns nil when the memo is at capacity and the candidate
+// is unknown.
+func (r *Receiver) candidate(claims map[int]NodeInfo) *candidateMemo {
+	k := r.claimsKey(claims)
+	if e, ok := r.memo[k]; ok {
+		return e
+	}
+	if len(r.memo) >= maxMemoEntries {
+		return nil
+	}
+	e := &candidateMemo{gm: r.decisionGraph(claims)}
+	if e.gm != nil {
+		e.gm.AllPaths(r.dealer, r.id, nodeset.Empty(), func(p graph.Path) bool {
+			e.hasPath = true
+			if len(e.pathKeys) >= maxMemoPaths {
+				e.overflow = true
+				e.pathKeys = nil
+				return false
+			}
+			e.pathKeys = append(e.pathKeys, pathKey(p))
+			return true
+		})
+	}
+	r.memo[k] = e
+	return e
 }
 
 // graphOfClaims builds G_M: the union of the claimed views γ(V_M), induced
@@ -314,18 +487,25 @@ func graphOfClaims(claims map[int]NodeInfo) *graph.Graph {
 // γ(B) and Z_B are computed from the claims in M. Minimal cuts C = N(B)
 // per receiver-side candidate B are sufficient (the membership condition is
 // monotone-decreasing in C).
+//
+// The enumeration grows candidates B one node at a time, so both ⊕-folds
+// Z_B and view-node unions V(γ(B)) are computed through semilattice caches:
+// each candidate pays one ⊕ and one union on top of its parent's fold.
 func hasAdversaryCover(gm *graph.Graph, claims map[int]NodeInfo, dealer, receiver int) bool {
+	joints := adversary.NewJoinCacheFunc(func(v int) (adversary.Restricted, bool) {
+		ni, ok := claims[v]
+		return ni.Z, ok
+	})
+	views := nodeset.NewUnionCache(func(v int) nodeset.Set {
+		if ni, ok := claims[v]; ok {
+			return ni.View.Nodes()
+		}
+		return nodeset.Empty()
+	})
 	covered := false
 	gm.ReceiverSideCandidates(dealer, receiver, func(b, cut nodeset.Set) bool {
-		vgb := nodeset.Empty()
-		b.ForEach(func(v int) bool {
-			if ni, ok := claims[v]; ok {
-				vgb = vgb.Union(ni.View.Nodes())
-			}
-			return true
-		})
-		zb := restrictedFromClaims(claims, b)
-		if zb.Contains(cut.Intersect(vgb)) {
+		zb := joints.JointOf(b)
+		if zb.Contains(cut.Intersect(views.Of(b))) {
 			covered = true
 			return false
 		}

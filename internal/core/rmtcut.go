@@ -60,7 +60,7 @@ func FindRMTCutBounded(in *instance.Instance, maxCandidates int) (witness RMTCut
 			return false
 		}
 		inspected++
-		vgb := in.Gamma.Joint(b).Nodes()
+		vgb := in.JointViewNodes(b)
 		zb := in.JointStructure(b)
 		for _, m := range in.Z.Maximal() {
 			c2 := cut.Minus(m)

@@ -39,7 +39,7 @@ func VerifyRMTCut(in *instance.Instance, cut RMTCut) error {
 	if !in.Z.Contains(cut.C1) {
 		return fmt.Errorf("core: C1 %v is not admissible", cut.C1)
 	}
-	vgb := in.Gamma.Joint(cut.B).Nodes()
+	vgb := in.JointViewNodes(cut.B)
 	zb := in.JointStructure(cut.B)
 	if part := cut.C2.Intersect(vgb); !zb.Contains(part) {
 		return fmt.Errorf("core: C2 ∩ V(γ(B)) = %v is not in Z_B", part)

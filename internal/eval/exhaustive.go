@@ -36,48 +36,57 @@ func E13Exhaustive(p Params) *Table {
 		{"both-relays", adversary.FromSets(relays)},
 	}
 	pairs := allEdgePairs(n)
-	for _, s := range structures {
-		for _, k := range []gen.Knowledge{gen.AdHoc, gen.FullKnowledge} {
-			var total, solvable, pkaMis, zcpaMis int
-			for mask := 0; mask < 1<<len(pairs); mask++ {
-				g := graph.NewWithNodes(n)
-				for i, e := range pairs {
-					if mask&(1<<i) != 0 {
-						g.AddEdge(e[0], e[1])
-					}
+	knowledges := []gen.Knowledge{gen.AdHoc, gen.FullKnowledge}
+	// The 8 (structure, knowledge) cells are independent deterministic sweeps;
+	// fan them across the pool and emit rows in cell-index order.
+	type cell struct{ total, solvable, pkaMis, zcpaMis int }
+	cells := parallelMap(len(structures)*len(knowledges), p.withDefaults().workers(), func(i int) cell {
+		s := structures[i/len(knowledges)]
+		k := knowledges[i%len(knowledges)]
+		var c cell
+		for mask := 0; mask < 1<<len(pairs); mask++ {
+			g := graph.NewWithNodes(n)
+			for j, e := range pairs {
+				if mask&(1<<j) != 0 {
+					g.AddEdge(e[0], e[1])
 				}
-				in, err := instance.New(g, s.z, k.View(g), dealer, receiver)
-				if err != nil {
-					continue
-				}
-				total++
-				cutFree := core.Solvable(in)
-				ok, err := core.Resilient(in)
+			}
+			in, err := instance.New(g, s.z, k.View(g), dealer, receiver)
+			if err != nil {
+				continue
+			}
+			c.total++
+			cutFree := core.Solvable(in)
+			ok, err := core.Resilient(in)
+			if err != nil {
+				panic(err)
+			}
+			if cutFree != ok {
+				c.pkaMis++
+			}
+			if cutFree {
+				c.solvable++
+			}
+			if k == gen.AdHoc {
+				zOK, err := zcpa.Resilient(in)
 				if err != nil {
 					panic(err)
 				}
-				if cutFree != ok {
-					pkaMis++
-				}
-				if cutFree {
-					solvable++
-				}
-				if k == gen.AdHoc {
-					zOK, err := zcpa.Resilient(in)
-					if err != nil {
-						panic(err)
-					}
-					if zcpa.Solvable(in) != zOK {
-						zcpaMis++
-					}
+				if zcpa.Solvable(in) != zOK {
+					c.zcpaMis++
 				}
 			}
-			zcpaCell := fmt.Sprint(zcpaMis)
-			if k != gen.AdHoc {
-				zcpaCell = "-"
-			}
-			t.AddRow(s.name, k.String(), total, solvable, pkaMis, zcpaCell)
 		}
+		return c
+	})
+	for i, c := range cells {
+		s := structures[i/len(knowledges)]
+		k := knowledges[i%len(knowledges)]
+		zcpaCell := fmt.Sprint(c.zcpaMis)
+		if k != gen.AdHoc {
+			zcpaCell = "-"
+		}
+		t.AddRow(s.name, k.String(), c.total, c.solvable, c.pkaMis, zcpaCell)
 	}
 	t.Notes = append(t.Notes,
 		"every labeled 4-node graph (64 edge subsets) is checked — zero mismatches expected",

@@ -17,6 +17,10 @@ import (
 type Params struct {
 	Seed   int64
 	Trials int // random trials per configuration
+	// Workers bounds the harness's worker pool; 0 uses one worker per
+	// logical CPU. Tables are byte-identical at every worker count for a
+	// fixed seed (see parallel.go).
+	Workers int
 }
 
 func (p Params) withDefaults() Params {
@@ -54,35 +58,35 @@ func RunAll(p Params) []*Table {
 // Corollary 2) on random structures, counting violations (all must be 0).
 func E1JoinAlgebra(p Params) *Table {
 	p = p.withDefaults()
-	r := rand.New(rand.NewSource(p.Seed))
 	t := &Table{
 		ID:      "E1",
 		Title:   "⊕ join-view algebra (Thms 1, 11, 13, 14; Cor 2)",
 		Columns: []string{"property", "trials", "violations"},
 	}
-	draw := func() adversary.Restricted {
-		n := 3 + r.Intn(6)
-		u := nodeset.Universe(n + 2)
-		dom := nodeset.Empty()
-		u.ForEach(func(v int) bool {
-			if r.Intn(2) == 0 {
-				dom = dom.Add(v)
-			}
-			return true
-		})
-		return adversary.Restricted{Domain: dom, Structure: adversary.Random(r, dom, 1+r.Intn(4), 0.4)}
-	}
-	var commut, assoc, idem, maximal int
-	for i := 0; i < p.Trials; i++ {
+	type violations struct{ commut, assoc, idem, maximal int }
+	results := runTrials(p, 1, func(r *rand.Rand, _ int) violations {
+		draw := func() adversary.Restricted {
+			n := 3 + r.Intn(6)
+			u := nodeset.Universe(n + 2)
+			dom := nodeset.Empty()
+			u.ForEach(func(v int) bool {
+				if r.Intn(2) == 0 {
+					dom = dom.Add(v)
+				}
+				return true
+			})
+			return adversary.Restricted{Domain: dom, Structure: adversary.Random(r, dom, 1+r.Intn(4), 0.4)}
+		}
+		var out violations
 		a, b, c := draw(), draw(), draw()
 		if !adversary.Join(a, b).Equal(adversary.Join(b, a)) {
-			commut++
+			out.commut++
 		}
 		if !adversary.Join(adversary.Join(a, b), c).Equal(adversary.Join(a, adversary.Join(b, c))) {
-			assoc++
+			out.assoc++
 		}
 		if !adversary.Join(a, a).Equal(a) {
-			idem++
+			out.idem++
 		}
 		// Corollary 2 on restrictions of one real structure.
 		u := nodeset.Universe(8)
@@ -90,8 +94,16 @@ func E1JoinAlgebra(p Params) *Table {
 		da, db := randomSubset(r, u), randomSubset(r, u)
 		j := adversary.Join(z.RestrictTo(da), z.RestrictTo(db))
 		if !z.Restrict(da.Union(db)).SubfamilyOf(j.Structure) {
-			maximal++
+			out.maximal++
 		}
+		return out
+	})
+	var commut, assoc, idem, maximal int
+	for _, v := range results {
+		commut += v.commut
+		assoc += v.assoc
+		idem += v.idem
+		maximal += v.maximal
 	}
 	t.AddRow("commutativity (Thm 11)", p.Trials, commut)
 	t.AddRow("associativity (Thm 13)", p.Trials, assoc)
@@ -116,38 +128,53 @@ func randomSubset(r *rand.Rand, u nodeset.Set) nodeset.Set {
 // equal RMT-PKA failure, per knowledge level, over random instances.
 func E2PKATightness(p Params) *Table {
 	p = p.withDefaults()
-	r := rand.New(rand.NewSource(p.Seed + 2))
 	t := &Table{
 		ID:      "E2",
 		Title:   "RMT-cut ⇔ RMT-PKA failure (Thms 3 & 5 tightness)",
 		Columns: []string{"knowledge", "instances", "solvable", "unsolvable", "mismatches"},
 	}
-	for _, k := range []gen.Knowledge{gen.AdHoc, gen.Radius2, gen.FullKnowledge} {
-		var solvable, unsolvable, mismatches, total int
-		for total < p.Trials {
-			in, err := gen.RandomInstance(r, 4+r.Intn(3), 0.5, 1+r.Intn(2), 0.4, k)
-			if err != nil {
-				continue
-			}
-			total++
+	type verdict struct{ solvable, mismatch bool }
+	for ki, k := range []gen.Knowledge{gen.AdHoc, gen.Radius2, gen.FullKnowledge} {
+		k := k
+		results := runTrials(p, 200+ki, func(r *rand.Rand, _ int) verdict {
+			in := drawInstance(r, func(r *rand.Rand) (*instance.Instance, error) {
+				return gen.RandomInstance(r, 4+r.Intn(3), 0.5, 1+r.Intn(2), 0.4, k)
+			})
 			cutFree := core.Solvable(in)
 			ok, err := core.Resilient(in)
 			if err != nil {
 				panic(err)
 			}
-			if cutFree != ok {
+			return verdict{solvable: cutFree, mismatch: cutFree != ok}
+		})
+		var solvable, unsolvable, mismatches int
+		for _, v := range results {
+			if v.mismatch {
 				mismatches++
 			}
-			if cutFree {
+			if v.solvable {
 				solvable++
 			} else {
 				unsolvable++
 			}
 		}
-		t.AddRow(k.String(), total, solvable, unsolvable, mismatches)
+		t.AddRow(k.String(), len(results), solvable, unsolvable, mismatches)
 	}
 	t.Notes = append(t.Notes, "expected: 0 mismatches — the condition is tight at every knowledge level")
 	return t
+}
+
+// drawInstance retries a random-instance generator until it produces a valid
+// instance. Retrying inside the trial (instead of skipping the trial, as the
+// sequential harness did) keeps each trial self-contained so trials can run
+// on any worker without sharing RNG state.
+func drawInstance(r *rand.Rand, mk func(r *rand.Rand) (*instance.Instance, error)) *instance.Instance {
+	for {
+		in, err := mk(r)
+		if err == nil {
+			return in
+		}
+	}
 }
 
 // E3Safety runs the full Byzantine strategy zoo against RMT-PKA and counts
@@ -234,35 +261,37 @@ func safetyFixtures() []fixture {
 // RMT Z-pp cut existence must equal Z-CPA failure.
 func E4ZCPATightness(p Params) *Table {
 	p = p.withDefaults()
-	r := rand.New(rand.NewSource(p.Seed + 4))
 	t := &Table{
 		ID:      "E4",
 		Title:   "RMT Z-pp cut ⇔ Z-CPA failure (Thms 7 & 8 tightness, ad hoc)",
 		Columns: []string{"n", "instances", "solvable", "unsolvable", "mismatches"},
 	}
+	type verdict struct{ solvable, mismatch bool }
 	for _, n := range []int{4, 5, 6, 7} {
-		var solvable, unsolvable, mismatches, total int
-		for total < p.Trials {
-			in, err := gen.RandomInstance(r, n, 0.5, 1+r.Intn(3), 0.4, gen.AdHoc)
-			if err != nil {
-				continue
-			}
-			total++
+		n := n
+		results := runTrials(p, 400+n, func(r *rand.Rand, _ int) verdict {
+			in := drawInstance(r, func(r *rand.Rand) (*instance.Instance, error) {
+				return gen.RandomInstance(r, n, 0.5, 1+r.Intn(3), 0.4, gen.AdHoc)
+			})
 			cutFree := zcpa.Solvable(in)
 			ok, err := zcpa.Resilient(in)
 			if err != nil {
 				panic(err)
 			}
-			if cutFree != ok {
+			return verdict{solvable: cutFree, mismatch: cutFree != ok}
+		})
+		var solvable, unsolvable, mismatches int
+		for _, v := range results {
+			if v.mismatch {
 				mismatches++
 			}
-			if cutFree {
+			if v.solvable {
 				solvable++
 			} else {
 				unsolvable++
 			}
 		}
-		t.AddRow(n, total, solvable, unsolvable, mismatches)
+		t.AddRow(n, len(results), solvable, unsolvable, mismatches)
 	}
 	t.Notes = append(t.Notes, "expected: 0 mismatches")
 	return t
@@ -274,7 +303,6 @@ func E4ZCPATightness(p Params) *Table {
 // consequences).
 func E5KnowledgeSweep(p Params) *Table {
 	p = p.withDefaults()
-	r := rand.New(rand.NewSource(p.Seed + 5))
 	t := &Table{
 		ID:      "E5",
 		Title:   "solvability by knowledge level (uniqueness / Cor 6)",
@@ -287,16 +315,17 @@ func E5KnowledgeSweep(p Params) *Table {
 		{"chimera(k=2)", func() []*instance.Instance { return chimeraInstances(2) }},
 		{"chimera(k=3)", func() []*instance.Instance { return chimeraInstances(3) }},
 		{"chimera(k=4)", func() []*instance.Instance { return chimeraInstances(4) }},
-		{"random(n=6)", func() []*instance.Instance { return randomPerLevel(r, 6, p.Trials/3) }},
+		{"random(n=6)", func() []*instance.Instance { return randomPerLevel(p, 6, p.Trials/3) }},
 	}
 	for _, fam := range families {
 		ins := fam.instances()
 		counts := make([]int, len(gen.Levels()))
 		monotone := true
 		perInstance := len(ins) / len(gen.Levels())
-		for i, in := range ins {
+		solv := parallelMap(len(ins), p.workers(), func(i int) bool { return core.Solvable(ins[i]) })
+		for i := range ins {
 			level := i % len(gen.Levels())
-			if core.Solvable(in) {
+			if solv[i] {
 				counts[level]++
 			}
 		}
@@ -332,18 +361,24 @@ func chimeraInstances(k int) []*instance.Instance {
 	return out
 }
 
-func randomPerLevel(r *rand.Rand, n, trials int) []*instance.Instance {
-	var out []*instance.Instance
-	for t := 0; t < trials; t++ {
+func randomPerLevel(p Params, n, trials int) []*instance.Instance {
+	perTrial := parallelMap(trials, p.workers(), func(t int) []*instance.Instance {
+		r := rand.New(rand.NewSource(trialSeed(p.Seed, 500, t)))
 		g := gen.RandomGNP(r, n, 0.5)
 		z := adversary.Random(r, g.Nodes().Minus(nodeset.Of(0, n-1)), 2, 0.35)
+		batch := make([]*instance.Instance, 0, len(gen.Levels()))
 		for _, lvl := range gen.Levels() {
 			in, err := gen.Build(g, z, lvl, 0, n-1)
 			if err != nil {
 				panic(err)
 			}
-			out = append(out, in)
+			batch = append(batch, in)
 		}
+		return batch
+	})
+	var out []*instance.Instance
+	for _, batch := range perTrial {
+		out = append(out, batch...)
 	}
 	return out
 }

@@ -9,6 +9,7 @@ import (
 	"rmt/internal/core"
 	"rmt/internal/gen"
 	"rmt/internal/graph"
+	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
 	"rmt/internal/ppa"
@@ -29,27 +30,27 @@ func radiusView(g *graph.Graph, radius int) view.Function {
 // number of simulated e_0^l/e_1^l run pairs.
 func E7DecisionProtocol(p Params) *Table {
 	p = p.withDefaults()
-	r := rand.New(rand.NewSource(p.Seed + 7))
 	t := &Table{
 		ID:      "E7",
 		Title:   "Decision Protocol ≡ direct membership check (Thm 9 / Cor 10)",
 		Columns: []string{"attack", "runs", "agree", "disagree", "simulated Π pairs"},
 	}
+	attacks := []string{"honest", "silent", "wrong-value"}
 	type counter struct {
 		runs, agree, pairs int
 	}
-	counters := map[string]*counter{"silent": {}, "wrong-value": {}, "honest": {}}
-	for trial := 0; trial < p.Trials; trial++ {
-		in, err := gen.RandomInstance(r, 4+r.Intn(4), 0.5, 1+r.Intn(3), 0.4, gen.AdHoc)
-		if err != nil {
-			continue
-		}
+	results := runTrials(p, 700, func(r *rand.Rand, _ int) map[string]counter {
+		in := drawInstance(r, func(r *rand.Rand) (*instance.Instance, error) {
+			return gen.RandomInstance(r, 4+r.Intn(4), 0.5, 1+r.Intn(3), 0.4, gen.AdHoc)
+		})
+		counters := map[string]counter{}
 		corruptions := in.MaximalCorruptions()
-		for _, attack := range []string{"honest", "silent", "wrong-value"} {
+		for _, attack := range attacks {
 			sets := corruptions
 			if attack == "honest" {
 				sets = []nodeset.Set{nodeset.Empty()}
 			}
+			c := counters[attack]
 			for _, tset := range sets {
 				mk := func() map[int]network.Process {
 					switch attack {
@@ -70,7 +71,6 @@ func E7DecisionProtocol(p Params) *Table {
 				if err != nil {
 					panic(err)
 				}
-				c := counters[attack]
 				c.runs++
 				c.pairs += pi.SimulatedRuns / 2
 				dv, dok := direct.DecisionOf(in.Receiver)
@@ -79,10 +79,17 @@ func E7DecisionProtocol(p Params) *Table {
 					c.agree++
 				}
 			}
+			counters[attack] = c
 		}
-	}
-	for _, attack := range []string{"honest", "silent", "wrong-value"} {
-		c := counters[attack]
+		return counters
+	})
+	for _, attack := range attacks {
+		var c counter
+		for _, m := range results {
+			c.runs += m[attack].runs
+			c.agree += m[attack].agree
+			c.pairs += m[attack].pairs
+		}
 		t.AddRow(attack, c.runs, c.agree, c.runs-c.agree, c.pairs)
 	}
 	t.Notes = append(t.Notes, "expected: disagree = 0 — the Π-simulation scheme loses nothing")

@@ -23,37 +23,44 @@ import (
 // resilience of 𝒵-CPA broadcast over all admissible corruption sets.
 func E9BroadcastTightness(p Params) *Table {
 	p = p.withDefaults()
-	r := rand.New(rand.NewSource(p.Seed + 9))
 	t := &Table{
 		ID:      "E9",
 		Title:   "broadcast Z-pp cut ⇔ Z-CPA broadcast failure (Def 10, [13])",
 		Columns: []string{"n", "instances", "solvable", "unsolvable", "mismatches"},
 	}
+	type verdict struct{ solvable, mismatch bool }
 	for _, n := range []int{4, 5, 6} {
-		var solvable, unsolvable, mismatches, total int
-		for total < p.Trials {
-			g := gen.RandomGNP(r, n, 0.5)
-			z := adversary.Random(r, g.Nodes().Remove(0), 1+r.Intn(2), 0.35)
-			in, err := broadcast.New(g, z, 0)
-			if err != nil {
-				continue
+		n := n
+		results := runTrials(p, 900+n, func(r *rand.Rand, _ int) verdict {
+			var in *broadcast.Instance
+			for {
+				g := gen.RandomGNP(r, n, 0.5)
+				z := adversary.Random(r, g.Nodes().Remove(0), 1+r.Intn(2), 0.35)
+				b, err := broadcast.New(g, z, 0)
+				if err == nil {
+					in = b
+					break
+				}
 			}
-			total++
 			cutFree := broadcast.Solvable(in)
 			ok, err := broadcast.Resilient(in)
 			if err != nil {
 				panic(err)
 			}
-			if cutFree != ok {
+			return verdict{solvable: cutFree, mismatch: cutFree != ok}
+		})
+		var solvable, unsolvable, mismatches int
+		for _, v := range results {
+			if v.mismatch {
 				mismatches++
 			}
-			if cutFree {
+			if v.solvable {
 				solvable++
 			} else {
 				unsolvable++
 			}
 		}
-		t.AddRow(n, total, solvable, unsolvable, mismatches)
+		t.AddRow(n, len(results), solvable, unsolvable, mismatches)
 	}
 	t.Notes = append(t.Notes,
 		"expected: 0 mismatches",
@@ -199,24 +206,27 @@ func joinBrute(e, f adversary.Restricted) adversary.Restricted {
 // topology the observer confirms and what gets flagged.
 func E12Discovery(p Params) *Table {
 	p = p.withDefaults()
-	r := rand.New(rand.NewSource(p.Seed + 12))
 	t := &Table{
 		ID:      "E12",
 		Title:   "Byzantine topology discovery (conclusions: ⊕ beyond RMT)",
 		Columns: []string{"strategy", "runs", "honest edges confirmed", "fake edges accepted", "contested flagged"},
 	}
 	type counter struct{ runs, confirmed, confirmable, fake, contested int }
-	counters := map[string]*counter{"honest": {}, "silent": {}, "fake-edge": {}, "split-brain": {}}
 	order := []string{"honest", "silent", "fake-edge", "split-brain"}
-	for trial := 0; trial < p.Trials; trial++ {
-		n := 5 + r.Intn(3)
-		g := gen.RandomGNP(r, n, 0.5)
-		if !g.ComponentOf(0).Equal(g.Nodes()) {
-			continue
+	results := runTrials(p, 1200, func(r *rand.Rand, _ int) map[string]counter {
+		var g *graph.Graph
+		var n int
+		for {
+			n = 5 + r.Intn(3)
+			g = gen.RandomGNP(r, n, 0.5)
+			if g.ComponentOf(0).Equal(g.Nodes()) {
+				break
+			}
 		}
 		corruptNode := 1 + r.Intn(n-1)
 		z := adversary.FromSets(nodeset.Of(corruptNode))
 		gamma := view.AdHoc(g)
+		counters := map[string]counter{}
 		for _, strat := range order {
 			var corrupt map[int]network.Process
 			fakeU, fakeV := pickNonEdge(r, g, corruptNode)
@@ -262,10 +272,20 @@ func E12Discovery(p Params) *Table {
 				}
 			}
 			c.contested += res.Contested.Len()
+			counters[strat] = c
 		}
-	}
+		return counters
+	})
 	for _, strat := range order {
-		c := counters[strat]
+		var c counter
+		for _, m := range results {
+			s := m[strat]
+			c.runs += s.runs
+			c.confirmed += s.confirmed
+			c.confirmable += s.confirmable
+			c.fake += s.fake
+			c.contested += s.contested
+		}
 		t.AddRow(strat, c.runs, fmt.Sprintf("%d/%d", c.confirmed, c.confirmable), c.fake, c.contested)
 	}
 	t.Notes = append(t.Notes,

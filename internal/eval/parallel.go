@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the harness's worker pool. Experiments fan their independent
+// trials across workers with parallelMap/runTrials; determinism is preserved
+// by construction:
+//
+//   - every trial draws from its own rand.Rand, seeded by trialSeed(seed,
+//     stream, trial) — no RNG is shared between trials, so scheduling cannot
+//     reorder draws;
+//   - results are written to the trial's own slice slot and aggregated in
+//     trial order after the pool drains.
+//
+// Tables therefore render byte-identical for a fixed seed at every worker
+// count, including Workers=1 (asserted by TestParallelTablesDeterministic).
+
+// workers resolves Params.Workers: 0 means one worker per logical CPU.
+func (p Params) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// trialSeed derives the RNG seed for one trial of one experiment stream,
+// decorrelating (seed, stream, trial) triples with a splitmix64 finalizer.
+func trialSeed(seed int64, stream, trial int) int64 {
+	x := uint64(seed)
+	x += 0x9e3779b97f4a7c15 * uint64(stream+1)
+	x += 0xd1b54a32d192ed03 * uint64(trial+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x >> 1) // non-negative
+}
+
+// parallelMap computes fn(0..n-1) across at most `workers` goroutines and
+// returns the results in index order. fn must be safe for concurrent calls;
+// with workers ≤ 1 everything runs on the calling goroutine.
+func parallelMap[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runTrials runs p.Trials independent trials of one experiment stream on
+// the worker pool, handing each trial its own deterministically seeded RNG.
+func runTrials[T any](p Params, stream int, fn func(r *rand.Rand, trial int) T) []T {
+	return parallelMap(p.Trials, p.workers(), func(i int) T {
+		return fn(rand.New(rand.NewSource(trialSeed(p.Seed, stream, i))), i)
+	})
+}

@@ -27,12 +27,13 @@ func (g *Graph) Separates(cut nodeset.Set, src, dst int) bool {
 // Boundary returns N(B) = the set of nodes outside B adjacent to some node
 // of B.
 func (g *Graph) Boundary(b nodeset.Set) nodeset.Set {
-	out := nodeset.Empty()
+	var out nodeset.Set
 	b.ForEach(func(v int) bool {
-		out = out.Union(g.Neighbors(v))
+		out.MutateUnion(g.Neighbors(v))
 		return true
 	})
-	return out.Minus(b)
+	out.MutateMinus(b)
+	return out
 }
 
 // ConnectedSets enumerates every connected node set B of g with start ∈ B
@@ -45,24 +46,37 @@ func (g *Graph) Boundary(b nodeset.Set) nodeset.Set {
 // turn, banning the candidate for later siblings so no set is produced
 // twice.
 func (g *Graph) ConnectedSets(start int, banned nodeset.Set, fn func(b nodeset.Set) bool) {
+	g.connectedSetsBnd(start, banned, func(b, _ nodeset.Set) bool { return fn(b) })
+}
+
+// connectedSetsBnd is the enumeration core shared by ConnectedSets and
+// ReceiverSideCandidates. It maintains the boundary N(B) incrementally —
+// N(B ∪ {v}) = (N(B) ∪ N(v)) \ (B ∪ {v}), since N(B) already excludes B —
+// and hands it to fn alongside each set, saving a full Boundary recomputation
+// per candidate. fn must not mutate its arguments but may retain them: the
+// recursion only reads them after the call.
+func (g *Graph) connectedSetsBnd(start int, banned nodeset.Set, fn func(b, bnd nodeset.Set) bool) {
 	if !g.HasNode(start) || banned.Contains(start) {
 		return
 	}
-	var rec func(b, excluded nodeset.Set) bool
-	rec = func(b, excluded nodeset.Set) bool {
-		if !fn(b) {
+	var rec func(b, bnd, excluded nodeset.Set) bool
+	rec = func(b, bnd, excluded nodeset.Set) bool {
+		if !fn(b, bnd) {
 			return false
 		}
-		cand := g.Boundary(b).Minus(excluded)
+		cand := bnd.Minus(excluded)
 		cont := true
 		cand.ForEach(func(v int) bool {
-			cont = rec(b.Add(v), excluded)
+			nb := b.Add(v)
+			nbnd := bnd.Union(g.Neighbors(v))
+			nbnd.MutateMinus(nb)
+			cont = rec(nb, nbnd, excluded)
 			excluded = excluded.Add(v)
 			return cont
 		})
 		return cont
 	}
-	rec(nodeset.Of(start), banned.Add(start))
+	rec(nodeset.Of(start), g.Neighbors(start).Remove(start), banned.Add(start))
 }
 
 // ReceiverSideCandidates enumerates, for a dealer D and receiver R, every
@@ -77,8 +91,7 @@ func (g *Graph) ReceiverSideCandidates(dealer, receiver int, fn func(b, cut node
 	if dealer == receiver {
 		return
 	}
-	g.ConnectedSets(receiver, nodeset.Of(dealer), func(b nodeset.Set) bool {
-		cut := g.Boundary(b)
+	g.connectedSetsBnd(receiver, nodeset.Of(dealer), func(b, cut nodeset.Set) bool {
 		if cut.Contains(dealer) {
 			// B touches the dealer; supersets of B may still avoid it
 			// (they can absorb other neighbors first), so keep going.

@@ -1,0 +1,61 @@
+package instance
+
+import (
+	"math/rand"
+	"testing"
+
+	"rmt/internal/adversary"
+	"rmt/internal/graph"
+	"rmt/internal/nodeset"
+	"rmt/internal/view"
+)
+
+// TestJointCachesMatchFreshComputation: the instance-level memoized
+// JointStructure and JointViewNodes must agree with the uncached fold over
+// local knowledge / views, on random instances under random repeated query
+// streams (repeats exercise cache hits, prefixes exercise partial reuse).
+func TestJointCachesMatchFreshComputation(t *testing.T) {
+	r := rand.New(rand.NewSource(2016))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + r.Intn(4)
+		g := graph.NewWithNodes(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if r.Float64() < 0.6 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		d, rcv := 0, n-1
+		z := adversary.Random(r, g.Nodes().Minus(nodeset.Of(d, rcv)), 1+r.Intn(2), 0.4)
+		gamma := view.AdHoc(g)
+		if r.Intn(2) == 0 {
+			gamma = view.Radius(g, 2)
+		}
+		in, err := New(g, z, gamma, d, rcv)
+		if err != nil {
+			continue
+		}
+		lk := in.LocalKnowledge()
+		var queries []nodeset.Set
+		for q := 0; q < 30; q++ {
+			var b nodeset.Set
+			if len(queries) > 0 && r.Intn(3) == 0 {
+				b = queries[r.Intn(len(queries))]
+			} else {
+				for v := 0; v < n; v++ {
+					if r.Intn(2) == 0 {
+						b = b.Add(v)
+					}
+				}
+			}
+			queries = append(queries, b)
+			if got, want := in.JointStructure(b), lk.JointOf(b); !got.Equal(want) {
+				t.Fatalf("trial %d: JointStructure(%v) = %v, want %v", trial, b, got, want)
+			}
+			if got, want := in.JointViewNodes(b), in.Gamma.Joint(b).Nodes(); !got.Equal(want) {
+				t.Fatalf("trial %d: JointViewNodes(%v) = %v, want %v", trial, b, got, want)
+			}
+		}
+	}
+}

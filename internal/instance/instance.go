@@ -14,7 +14,8 @@ import (
 	"rmt/internal/view"
 )
 
-// Instance is one RMT problem instance. Immutable after New.
+// Instance is one RMT problem instance. Immutable after New; the internal
+// caches are safe for concurrent use.
 type Instance struct {
 	G        *graph.Graph
 	Z        adversary.Structure
@@ -22,7 +23,9 @@ type Instance struct {
 	Dealer   int
 	Receiver int
 
-	local adversary.LocalKnowledge // memoized Z_v per node
+	local     adversary.LocalKnowledge // memoized Z_v per node
+	joints    *adversary.JoinCache     // memoized Z_B = ⊕_{v∈B} Z_v
+	viewNodes *nodeset.UnionCache      // memoized V(γ(B)) = ∪_{v∈B} V(γ(v))
 }
 
 // Validation errors returned by New.
@@ -62,14 +65,17 @@ func New(g *graph.Graph, z adversary.Structure, gamma view.Function, dealer, rec
 	if !gamma.Domain().Equal(g.Nodes()) {
 		return nil, fmt.Errorf("instance: view function domain %v != V(G) %v", gamma.Domain(), g.Nodes())
 	}
-	return &Instance{
+	in := &Instance{
 		G:        g,
 		Z:        z,
 		Gamma:    gamma,
 		Dealer:   dealer,
 		Receiver: receiver,
 		local:    gamma.AllLocalStructures(z),
-	}, nil
+	}
+	in.joints = adversary.NewJoinCache(in.local)
+	in.viewNodes = nodeset.NewUnionCache(gamma.NodesOf)
+	return in, nil
 }
 
 // MustNew is New for tests and examples; it panics on invalid tuples.
@@ -97,9 +103,17 @@ func (in *Instance) LocalStructure(v int) adversary.Restricted {
 // LocalKnowledge returns the full node → Z_v map. Callers must not modify it.
 func (in *Instance) LocalKnowledge() adversary.LocalKnowledge { return in.local }
 
-// JointStructure returns Z_B = ⊕_{v∈B} Z_v for a node set B.
+// JointStructure returns Z_B = ⊕_{v∈B} Z_v for a node set B. Results are
+// memoized per sub-fold (semilattice laws make the sharing sound), so
+// candidate enumerations that grow B one node at a time pay one ⊕ per call.
 func (in *Instance) JointStructure(b nodeset.Set) adversary.Restricted {
-	return in.local.JointOf(b)
+	return in.joints.JointOf(b)
+}
+
+// JointViewNodes returns V(γ(B)) = ∪_{v∈B} V(γ(v)) without materializing
+// the joint view graph, memoized the same way as JointStructure.
+func (in *Instance) JointViewNodes(b nodeset.Set) nodeset.Set {
+	return in.viewNodes.Of(b)
 }
 
 // Admissible reports whether t is a corruption set the adversary may choose.

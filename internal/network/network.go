@@ -195,11 +195,36 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // sortInbox orders an inbox by sender, then payload key, for determinism.
+// Payload keys are rendered once per message up front: the comparator runs
+// O(n log n) times and Key() may be expensive (e.g. type-2 claims render
+// their whole view graph).
 func sortInbox(msgs []Message) {
-	sort.SliceStable(msgs, func(i, j int) bool {
-		if msgs[i].From != msgs[j].From {
-			return msgs[i].From < msgs[j].From
-		}
-		return msgs[i].Payload.Key() < msgs[j].Payload.Key()
-	})
+	if len(msgs) < 2 {
+		return
+	}
+	keys := make([]string, len(msgs))
+	for i, m := range msgs {
+		keys[i] = m.Payload.Key()
+	}
+	sort.Stable(&inboxSorter{msgs: msgs, keys: keys})
+}
+
+// inboxSorter sorts an inbox and its precomputed payload keys in tandem.
+type inboxSorter struct {
+	msgs []Message
+	keys []string
+}
+
+func (s *inboxSorter) Len() int { return len(s.msgs) }
+
+func (s *inboxSorter) Less(i, j int) bool {
+	if s.msgs[i].From != s.msgs[j].From {
+		return s.msgs[i].From < s.msgs[j].From
+	}
+	return s.keys[i] < s.keys[j]
+}
+
+func (s *inboxSorter) Swap(i, j int) {
+	s.msgs[i], s.msgs[j] = s.msgs[j], s.msgs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }

@@ -1,0 +1,120 @@
+package nodeset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// copyOf returns an exclusively-owned copy safe to hand to Mutate* methods.
+func copyOf(s Set) Set {
+	var c Set
+	c.MutateUnion(s)
+	return c
+}
+
+// TestMutateOpsMatchPureOps: each in-place operation must produce a set that
+// is Equal to — and shares the canonical Key of — its allocating counterpart,
+// across random operand pairs of mismatched word lengths.
+func TestMutateOpsMatchPureOps(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		a := randomSet(r, 1+r.Intn(130), 0.5) // spans 1–3 words
+		b := randomSet(r, 1+r.Intn(130), 0.5)
+		v := r.Intn(130)
+
+		m := copyOf(a)
+		m.MutateAdd(v)
+		if want := a.Add(v); !m.Equal(want) || m.Key() != want.Key() {
+			t.Fatalf("MutateAdd(%d): %v (key %q), want %v (key %q)", v, m, m.Key(), want, want.Key())
+		}
+
+		m = copyOf(a)
+		m.MutateRemove(v)
+		if want := a.Remove(v); !m.Equal(want) || m.Key() != want.Key() {
+			t.Fatalf("MutateRemove(%d): %v (key %q), want %v (key %q)", v, m, m.Key(), want, want.Key())
+		}
+
+		m = copyOf(a)
+		m.MutateUnion(b)
+		if want := a.Union(b); !m.Equal(want) || m.Key() != want.Key() {
+			t.Fatalf("MutateUnion: %v (key %q), want %v (key %q)", m, m.Key(), want, want.Key())
+		}
+
+		m = copyOf(a)
+		m.MutateMinus(b)
+		if want := a.Minus(b); !m.Equal(want) || m.Key() != want.Key() {
+			t.Fatalf("MutateMinus: %v (key %q), want %v (key %q)", m, m.Key(), want, want.Key())
+		}
+	}
+}
+
+// TestMutateUnionNeverAliasesArgument: after s.MutateUnion(t), mutating s
+// further must not disturb t — the grow path must allocate fresh words
+// rather than adopting t's slice.
+func TestMutateUnionNeverAliasesArgument(t *testing.T) {
+	big := Of(1, 70, 130)
+	snapshot := big.Key()
+	var s Set
+	s.MutateUnion(big) // s was empty: the grow path runs
+	s.MutateRemove(70)
+	s.MutateAdd(200)
+	if big.Key() != snapshot {
+		t.Fatalf("argument mutated through aliasing: %v (key %q), want key %q", big, big.Key(), snapshot)
+	}
+}
+
+// TestUnionCacheMatchesDirectUnion: the memoized incremental union must
+// agree with the direct fold for arbitrary (including repeated) queries.
+func TestUnionCacheMatchesDirectUnion(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(9)
+		vals := make([]Set, n)
+		for v := range vals {
+			vals[v] = randomSet(r, 70, 0.5)
+		}
+		calls := 0
+		c := NewUnionCache(func(v int) Set { calls++; return vals[v] })
+		for q := 0; q < 30; q++ {
+			b := randomSet(r, n, 0.5)
+			want := Empty()
+			b.ForEach(func(v int) bool { want = want.Union(vals[v]); return true })
+			if got := c.Of(b); !got.Equal(want) {
+				t.Fatalf("trial %d: Of(%v) = %v, want %v", trial, b, got, want)
+			}
+		}
+		if calls > n {
+			t.Fatalf("per-node function called %d times for %d nodes — memoization broken", calls, n)
+		}
+	}
+}
+
+// TestUnionCacheConcurrent is the -race smoke test for the shared memo.
+func TestUnionCacheConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	vals := make([]Set, 12)
+	for v := range vals {
+		vals[v] = randomSet(r, 70, 0.5)
+	}
+	c := NewUnionCache(func(v int) Set { return vals[v] })
+	queries := make([]Set, 24)
+	for i := range queries {
+		queries[i] = randomSet(r, len(vals), 0.5)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, b := range queries {
+				want := Empty()
+				b.ForEach(func(v int) bool { want = want.Union(vals[v]); return true })
+				if got := c.Of(b); !got.Equal(want) {
+					panic("concurrent UnionCache mismatch")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -155,6 +155,66 @@ func (s Set) Minus(t Set) Set {
 	return normalize(words)
 }
 
+// trim re-establishes the no-trailing-zero-words invariant in place.
+func (s *Set) trim() {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	s.words = s.words[:n]
+}
+
+// MutateAdd sets s to s ∪ {id} in place. Like all Mutate methods it must
+// only be called on a set the caller exclusively owns (e.g. freshly
+// returned by a non-mutating operation): Sets copied by assignment share
+// their backing words.
+func (s *Set) MutateAdd(id int) {
+	if id < 0 {
+		panic("nodeset: negative ID")
+	}
+	w := id / wordBits
+	if w >= len(s.words) {
+		words := make([]uint64, w+1)
+		copy(words, s.words)
+		s.words = words
+	}
+	s.words[w] |= 1 << uint(id%wordBits)
+}
+
+// MutateRemove sets s to s \ {id} in place.
+func (s *Set) MutateRemove(id int) {
+	if !s.Contains(id) {
+		return
+	}
+	s.words[id/wordBits] &^= 1 << uint(id%wordBits)
+	s.trim()
+}
+
+// MutateUnion sets s to s ∪ t in place. t is never retained or modified:
+// growing allocates a fresh word slice rather than aliasing t.
+func (s *Set) MutateUnion(t Set) {
+	if len(t.words) > len(s.words) {
+		words := make([]uint64, len(t.words))
+		copy(words, s.words)
+		s.words = words
+	}
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// MutateMinus sets s to s \ t in place.
+func (s *Set) MutateMinus(t Set) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= t.words[i]
+	}
+	s.trim()
+}
+
 // SymmetricDiff returns (s \ t) ∪ (t \ s).
 func (s Set) SymmetricDiff(t Set) Set {
 	if len(s.words) < len(t.words) {

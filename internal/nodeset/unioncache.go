@@ -1,0 +1,51 @@
+package nodeset
+
+import "sync"
+
+// UnionCache memoizes a monotone set-valued fold F(B) = ∪_{v ∈ B} f(v),
+// keyed by Set.Key(). Because set union is commutative, associative and
+// idempotent, F(B) can be computed incrementally as F(B \ {max B}) ∪ f(max B)
+// and every sub-fold shared between overlapping arguments — exactly the
+// access pattern of candidate enumerations that grow components one node at
+// a time.
+//
+// The per-node function f must be pure: it is called at most once per node
+// and its result is retained. A UnionCache is safe for concurrent use.
+type UnionCache struct {
+	mu      sync.Mutex
+	f       func(v int) Set
+	memo    map[string]Set
+	perNode map[int]Set
+}
+
+// NewUnionCache returns a cache over the per-node function f.
+func NewUnionCache(f func(v int) Set) *UnionCache {
+	return &UnionCache{f: f, memo: make(map[string]Set), perNode: make(map[int]Set)}
+}
+
+// Of returns ∪_{v ∈ b} f(v), reusing every previously computed sub-fold.
+// The returned Set is shared with the cache and must not be mutated.
+func (c *UnionCache) Of(b Set) Set {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.of(b)
+}
+
+func (c *UnionCache) of(b Set) Set {
+	if b.IsEmpty() {
+		return Set{}
+	}
+	k := b.Key()
+	if s, ok := c.memo[k]; ok {
+		return s
+	}
+	v := b.Max()
+	fv, ok := c.perNode[v]
+	if !ok {
+		fv = c.f(v)
+		c.perNode[v] = fv
+	}
+	u := c.of(b.Remove(v)).Union(fv)
+	c.memo[k] = u
+	return u
+}

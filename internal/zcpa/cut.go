@@ -56,6 +56,7 @@ func FindRMTZppCutBounded(in *instance.Instance, maxCandidates int) (witness Zpp
 	}
 	inspected := 0
 	complete = true
+	memo := make(map[int]map[string]bool)
 	in.G.ReceiverSideCandidates(in.Dealer, in.Receiver, func(b, cut nodeset.Set) bool {
 		if maxCandidates > 0 && inspected >= maxCandidates {
 			complete = false
@@ -64,7 +65,7 @@ func FindRMTZppCutBounded(in *instance.Instance, maxCandidates int) (witness Zpp
 		inspected++
 		for _, m := range in.Z.Maximal() {
 			c2 := cut.Minus(m)
-			if holdsForAll(in, b, c2) {
+			if holdsForAll(in, b, c2, memo) {
 				witness = ZppCut{C1: cut.Intersect(m), C2: c2, B: b}
 				found = true
 				return false
@@ -75,11 +76,26 @@ func FindRMTZppCutBounded(in *instance.Instance, maxCandidates int) (witness Zpp
 	return witness, found, complete
 }
 
-// holdsForAll checks ∀u ∈ B: N(u) ∩ C2 ∈ Z_u.
-func holdsForAll(in *instance.Instance, b, c2 nodeset.Set) bool {
+// holdsForAll checks ∀u ∈ B: N(u) ∩ C2 ∈ Z_u. Candidates share most of
+// their (u, N(u) ∩ C2) pairs with their parents in the enumeration, so the
+// per-node membership verdicts are memoized for the duration of one search,
+// keyed by node and intersection.
+func holdsForAll(in *instance.Instance, b, c2 nodeset.Set, memo map[int]map[string]bool) bool {
 	ok := true
 	b.ForEach(func(u int) bool {
-		if !in.LocalStructure(u).Contains(in.G.Neighbors(u).Intersect(c2)) {
+		part := in.G.Neighbors(u).Intersect(c2)
+		byPart := memo[u]
+		if byPart == nil {
+			byPart = make(map[string]bool)
+			memo[u] = byPart
+		}
+		k := part.Key()
+		res, seen := byPart[k]
+		if !seen {
+			res = in.LocalStructure(u).Contains(part)
+			byPart[k] = res
+		}
+		if !res {
 			ok = false
 			return false
 		}

@@ -37,7 +37,7 @@ func VerifyZppCut(in *instance.Instance, cut ZppCut) error {
 	if !in.Z.Contains(cut.C1) {
 		return fmt.Errorf("zcpa: C1 %v is not admissible", cut.C1)
 	}
-	if !holdsForAll(in, cut.B, cut.C2) {
+	if !holdsForAll(in, cut.B, cut.C2, make(map[int]map[string]bool)) {
 		return fmt.Errorf("zcpa: some u ∈ B has N(u) ∩ C2 ∉ Z_u")
 	}
 	return nil
