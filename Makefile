@@ -3,16 +3,17 @@
 
 GO ?= go
 
-.PHONY: tier1 test race bench benchjson vet
+.PHONY: tier1 test race bench benchjson benchguard vet
 
 # tier1 is the gate every PR must keep green: build + full test suite +
-# vet + race detector on the packages that spawn goroutines (the lockstep/
-# goroutine network engines and the parallel experiment harness).
+# vet + race detector on the packages that spawn goroutines or share state
+# across them (the lockstep/goroutine network engines, the parallel
+# experiment harness, and the protocol registry).
 tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/network/ ./internal/eval/
+	$(GO) test -race ./internal/network/ ./internal/eval/ ./internal/protocol/
 
 test:
 	$(GO) test ./...
@@ -29,3 +30,9 @@ bench:
 # Machine-readable protocol micro-benchmarks (ns/op, B/op, allocs/op).
 benchjson:
 	$(GO) run ./cmd/rmtbench -benchjson BENCH.json
+
+# Opt-in perf regression guard: re-run the micro-benchmarks and fail when
+# any is > 25% slower than the committed BENCH.json baseline. Not part of
+# tier1 — benchmark numbers are too machine-sensitive to gate every PR.
+benchguard:
+	$(GO) run ./cmd/rmtbench -compare BENCH.json

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// regressionThreshold is the maximum tolerated ns/op growth over the
+// committed baseline before compareBenchJSON fails: generous enough to ride
+// out scheduler noise on shared machines, tight enough to catch a protocol
+// hot path accidentally gaining an order of work.
+const regressionThreshold = 0.25
+
+// compareBenchJSON re-runs the micro-benchmark suite and compares it
+// against the baseline BENCH.json at path, returning an error (→ non-zero
+// exit) when any benchmark regressed by more than regressionThreshold.
+// Benchmarks present on only one side are reported but don't fail the
+// guard, so adding a benchmark doesn't break older baselines.
+func compareBenchJSON(path string, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var baseline []benchResult
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	current, err := runBenches(out)
+	if err != nil {
+		return err
+	}
+	return compareResults(baseline, current, path, out)
+}
+
+// compareResults applies the regression rule to a baseline/current pair.
+func compareResults(baseline, current []benchResult, path string, out io.Writer) error {
+	base := make(map[string]benchResult, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	var regressions []string
+	seen := make(map[string]bool, len(current))
+	for _, cur := range current {
+		seen[cur.Name] = true
+		b, ok := base[cur.Name]
+		if !ok {
+			fmt.Fprintf(out, "%-16s not in baseline — skipped\n", cur.Name)
+			continue
+		}
+		ratio := cur.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if ratio > 1+regressionThreshold {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%+.0f%%)",
+					cur.Name, cur.NsPerOp, b.NsPerOp, 100*(ratio-1)))
+		}
+		fmt.Fprintf(out, "%-16s %12.0f ns/op  baseline %12.0f  (%+6.1f%%)  %s\n",
+			cur.Name, cur.NsPerOp, b.NsPerOp, 100*(ratio-1), verdict)
+	}
+	for _, r := range baseline {
+		if !seen[r.Name] {
+			fmt.Fprintf(out, "%-16s only in baseline — skipped\n", r.Name)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed > %.0f%%:\n  %s",
+			len(regressions), 100*regressionThreshold, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(out, "benchguard: all benchmarks within %.0f%% of %s\n", 100*regressionThreshold, path)
+	return nil
+}

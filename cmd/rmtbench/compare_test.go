@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareResults(t *testing.T) {
+	baseline := []benchResult{
+		{Name: "PKARun", NsPerOp: 1000},
+		{Name: "ZCPARun", NsPerOp: 500},
+		{Name: "Retired", NsPerOp: 10},
+	}
+	t.Run("within-threshold", func(t *testing.T) {
+		var sb strings.Builder
+		current := []benchResult{
+			{Name: "PKARun", NsPerOp: 1200}, // +20% — noise
+			{Name: "ZCPARun", NsPerOp: 400}, // faster
+			{Name: "Fresh", NsPerOp: 77},    // no baseline — skipped
+		}
+		if err := compareResults(baseline, current, "BENCH.json", &sb); err != nil {
+			t.Fatalf("unexpected failure: %v\n%s", err, sb.String())
+		}
+		out := sb.String()
+		if !strings.Contains(out, "Fresh") || !strings.Contains(out, "Retired") {
+			t.Fatalf("one-sided benchmarks not reported:\n%s", out)
+		}
+	})
+	t.Run("regression", func(t *testing.T) {
+		var sb strings.Builder
+		current := []benchResult{
+			{Name: "PKARun", NsPerOp: 1300}, // +30% — over the 25% line
+			{Name: "ZCPARun", NsPerOp: 500},
+		}
+		err := compareResults(baseline, current, "BENCH.json", &sb)
+		if err == nil || !strings.Contains(err.Error(), "PKARun") {
+			t.Fatalf("err = %v, want PKARun regression", err)
+		}
+	})
+}

@@ -8,6 +8,8 @@
 //	rmtbench -only E2,F1           # a subset of tables
 //	rmtbench -workers 1            # sequential trials (tables are identical)
 //	rmtbench -benchjson BENCH.json # protocol micro-benchmarks → JSON, no tables
+//	rmtbench -compare BENCH.json   # regression guard: non-zero exit when any
+//	                               # benchmark is > 25% slower than the baseline
 package main
 
 import (
@@ -35,12 +37,16 @@ func run(args []string, out io.Writer) error {
 		only      = fs.String("only", "", "comma-separated table IDs to run (default: all)")
 		workers   = fs.Int("workers", 0, "worker-pool size for randomized trials (0 = one per CPU)")
 		benchjson = fs.String("benchjson", "", "run the protocol micro-benchmarks and write JSON results to this path instead of tables")
+		compare   = fs.String("compare", "", "run the micro-benchmarks and fail when any regresses > 25% vs this baseline BENCH.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *benchjson != "" {
 		return writeBenchJSON(*benchjson, out)
+	}
+	if *compare != "" {
+		return compareBenchJSON(*compare, out)
 	}
 	p := eval.Params{Seed: *seed, Trials: *trials, Workers: *workers}
 

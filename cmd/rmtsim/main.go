@@ -1,6 +1,7 @@
 // Command rmtsim runs one protocol execution on one instance and reports
 // the receiver's decision with full complexity metrics — the smallest way
-// to watch RMT-PKA, 𝒵-CPA or PPA at work, including under attack.
+// to watch any registered protocol (RMT-PKA, 𝒵-CPA, PPA, broadcast) at
+// work, including under attack.
 //
 // Usage:
 //
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"rmt"
 	"rmt/internal/cliutil"
@@ -35,13 +37,14 @@ func run(args []string, out io.Writer) error {
 		dealer    = fs.Int("dealer", 0, "dealer node ID")
 		receiver  = fs.Int("receiver", -1, "receiver node ID (required unless -file)")
 		knowledge = fs.String("knowledge", "adhoc", "adhoc|radius1|radius2|radius3|full")
-		protocol  = fs.String("protocol", "pka", "pka|zcpa|ppa")
+		protocol  = fs.String("protocol", rmt.ProtocolPKA, "protocol name: "+strings.Join(rmt.Protocols(), "|"))
 		value     = fs.String("value", "1", "dealer value x_D")
 		corrupt   = fs.String("corrupt", "", "corrupted nodes, e.g. \"2,3\" (must be admissible)")
 		attack    = fs.String("attack", "silent", "silent|value-flip|path-forgery|ghost-node|split-brain|structure-liar")
 		engine    = fs.String("engine", "lockstep", "lockstep|goroutine")
 		perRound  = fs.Bool("rounds", false, "print per-round message counts")
 		trace     = fs.Bool("trace", false, "print every delivered message, round by round")
+		jsonl     = fs.String("jsonl", "", "stream run events as JSON lines to this file (\"-\" = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,24 +106,29 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	var res *rmt.Result
-	switch *protocol {
-	case "pka":
-		res, err = rmt.RunPKA(in, rmt.Value(*value), corruptProcs,
-			rmt.PKAOptions{Engine: eng, RecordTranscript: *trace})
-	case "zcpa":
-		res, err = rmt.RunZCPA(in, rmt.Value(*value), corruptProcs,
-			rmt.ZCPAOptions{Engine: eng, RecordTranscript: *trace})
-	case "ppa":
-		if *trace {
-			return fmt.Errorf("-trace is not supported for ppa")
+	opts := rmt.RunOptions{Engine: eng, RecordTranscript: *trace}
+	var jt *rmt.JSONLTracer
+	if *jsonl != "" {
+		w := out
+		if *jsonl != "-" {
+			f, err := os.Create(*jsonl)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
 		}
-		res, err = rmt.RunPPA(in, rmt.Value(*value), corruptProcs, eng)
-	default:
-		return fmt.Errorf("unknown protocol %q", *protocol)
+		jt = rmt.NewJSONLTracer(w)
+		opts.Tracers = []rmt.Tracer{jt}
 	}
+	res, err := rmt.RunProtocol(*protocol, in, rmt.Value(*value), corruptProcs, opts)
 	if err != nil {
 		return err
+	}
+	if jt != nil {
+		if err := jt.Err(); err != nil {
+			return fmt.Errorf("jsonl: %w", err)
+		}
 	}
 	if *trace && res.Transcript != nil {
 		for r := 1; r <= res.Transcript.Rounds(); r++ {

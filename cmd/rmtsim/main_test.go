@@ -23,7 +23,7 @@ func TestRunHonest(t *testing.T) {
 }
 
 func TestRunEveryProtocolAndAttack(t *testing.T) {
-	for _, proto := range []string{"pka", "zcpa", "ppa"} {
+	for _, proto := range []string{"pka", "zcpa", "ppa", "broadcast"} {
 		for _, attack := range []string{"silent", "value-flip", "path-forgery", "ghost-node", "split-brain", "structure-liar"} {
 			var sb strings.Builder
 			err := run([]string{
@@ -97,10 +97,36 @@ func TestRunTrace(t *testing.T) {
 	}
 }
 
-func TestRunTraceRejectedForPPA(t *testing.T) {
+func TestRunTracePPA(t *testing.T) {
+	// The unified runtime records transcripts for every protocol — PPA
+	// included, which the pre-registry CLI had to reject.
 	var sb strings.Builder
-	if err := run([]string{"-graph", "0-1", "-receiver", "1", "-protocol", "ppa", "-trace"}, &sb); err == nil {
-		t.Fatal("ppa -trace accepted")
+	err := run([]string{
+		"-graph", "0-1 1-2", "-receiver", "2", "-protocol", "ppa",
+		"-knowledge", "full", "-value", "hi", "-trace",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "round 1") {
+		t.Fatalf("trace missing:\n%s", sb.String())
+	}
+}
+
+func TestRunJSONL(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-graph", "0-1 1-2", "-receiver", "2", "-protocol", "zcpa",
+		"-value", "hi", "-jsonl", "-",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"ev":"run"`, `"ev":"send"`, `"ev":"decide"`, `"ev":"run-end"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("jsonl output missing %s:\n%s", want, out)
+		}
 	}
 }
 

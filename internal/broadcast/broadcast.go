@@ -22,6 +22,7 @@ import (
 	"rmt/internal/graph"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
 	"rmt/internal/view"
 	"rmt/internal/zcpa"
 )
@@ -84,22 +85,12 @@ func (o localOracle) Member(v int, reporters nodeset.Set) bool {
 // (the dealer cannot be corrupted).
 func NewProcesses(in *Instance, xD network.Value, corrupt map[int]network.Process) map[int]network.Process {
 	decider := zcpa.WrapOracle(localOracle{in: in})
-	procs := make(map[int]network.Process, in.G.NumNodes())
-	in.G.Nodes().ForEach(func(v int) bool {
+	return protocol.Build(in.G, nodeset.Of(in.Dealer), corrupt, func(v int) network.Process {
 		if v == in.Dealer {
-			procs[v] = zcpa.NewDealer(in.G.Neighbors(v), xD)
-			return true
+			return zcpa.NewDealer(in.G.Neighbors(v), xD)
 		}
-		procs[v] = zcpa.NewRelayPlayer(v, in.Dealer, in.G.Neighbors(v), decider)
-		return true
+		return zcpa.NewRelayPlayer(v, in.Dealer, in.G.Neighbors(v), decider)
 	})
-	for v, proc := range corrupt {
-		if v == in.Dealer {
-			continue
-		}
-		procs[v] = proc
-	}
-	return procs
 }
 
 // Run executes 𝒵-CPA broadcast and returns the run result; decisions of

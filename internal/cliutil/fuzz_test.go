@@ -33,6 +33,49 @@ func FuzzParseStructure(f *testing.F) {
 	})
 }
 
+// FuzzParseInstanceSpec checks the instance-spec parser never panics and
+// that accepted specs survive a parse → Format → parse round trip with
+// every field intact.
+func FuzzParseInstanceSpec(f *testing.F) {
+	for _, seed := range []string{
+		"# rmt instance v1\ngraph: 0-1 0-2 1-2\nstructure: 1\nknowledge: adhoc\ndealer: 0\nreceiver: 2\n",
+		"graph: 0-1\nreceiver: 1",
+		"graph: 0-1 1-2 2-3\nstructure: 1;2\nknowledge: full\nreceiver: 3\ndealer: 0",
+		"receiver: 4",
+		"graph: 0-1\nreceiver: 1\nbogus: 7",
+		"graph 0-1\nreceiver: 1",
+		"graph: 0-1\nknowledge: radius2\nreceiver: 1\n# trailing comment",
+		"graph: 0-0\nreceiver: 0",
+		"graph: 0-1\nreceiver: -5",
+		"GRAPH: 0-1\nRECEIVER: 1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseInstanceSpec(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseInstanceSpec(spec.Format())
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v\nrendered:\n%s", err, spec.Format())
+		}
+		if !back.Graph.Equal(spec.Graph) {
+			t.Fatalf("round trip changed the graph: %v vs %v", spec.Graph, back.Graph)
+		}
+		if !back.Z.Equal(spec.Z) {
+			t.Fatalf("round trip changed the structure: %v vs %v", spec.Z, back.Z)
+		}
+		if back.Knowledge != spec.Knowledge {
+			t.Fatalf("round trip changed knowledge: %v vs %v", spec.Knowledge, back.Knowledge)
+		}
+		if back.Dealer != spec.Dealer || back.Receiver != spec.Receiver {
+			t.Fatalf("round trip changed endpoints: %d/%d vs %d/%d",
+				spec.Dealer, spec.Receiver, back.Dealer, back.Receiver)
+		}
+	})
+}
+
 // FuzzParseNodeSet checks the node-set parser.
 func FuzzParseNodeSet(f *testing.F) {
 	for _, seed := range []string{"1,2,3", "", " 7 ", "0", "1,,2", "x"} {

@@ -101,25 +101,7 @@ func TestParseInstanceSpecIgnoresCommentsAndBlank(t *testing.T) {
 	}
 }
 
-func FuzzParseInstanceSpec(f *testing.F) {
-	f.Add(sampleSpec)
-	f.Add("graph: 0-1\nreceiver: 1\n")
-	f.Add("")
-	f.Add("graph: 0-1\nreceiver: 1\nknowledge: full\nstructure: ;\n")
-	f.Fuzz(func(t *testing.T, text string) {
-		spec, err := ParseInstanceSpec(text)
-		if err != nil {
-			return
-		}
-		back, err := ParseInstanceSpec(spec.Format())
-		if err != nil {
-			t.Fatalf("round trip parse failed: %v", err)
-		}
-		if !back.Graph.Equal(spec.Graph) || !back.Z.Equal(spec.Z) {
-			t.Fatal("round trip changed content")
-		}
-	})
-}
+// FuzzParseInstanceSpec lives in fuzz_test.go with the other fuzz targets.
 
 func TestSpecFormatContainsAllKeys(t *testing.T) {
 	spec, _ := ParseInstanceSpec(sampleSpec)

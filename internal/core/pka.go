@@ -6,6 +6,7 @@ import (
 	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
 )
 
 // Dealer is RMT-PKA's dealer process: it sends (x_D, {D}) and
@@ -108,68 +109,58 @@ func (r *Relay) Decision() (network.Value, bool) { return "", false }
 // the nodes of corrupt with the supplied Byzantine processes (the dealer
 // and receiver cannot be corrupted).
 func NewProcesses(in *instance.Instance, xD network.Value, corrupt map[int]network.Process, opts Options) map[int]network.Process {
-	procs := make(map[int]network.Process, in.N())
-	in.G.Nodes().ForEach(func(v int) bool {
+	return protocol.Build(in.G, nodeset.Of(in.Dealer, in.Receiver), corrupt, func(v int) network.Process {
 		switch v {
 		case in.Dealer:
-			procs[v] = NewDealer(in, xD)
+			return NewDealer(in, xD)
 		case in.Receiver:
 			rcv := NewReceiver(in)
 			rcv.horizon = opts.Horizon
 			rcv.nomemo = opts.DisableMemo
-			procs[v] = rcv
+			return rcv
 		default:
 			rel := NewRelay(in, v)
 			rel.horizon = opts.Horizon
-			procs[v] = rel
+			return rel
 		}
-		return true
 	})
-	for v, proc := range corrupt {
-		if v == in.Dealer || v == in.Receiver {
-			continue
-		}
-		procs[v] = proc
-	}
-	return procs
 }
 
-// Options tweaks an RMT-PKA run.
-type Options struct {
-	Engine           network.Engine
-	RecordTranscript bool
-	MaxRounds        int
-	// Horizon, when positive, runs the Horizon-PKA ablation: relays drop
-	// trails that cannot complete into a D–R path of at most Horizon
-	// nodes, and the receiver evaluates the full-set rule on the subgraph
-	// of G_M spanned by such bounded paths. Safety is preserved (the
-	// Theorem 4 argument is parametric in the decision graph); liveness
-	// shrinks to instances whose bounded-path subgraph has no RMT-cut and
-	// no longer combination paths. Experiment E10 quantifies the
-	// message-complexity savings against the solvability loss.
-	Horizon int
-	// DisableMemo turns off the receiver's decision-subroutine memoization
-	// (claim-graph, path-set and cover-verdict caches). Decisions are
-	// identical either way — the flag exists for equivalence tests and as an
-	// escape hatch if memory is tighter than CPU.
-	DisableMemo bool
+// Options tweaks an RMT-PKA run. It is the unified option set of the
+// protocol runtime; RMT-PKA reads Horizon and DisableMemo in addition to
+// the engine fields (see protocol.Options for field docs).
+type Options = protocol.Options
+
+// Proto is RMT-PKA's registry entry; the package registers it under
+// protocol.PKA at init.
+type Proto struct{}
+
+// Name implements protocol.Protocol.
+func (Proto) Name() string { return protocol.PKA }
+
+// Caps implements protocol.Protocol: RMT-PKA works at any knowledge level
+// and only the receiver decides.
+func (Proto) Caps() protocol.Caps { return protocol.Caps{} }
+
+// Assemble implements protocol.Protocol.
+func (Proto) Assemble(in *instance.Instance, xD network.Value, opts protocol.Options) (map[int]network.Process, error) {
+	return NewProcesses(in, xD, opts.Corrupt, opts), nil
 }
+
+// Solvable implements protocol.Feasibility: RMT-PKA is tight against the
+// RMT-cut condition (Theorems 3 & 5).
+func (Proto) Solvable(in *instance.Instance) bool { return Solvable(in) }
+
+func init() { protocol.Register(Proto{}) }
 
 // Run executes RMT-PKA on the instance with dealer value xD and the given
-// corrupted players, stopping as soon as the receiver decides.
+// corrupted players, stopping as soon as the receiver decides. A non-nil
+// corrupt map takes precedence over opts.Corrupt.
 func Run(in *instance.Instance, xD network.Value, corrupt map[int]network.Process, opts Options) (*network.Result, error) {
-	cfg := network.Config{
-		Graph:            in.G,
-		Processes:        NewProcesses(in, xD, corrupt, opts),
-		Engine:           opts.Engine,
-		RecordTranscript: opts.RecordTranscript,
-		MaxRounds:        opts.MaxRounds,
-		StopEarly: func(d map[int]network.Value) bool {
-			_, ok := d[in.Receiver]
-			return ok
-		},
+	if corrupt != nil {
+		opts.Corrupt = corrupt
 	}
-	return network.Run(cfg)
+	return protocol.Run(Proto{}, in, xD, opts)
 }
 
 // Resilient reports whether RMT-PKA achieves RMT on the instance for every

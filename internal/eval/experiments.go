@@ -9,6 +9,7 @@ import (
 	"rmt/internal/gen"
 	"rmt/internal/instance"
 	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
 	"rmt/internal/zcpa"
 )
 
@@ -196,7 +197,7 @@ func E3Safety(p Params) *Table {
 			}
 			zoo := core.Strategies(fx.in, m, "forged")
 			for name, corrupt := range zoo {
-				res, err := core.Run(fx.in, "real", corrupt, core.Options{})
+				res, err := protocol.RunByName(protocol.PKA, fx.in, "real", protocol.Options{Corrupt: corrupt})
 				if err != nil {
 					panic(err)
 				}

@@ -6,13 +6,13 @@ import (
 
 	"rmt/internal/adversary"
 	"rmt/internal/byzantine"
-	"rmt/internal/core"
 	"rmt/internal/gen"
 	"rmt/internal/graph"
 	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
-	"rmt/internal/ppa"
+	_ "rmt/internal/ppa" // registers the PPA protocol
+	"rmt/internal/protocol"
 	"rmt/internal/selfred"
 	"rmt/internal/view"
 	"rmt/internal/zcpa"
@@ -62,12 +62,12 @@ func E7DecisionProtocol(p Params) *Table {
 						return nil
 					}
 				}
-				direct, err := zcpa.Run(in, "real", mk(), zcpa.Options{})
+				direct, err := protocol.RunByName(protocol.ZCPA, in, "real", protocol.Options{Corrupt: mk()})
 				if err != nil {
 					panic(err)
 				}
 				pi := &selfred.PiDecider{LK: in.LocalKnowledge()}
-				sim, err := zcpa.Run(in, "real", mk(), zcpa.Options{Decider: pi})
+				sim, err := protocol.RunByName(protocol.ZCPA, in, "real", protocol.Options{Corrupt: mk(), Decider: pi})
 				if err != nil {
 					panic(err)
 				}
@@ -130,7 +130,7 @@ func E8Scaling(p Params) *Table {
 		}
 		paths := tp.g.CountPaths(tp.d, tp.r, nodeset.Empty(), 0)
 
-		zres, err := zcpa.Run(in, "x", nil, zcpa.Options{})
+		zres, err := protocol.RunByName(protocol.ZCPA, in, "x", protocol.Options{})
 		if err != nil {
 			panic(err)
 		}
@@ -140,13 +140,13 @@ func E8Scaling(p Params) *Table {
 		if err != nil {
 			panic(err)
 		}
-		pres, err := ppa.Run(fullIn, "x", nil, 0)
+		pres, err := protocol.RunByName(protocol.PPA, fullIn, "x", protocol.Options{})
 		if err != nil {
 			panic(err)
 		}
 		addScalingRow(t, tp.name, in.N(), paths, "PPA", pres, in.Receiver)
 
-		kres, err := core.Run(in, "x", nil, core.Options{})
+		kres, err := protocol.RunByName(protocol.PKA, in, "x", protocol.Options{})
 		if err != nil {
 			panic(err)
 		}
@@ -228,7 +228,7 @@ func F2IndistinguishableRuns(p Params) *Table {
 		corrupt := map[int]network.Process{
 			corruptNode: &zcpa.WrongValue{Neighbors: in.G.Neighbors(corruptNode), Value: lie},
 		}
-		res, err := zcpa.Run(in, xD, corrupt, zcpa.Options{RecordTranscript: true, MaxRounds: 4})
+		res, err := protocol.RunByName(protocol.ZCPA, in, xD, protocol.Options{Corrupt: corrupt, RecordTranscript: true, MaxRounds: 4})
 		if err != nil {
 			panic(err)
 		}

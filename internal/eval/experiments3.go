@@ -15,6 +15,7 @@ import (
 	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
 	"rmt/internal/view"
 )
 
@@ -110,7 +111,7 @@ func E10HorizonAblation(p Params) *Table {
 		in, rcv := c.mk()
 		base := -1
 		for _, h := range c.horizons {
-			res, err := core.Run(in, "x", nil, core.Options{Horizon: h})
+			res, err := protocol.RunByName(protocol.PKA, in, "x", protocol.Options{Horizon: h})
 			if err != nil {
 				panic(err)
 			}

@@ -75,15 +75,15 @@ func runGoroutine(cfg Config) (*Result, error) {
 			}
 			st.merge(round, bufs[v])
 			if haltedNow[v] {
-				st.halted[v] = true
+				st.halt(round, v)
 			}
 		}
-		st.sealRound(round)
+		sent := st.sealRound(round)
 		st.rounds = round
 		if st.stopEarly() {
 			break
 		}
-		if quiescent && st.metrics.MessagesPerRound[round] == 0 {
+		if quiescent && sent == 0 {
 			break
 		}
 	}

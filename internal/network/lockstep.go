@@ -14,6 +14,16 @@ func runLockstep(cfg Config) (*Result, error) {
 	st.sealRound(0)
 	st.refreshDecisions() // record Init-time decisions as round 0
 
+	// Per-player buffers and outboxes live for the whole run (recs are
+	// truncated, not reallocated, each round): the round loop is the
+	// simulator's hot path and must not allocate per player per round.
+	bufs := make([]sendBuf, len(st.ids))
+	haltedNow := make([]bool, len(st.ids))
+	outboxes := make([]Outbox, len(st.ids))
+	for i, v := range st.ids {
+		bufs[i].from = v
+		outboxes[i] = st.newOutbox(v, &bufs[i])
+	}
 	for round := 1; round <= st.maxRounds; round++ {
 		pending := st.takePending()
 		live := st.liveDeliveries(pending)
@@ -21,27 +31,37 @@ func runLockstep(cfg Config) (*Result, error) {
 			break
 		}
 		quiescent := live == 0
-		for _, v := range st.ids {
+
+		// Compute phase: run every live player against its inbox, buffering
+		// sends. Merging afterwards in ID order mirrors the goroutine engine
+		// exactly, so the two emit identical tracer event sequences.
+		for i, v := range st.ids {
 			if st.halted[v] {
 				continue
 			}
 			inbox := pending[v]
 			sortInbox(inbox)
 			st.noteInbox(v, round, inbox)
-			st.collectSends(v, round, func(out Outbox) {
-				if !cfg.Processes[v].Round(round, inbox, out) {
-					st.halted[v] = true
-				}
-			})
+			bufs[i].recs = bufs[i].recs[:0]
+			haltedNow[i] = !cfg.Processes[v].Round(round, inbox, outboxes[i])
 		}
-		st.sealRound(round)
+		for i, v := range st.ids {
+			if st.halted[v] {
+				continue
+			}
+			st.merge(round, &bufs[i])
+			if haltedNow[i] {
+				st.halt(round, v)
+			}
+		}
+		sent := st.sealRound(round)
 		st.rounds = round
 		if st.stopEarly() {
 			break
 		}
 		// Quiescence: nothing was in flight and nothing new was produced,
 		// so every later round is identical — stop.
-		if quiescent && st.metrics.MessagesPerRound[round] == 0 {
+		if quiescent && sent == 0 {
 			break
 		}
 	}

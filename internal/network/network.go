@@ -117,6 +117,18 @@ type Config struct {
 	// StopEarly, if non-nil, is evaluated after every round with the
 	// current decisions; returning true ends the run.
 	StopEarly func(decisions map[int]Value) bool
+	// Tracers are additional run observers, invoked serially from the
+	// coordinating goroutine (see Tracer). The engine's metrics and the
+	// optional transcript recorder are installed automatically.
+	Tracers []Tracer
+}
+
+// engine returns the effective engine (Lockstep when unset).
+func (c *Config) engine() Engine {
+	if c.Engine == 0 {
+		return Lockstep
+	}
+	return c.Engine
 }
 
 func (c *Config) validate() error {

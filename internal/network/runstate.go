@@ -5,14 +5,26 @@ package network
 // calls writing into per-player send buffers → merge buffers in ID order →
 // sealRound. Keeping merges in ID order makes the goroutine engine's
 // observable behavior identical to lockstep for deterministic protocols.
+//
+// All instrumentation — complexity metrics, the transcript, and any
+// user-installed observers — flows through the Tracer event stream: the
+// engine itself only moves messages. Tracer calls all happen on the
+// coordinating goroutine (merges and inbox hand-offs are serialized even
+// under the goroutine engine), so tracers need no locking.
+//
+// The two stock tracers are dispatched through concrete fields rather than
+// the extra-tracer slice: metrics accumulation sits on the engines' hot
+// path, and the usual case (no transcript, no user tracers) must stay as
+// cheap as the inline counters it replaced.
 type runState struct {
 	cfg       Config
 	ids       []int
 	maxRounds int
 	halted    map[int]bool
 	next      map[int][]Message // messages to deliver next round
-	metrics   Metrics
-	trans     *Transcript
+	extra     []Tracer          // user-installed observers (Config.Tracers)
+	mt        MetricsTracer
+	tt        *TranscriptTracer // nil unless Config.RecordTranscript
 	rounds    int
 	roundSend int
 	decisions map[int]Value
@@ -28,9 +40,18 @@ func newRunState(cfg Config) *runState {
 		next:      make(map[int][]Message),
 		decisions: make(map[int]Value),
 		decidedAt: make(map[int]int),
+		extra:     cfg.Tracers,
 	}
 	if cfg.RecordTranscript {
-		st.trans = newTranscript()
+		st.tt = NewTranscriptTracer()
+	}
+	nodes, edges, engine := cfg.Graph.NumNodes(), cfg.Graph.NumEdges(), cfg.engine()
+	st.mt.BeginRun(nodes, edges, engine)
+	if st.tt != nil {
+		st.tt.BeginRun(nodes, edges, engine)
+	}
+	for _, tr := range st.extra {
+		tr.BeginRun(nodes, edges, engine)
 	}
 	return st
 }
@@ -55,21 +76,29 @@ func (st *runState) newOutbox(v int, buf *sendBuf) Outbox {
 	}
 }
 
-// merge folds one player's send buffer into the next-round queues and the
-// metrics. Must be called serially, in player-ID order, with the round in
-// which the sends happened.
+// merge folds one player's send buffer into the next-round queues, emitting
+// Send/Drop events. Must be called serially, in player-ID order, with the
+// round in which the sends happened.
 func (st *runState) merge(round int, buf *sendBuf) {
 	for _, r := range buf.recs {
 		if !r.ok {
-			st.metrics.MessagesDropped++
+			st.mt.Drop(round, r.msg)
+			if st.tt != nil {
+				st.tt.Drop(round, r.msg)
+			}
+			for _, tr := range st.extra {
+				tr.Drop(round, r.msg)
+			}
 			continue
 		}
-		st.metrics.MessagesSent++
 		st.roundSend++
-		st.metrics.BitsSent += r.msg.Payload.BitSize()
 		st.next[r.msg.To] = append(st.next[r.msg.To], r.msg)
-		if st.trans != nil {
-			st.trans.record(round+1, r.msg) // delivered next round
+		st.mt.Send(round, r.msg)
+		if st.tt != nil {
+			st.tt.Send(round, r.msg)
+		}
+		for _, tr := range st.extra {
+			tr.Send(round, r.msg)
 		}
 	}
 }
@@ -89,18 +118,41 @@ func (st *runState) takePending() map[int][]Message {
 	return pending
 }
 
-// sealRound finalizes per-round counters.
-func (st *runState) sealRound(round int) {
-	for len(st.metrics.MessagesPerRound) <= round {
-		st.metrics.MessagesPerRound = append(st.metrics.MessagesPerRound, 0)
-	}
-	st.metrics.MessagesPerRound[round] = st.roundSend
+// sealRound closes the round's accounting and returns the number of sends
+// the round produced (the engines' quiescence signal).
+func (st *runState) sealRound(round int) int {
+	sent := st.roundSend
 	st.roundSend = 0
+	st.mt.EndRound(round, sent)
+	if st.tt != nil {
+		st.tt.EndRound(round, sent)
+	}
+	for _, tr := range st.extra {
+		tr.EndRound(round, sent)
+	}
+	return sent
 }
 
+// noteInbox announces the inbox handed to live player v this round.
 func (st *runState) noteInbox(v, round int, inbox []Message) {
-	if len(inbox) > st.metrics.MaxInboxPerPlayer {
-		st.metrics.MaxInboxPerPlayer = len(inbox)
+	st.mt.Deliver(round, v, inbox)
+	if st.tt != nil {
+		st.tt.Deliver(round, v, inbox)
+	}
+	for _, tr := range st.extra {
+		tr.Deliver(round, v, inbox)
+	}
+}
+
+// halt marks player v as halted in the given round.
+func (st *runState) halt(round, v int) {
+	st.halted[v] = true
+	st.mt.Halt(round, v)
+	if st.tt != nil {
+		st.tt.Halt(round, v)
+	}
+	for _, tr := range st.extra {
+		tr.Halt(round, v)
 	}
 }
 
@@ -137,17 +189,34 @@ func (st *runState) refreshDecisions() {
 		if val, ok := st.cfg.Processes[v].Decision(); ok {
 			st.decisions[v] = val
 			st.decidedAt[v] = st.rounds
+			st.mt.Decide(st.rounds, v, val)
+			if st.tt != nil {
+				st.tt.Decide(st.rounds, v, val)
+			}
+			for _, tr := range st.extra {
+				tr.Decide(st.rounds, v, val)
+			}
 		}
 	}
 }
 
 func (st *runState) result() *Result {
 	st.refreshDecisions()
-	return &Result{
+	st.mt.EndRun(st.rounds)
+	if st.tt != nil {
+		st.tt.EndRun(st.rounds)
+	}
+	for _, tr := range st.extra {
+		tr.EndRun(st.rounds)
+	}
+	res := &Result{
 		Rounds:         st.rounds,
 		Decisions:      st.decisions,
 		DecidedAtRound: st.decidedAt,
-		Metrics:        st.metrics,
-		Transcript:     st.trans,
+		Metrics:        st.mt.Metrics(),
 	}
+	if st.tt != nil {
+		res.Transcript = st.tt.Transcript()
+	}
+	return res
 }

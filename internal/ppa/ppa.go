@@ -24,6 +24,7 @@ import (
 	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
 )
 
 // Receiver is PPA's receiver: it collects value-trail messages and applies
@@ -150,38 +151,46 @@ func (d *dealer) Decision() (network.Value, bool)                   { return d.v
 
 // NewProcesses assembles the PPA process map.
 func NewProcesses(in *instance.Instance, xD network.Value, corrupt map[int]network.Process) map[int]network.Process {
-	procs := make(map[int]network.Process, in.N())
-	in.G.Nodes().ForEach(func(v int) bool {
+	return protocol.Build(in.G, nodeset.Of(in.Dealer, in.Receiver), corrupt, func(v int) network.Process {
 		switch v {
 		case in.Dealer:
-			procs[v] = &dealer{id: v, value: xD, neighbors: in.G.Neighbors(v)}
+			return &dealer{id: v, value: xD, neighbors: in.G.Neighbors(v)}
 		case in.Receiver:
-			procs[v] = NewReceiver(in)
+			return NewReceiver(in)
 		default:
-			procs[v] = &relay{id: v, neighbors: in.G.Neighbors(v)}
+			return &relay{id: v, neighbors: in.G.Neighbors(v)}
 		}
-		return true
 	})
-	for v, proc := range corrupt {
-		if v == in.Dealer || v == in.Receiver {
-			continue
-		}
-		procs[v] = proc
-	}
-	return procs
 }
+
+// Proto is PPA's registry entry; the package registers it under
+// protocol.PPA at init.
+type Proto struct{}
+
+// Name implements protocol.Protocol.
+func (Proto) Name() string { return protocol.PPA }
+
+// Caps implements protocol.Protocol: PPA is the full-topology-knowledge
+// baseline and only the receiver decides.
+func (Proto) Caps() protocol.Caps { return protocol.Caps{NeedsFullKnowledge: true} }
+
+// Assemble implements protocol.Protocol.
+func (Proto) Assemble(in *instance.Instance, xD network.Value, opts protocol.Options) (map[int]network.Process, error) {
+	return NewProcesses(in, xD, opts.Corrupt), nil
+}
+
+// Solvable implements protocol.Feasibility: with full knowledge, PPA is
+// tight against the 𝒵-pair cut condition.
+func (Proto) Solvable(in *instance.Instance) bool {
+	_, _, cut := PairCut(in)
+	return !cut
+}
+
+func init() { protocol.Register(Proto{}) }
 
 // Run executes PPA on the instance.
 func Run(in *instance.Instance, xD network.Value, corrupt map[int]network.Process, engine network.Engine) (*network.Result, error) {
-	return network.Run(network.Config{
-		Graph:     in.G,
-		Processes: NewProcesses(in, xD, corrupt),
-		Engine:    engine,
-		StopEarly: func(d map[int]network.Value) bool {
-			_, ok := d[in.Receiver]
-			return ok
-		},
-	})
+	return protocol.Run(Proto{}, in, xD, protocol.Options{Engine: engine, Corrupt: corrupt})
 }
 
 // Resilient reports whether PPA achieves RMT against every maximal silent

@@ -1,0 +1,114 @@
+// Package protocol is the unified protocol runtime: a registry of the
+// repository's executable protocols (RMT-PKA, 𝒵-CPA, PPA, 𝒵-CPA broadcast)
+// behind one Protocol interface, one Options struct, and one Run path.
+//
+// Protocol packages register themselves at init time (like database/sql
+// drivers), so importing a protocol package makes it resolvable by name;
+// every consumer — the rmt.go wrappers, rmtsim, rmtbench, internal/eval,
+// the conformance battery — resolves protocols through the registry instead
+// of carrying its own switch. Adding a protocol variant is a registry entry,
+// not a new wiring path.
+//
+// The layering is deliberate: this package imports only the instance and
+// network substrates, and the protocol packages import it — never the other
+// way around — so registration can never form an import cycle.
+package protocol
+
+import (
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+)
+
+// MembershipOracle answers 𝒵-CPA's membership check: whether a set of
+// same-value reporting neighbors of v is an admissible corruption set in
+// Z_v. This is the protocol-scheme subroutine of Definition 8 — abstracted
+// so the Section 5 self-reduction can answer it by simulating Π runs
+// (internal/selfred) while normal runs use the direct antichain check.
+type MembershipOracle interface {
+	Member(v int, reporters nodeset.Set) bool
+}
+
+// Decider generalizes the decision subroutine of certified-propagation
+// protocols: given the partition of a player's same-value reporter classes,
+// it returns the certified value, if any. It is the fully general form of
+// the Definition 8 hook; internal/zcpa's WrapOracle adapts a
+// MembershipOracle into the textbook rule.
+type Decider interface {
+	Decide(v int, classes map[network.Value]nodeset.Set) (network.Value, bool)
+}
+
+// Options is the unified run-option set shared by every registered
+// protocol. Each protocol reads the fields it understands and ignores the
+// rest; the per-protocol aliases (core.Options, zcpa.Options) are aliases
+// of this type, so option values flow unchanged through every layer.
+type Options struct {
+	// Engine selects lockstep (default) or goroutine execution.
+	Engine network.Engine
+	// RecordTranscript enables full message recording (memory-heavy).
+	RecordTranscript bool
+	// MaxRounds bounds the execution; 0 uses the engine default.
+	MaxRounds int
+	// Corrupt replaces the listed nodes' processes with the supplied
+	// Byzantine implementations. Protocols never let their protected nodes
+	// (dealer, receiver) be replaced.
+	Corrupt map[int]network.Process
+	// Tracers are extra run observers (see network.Tracer).
+	Tracers []network.Tracer
+
+	// Horizon, when positive, runs the Horizon-PKA ablation: relays drop
+	// trails that cannot complete into a D–R path of at most Horizon
+	// nodes, and the receiver evaluates the full-set rule on the subgraph
+	// of G_M spanned by such bounded paths. Safety is preserved (the
+	// Theorem 4 argument is parametric in the decision graph); liveness
+	// shrinks to instances whose bounded-path subgraph has no RMT-cut and
+	// no longer combination paths. Experiment E10 quantifies the
+	// message-complexity savings against the solvability loss.
+	// Read by: pka.
+	Horizon int
+	// DisableMemo turns off RMT-PKA's receiver decision-subroutine
+	// memoization (claim-graph, path-set and cover-verdict caches).
+	// Decisions are identical either way — the flag exists for equivalence
+	// tests and as an escape hatch if memory is tighter than CPU.
+	// Read by: pka.
+	DisableMemo bool
+	// Oracle overrides the membership-check subroutine (nil = the direct
+	// check against the instance's local structures). Read by: zcpa,
+	// broadcast.
+	Oracle MembershipOracle
+	// Decider overrides the full decision subroutine; takes precedence
+	// over Oracle when non-nil. Read by: zcpa, broadcast.
+	Decider Decider
+}
+
+// Caps declares a protocol's capabilities and requirements to generic
+// consumers (the conformance battery, the CLI, the runner).
+type Caps struct {
+	// NeedsFullKnowledge is set by protocols designed for the
+	// full-topology-knowledge model (PPA); generic harnesses then build
+	// full-knowledge instances for it.
+	NeedsFullKnowledge bool
+	// AllDecide is set by broadcast-style protocols in which every honest
+	// player must decide, not just the designated receiver; the runner
+	// then does not stop early on the receiver's decision.
+	AllDecide bool
+}
+
+// Protocol is one registered executable protocol.
+type Protocol interface {
+	// Name is the registry key ("pka", "zcpa", ...).
+	Name() string
+	// Caps declares capabilities and requirements.
+	Caps() Caps
+	// Assemble builds the full process map for a run on the instance with
+	// dealer value xD, honoring the options (including the Corrupt
+	// overlay).
+	Assemble(in *instance.Instance, xD network.Value, opts Options) (map[int]network.Process, error)
+}
+
+// Feasibility is optionally implemented by protocols with a tight
+// solvability characterization; the conformance battery then asserts
+// Solvable ⇔ operational resilience.
+type Feasibility interface {
+	Solvable(in *instance.Instance) bool
+}

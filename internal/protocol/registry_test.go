@@ -1,0 +1,98 @@
+package protocol_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/protocol"
+
+	_ "rmt/internal/broadcast" // register the broadcast protocol
+	_ "rmt/internal/core"      // register RMT-PKA
+	_ "rmt/internal/ppa"       // register PPA
+	_ "rmt/internal/zcpa"      // register 𝒵-CPA
+)
+
+// TestRegistryHasAllFourProtocols pins the registry contents: the four
+// protocol packages self-register at init time and resolve by name.
+func TestRegistryHasAllFourProtocols(t *testing.T) {
+	want := []string{protocol.Broadcast, protocol.PKA, protocol.PPA, protocol.ZCPA}
+	got := protocol.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Fatalf("Names() = %v, want %v (sorted)", got, want)
+		}
+		p, ok := protocol.Get(name)
+		if !ok {
+			t.Fatalf("Get(%q) not found", name)
+		}
+		if p.Name() != name {
+			t.Errorf("Get(%q).Name() = %q", name, p.Name())
+		}
+		if protocol.MustGet(name) != p {
+			t.Errorf("MustGet(%q) disagrees with Get", name)
+		}
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	if _, ok := protocol.Get("no-such-protocol"); ok {
+		t.Fatal("Get of unknown name succeeded")
+	}
+	err := func() (err error) {
+		_, err = protocol.RunByName("no-such-protocol", nil, "x", protocol.Options{})
+		return
+	}()
+	if err == nil {
+		t.Fatal("RunByName of unknown name succeeded")
+	}
+	// The error should name the candidates so CLI users can self-serve.
+	if !strings.Contains(err.Error(), protocol.PKA) {
+		t.Errorf("error %q does not list registered protocols", err)
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	for _, bad := range []string{protocol.PKA, ""} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q) did not panic", bad)
+				}
+			}()
+			protocol.Register(badProto(bad))
+		}()
+	}
+}
+
+type badProto string
+
+func (b badProto) Name() string        { return string(b) }
+func (b badProto) Caps() protocol.Caps { return protocol.Caps{} }
+func (b badProto) Assemble(*instance.Instance, network.Value, protocol.Options) (map[int]network.Process, error) {
+	return nil, nil
+}
+
+// TestRegistryConcurrentReads exercises the lock under -race: lookups from
+// many goroutines while the table is live.
+func TestRegistryConcurrentReads(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				for _, name := range protocol.Names() {
+					protocol.MustGet(name)
+				}
+				protocol.All()
+			}
+		}()
+	}
+	wg.Wait()
+}

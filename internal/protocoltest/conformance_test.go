@@ -7,25 +7,27 @@ import (
 	"rmt/internal/gen"
 	"rmt/internal/instance"
 	"rmt/internal/network"
-	"rmt/internal/ppa"
 	"rmt/internal/selfred"
 	"rmt/internal/zcpa"
+
+	_ "rmt/internal/broadcast" // register the broadcast protocol
+	_ "rmt/internal/ppa"       // register the PPA protocol
 )
 
 func newPi(in *instance.Instance) zcpa.Decider {
 	return &selfred.PiDecider{LK: in.LocalKnowledge()}
 }
 
-func TestConformancePKA(t *testing.T) {
-	Run(t, Factory{
-		Name: "RMT-PKA",
-		NewProcesses: func(in *instance.Instance, xD network.Value, corrupt map[int]network.Process) map[int]network.Process {
-			return core.NewProcesses(in, xD, corrupt, core.Options{})
-		},
-		Solvable:  core.Solvable,
-		Knowledge: gen.AdHoc,
-	}, Config{})
+// TestConformanceRegistry runs the full battery against every protocol in
+// the registry — PKA, 𝒵-CPA, PPA and broadcast — with no per-protocol
+// wiring. A protocol added to the registry is picked up automatically.
+func TestConformanceRegistry(t *testing.T) {
+	RunRegistry(t, Config{})
 }
+
+// The variants below exercise configurations the registry entries don't
+// express on their own: alternate knowledge levels, a custom decider and a
+// bounded horizon.
 
 func TestConformancePKAFullKnowledge(t *testing.T) {
 	Run(t, Factory{
@@ -38,17 +40,6 @@ func TestConformancePKAFullKnowledge(t *testing.T) {
 	}, Config{Trials: 25})
 }
 
-func TestConformanceZCPA(t *testing.T) {
-	Run(t, Factory{
-		Name: "Z-CPA",
-		NewProcesses: func(in *instance.Instance, xD network.Value, corrupt map[int]network.Process) map[int]network.Process {
-			return zcpa.NewProcesses(in, xD, corrupt, nil)
-		},
-		Solvable:  zcpa.Solvable,
-		Knowledge: gen.AdHoc,
-	}, Config{})
-}
-
 func TestConformanceZCPAWithPiDecider(t *testing.T) {
 	Run(t, Factory{
 		Name: "Z-CPA+Pi",
@@ -58,18 +49,6 @@ func TestConformanceZCPAWithPiDecider(t *testing.T) {
 		Solvable:  zcpa.Solvable,
 		Knowledge: gen.AdHoc,
 	}, Config{Trials: 25})
-}
-
-func TestConformancePPA(t *testing.T) {
-	Run(t, Factory{
-		Name:         "PPA",
-		NewProcesses: ppa.NewProcesses,
-		Solvable: func(in *instance.Instance) bool {
-			_, _, cut := ppa.PairCut(in)
-			return !cut
-		},
-		Knowledge: gen.FullKnowledge,
-	}, Config{})
 }
 
 func TestConformanceHorizonPKASafetyOnly(t *testing.T) {

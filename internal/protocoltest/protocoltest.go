@@ -21,6 +21,7 @@ import (
 	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
 )
 
 // Factory describes a protocol under test.
@@ -35,6 +36,39 @@ type Factory struct {
 	Solvable func(in *instance.Instance) bool
 	// Knowledge is the knowledge level the protocol is designed for.
 	Knowledge gen.Knowledge
+}
+
+// FactoryFor adapts a registered protocol into a Factory, so the battery
+// can iterate the registry with no per-protocol wiring: the knowledge level
+// comes from the protocol's capabilities and the tightness condition from
+// its optional Feasibility implementation.
+func FactoryFor(p protocol.Protocol) Factory {
+	f := Factory{
+		Name: p.Name(),
+		NewProcesses: func(in *instance.Instance, xD network.Value, corrupt map[int]network.Process) map[int]network.Process {
+			procs, err := p.Assemble(in, xD, protocol.Options{Corrupt: corrupt})
+			if err != nil {
+				panic(fmt.Sprintf("protocoltest: %s.Assemble: %v", p.Name(), err))
+			}
+			return procs
+		},
+		Knowledge: gen.AdHoc,
+	}
+	if p.Caps().NeedsFullKnowledge {
+		f.Knowledge = gen.FullKnowledge
+	}
+	if s, ok := p.(protocol.Feasibility); ok {
+		f.Solvable = s.Solvable
+	}
+	return f
+}
+
+// RunRegistry executes the full battery against every registered protocol.
+func RunRegistry(t *testing.T, cfg Config) {
+	t.Helper()
+	for _, p := range protocol.All() {
+		Run(t, FactoryFor(p), cfg)
+	}
 }
 
 // Config tunes the battery.
@@ -70,7 +104,14 @@ func Run(t *testing.T, f Factory, cfg Config) {
 }
 
 func run(f Factory, in *instance.Instance, xD network.Value, corrupt map[int]network.Process, engine network.Engine, maxRounds int) (*network.Result, error) {
-	return network.Run(network.Config{
+	res, _, err := runTraced(f, in, xD, corrupt, engine, maxRounds, false)
+	return res, err
+}
+
+// runTraced additionally records a transcript and a tracer event count when
+// record is set, for the engine-equivalence and reconciliation slices.
+func runTraced(f Factory, in *instance.Instance, xD network.Value, corrupt map[int]network.Process, engine network.Engine, maxRounds int, record bool) (*network.Result, *countTracer, error) {
+	cfg := network.Config{
 		Graph:     in.G,
 		Processes: f.NewProcesses(in, xD, corrupt),
 		Engine:    engine,
@@ -79,7 +120,51 @@ func run(f Factory, in *instance.Instance, xD network.Value, corrupt map[int]net
 			_, ok := d[in.Receiver]
 			return ok
 		},
-	})
+	}
+	var ct *countTracer
+	if record {
+		cfg.RecordTranscript = true
+		ct = &countTracer{sends: map[int]int{}, bits: map[int]int{}}
+		cfg.Tracers = []network.Tracer{ct}
+	}
+	res, err := network.Run(cfg)
+	return res, ct, err
+}
+
+// countTracer accumulates per-round send/bit counts from the event stream,
+// to reconcile against the transcript and metrics.
+type countTracer struct {
+	network.NopTracer
+	sends map[int]int
+	bits  map[int]int
+}
+
+func (c *countTracer) Send(round int, m network.Message) {
+	c.sends[round]++
+	c.bits[round] += m.Payload.BitSize()
+}
+
+// reconcile cross-checks the tracer's counts against the recorded
+// transcript (a send in round r is a delivery of round r+1) and the
+// engine's metrics — the observer and the two stock instrumentations must
+// tell the same story.
+func (c *countTracer) reconcile(t *testing.T, label string, res *network.Result) {
+	t.Helper()
+	totalSends, totalBits := 0, 0
+	for r, n := range c.sends {
+		totalSends += n
+		totalBits += c.bits[r]
+		if got := len(res.Transcript.Deliveries(r + 1)); got != n {
+			t.Errorf("%s: round %d: tracer saw %d sends, transcript has %d deliveries at %d",
+				label, r, n, got, r+1)
+		}
+	}
+	if totalSends != res.Metrics.MessagesSent {
+		t.Errorf("%s: tracer sends %d != Metrics.MessagesSent %d", label, totalSends, res.Metrics.MessagesSent)
+	}
+	if totalBits != res.Metrics.BitsSent {
+		t.Errorf("%s: tracer bits %d != Metrics.BitsSent %d", label, totalBits, res.Metrics.BitsSent)
+	}
 }
 
 // fixtures returns the standard solvable fixtures at the factory's
@@ -145,11 +230,11 @@ func engineEquivalence(t *testing.T, f Factory, cfg Config) {
 				}
 				return core.Strategies(in, m, "forged")["silent"]
 			}
-			a, err := run(f, in, "x", mk(), network.Lockstep, cfg.MaxRounds)
+			a, act, err := runTraced(f, in, "x", mk(), network.Lockstep, cfg.MaxRounds, true)
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := run(f, in, "x", mk(), network.Goroutine, cfg.MaxRounds)
+			b, bct, err := runTraced(f, in, "x", mk(), network.Goroutine, cfg.MaxRounds, true)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -159,6 +244,14 @@ func engineEquivalence(t *testing.T, f Factory, cfg Config) {
 				t.Errorf("fixture %d, corrupt %v: engines disagree (%q/%v vs %q/%v)",
 					i, m, av, aok, bv, bok)
 			}
+			// Deterministic protocols must be transcript-identical, not just
+			// decision-identical, across engines.
+			if ak, bk := a.Transcript.Key(), b.Transcript.Key(); ak != bk {
+				t.Errorf("fixture %d, corrupt %v: transcripts differ between engines:\nlockstep:  %s\ngoroutine: %s",
+					i, m, ak, bk)
+			}
+			act.reconcile(t, fmt.Sprintf("fixture %d corrupt %v lockstep", i, m), a)
+			bct.reconcile(t, fmt.Sprintf("fixture %d corrupt %v goroutine", i, m), b)
 		}
 	}
 }

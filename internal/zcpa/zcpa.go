@@ -25,14 +25,14 @@ import (
 	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
 )
 
 // Oracle answers the 𝒵-CPA membership check: whether a set of same-value
 // reporting neighbors of v is an admissible corruption set in Z_v. Player v
-// decides on x exactly when its set of x-reporters is NOT a member.
-type Oracle interface {
-	Member(v int, reporters nodeset.Set) bool
-}
+// decides on x exactly when its set of x-reporters is NOT a member. It is
+// the protocol runtime's MembershipOracle — the Definition 8 hook.
+type Oracle = protocol.MembershipOracle
 
 // DirectOracle answers membership checks straight from the instance's
 // precomputed local structures — the "explicitly given structure" regime in
@@ -51,9 +51,7 @@ func (o DirectOracle) Member(v int, reporters nodeset.Set) bool {
 // if any. This is the protocol-scheme hook of Section 5 — the Theorem 9
 // construction (internal/selfred) implements it by simulating runs of a
 // basic-instance protocol Π instead of checking membership directly.
-type Decider interface {
-	Decide(v int, classes map[network.Value]nodeset.Set) (network.Value, bool)
-}
+type Decider = protocol.Decider
 
 // WrapOracle adapts a membership Oracle into a Decider implementing the
 // textbook rule: certify x iff the x-reporter class is not in Z_v. Values
@@ -222,57 +220,61 @@ func NewProcesses(in *instance.Instance, xD network.Value, corrupt map[int]netwo
 // NewProcessesWithDecider assembles the process map with a custom decision
 // subroutine for every honest player.
 func NewProcessesWithDecider(in *instance.Instance, xD network.Value, corrupt map[int]network.Process, decider Decider) map[int]network.Process {
-	procs := make(map[int]network.Process, in.N())
-	in.G.Nodes().ForEach(func(v int) bool {
-		switch {
-		case v == in.Dealer:
-			procs[v] = &Dealer{Value: xD, neighbors: in.G.Neighbors(v)}
-		default:
-			procs[v] = NewPlayerWithDecider(in, v, decider)
+	return protocol.Build(in.G, nodeset.Of(in.Dealer, in.Receiver), corrupt, func(v int) network.Process {
+		if v == in.Dealer {
+			return &Dealer{Value: xD, neighbors: in.G.Neighbors(v)}
 		}
-		return true
+		return NewPlayerWithDecider(in, v, decider)
 	})
-	for v, proc := range corrupt {
-		if v == in.Dealer || v == in.Receiver {
-			continue
-		}
-		procs[v] = proc
-	}
-	return procs
 }
 
-// Options tweaks a run.
-type Options struct {
-	Engine           network.Engine
-	Oracle           Oracle
-	Decider          Decider // overrides Oracle when non-nil
-	RecordTranscript bool
-	MaxRounds        int
+// Options tweaks a run. It is the unified option set of the protocol
+// runtime; 𝒵-CPA reads Oracle and Decider (Decider overrides Oracle; both
+// nil defaults to the DirectOracle) in addition to the engine fields.
+type Options = protocol.Options
+
+// resolveDecider picks the decision subroutine the options call for.
+func resolveDecider(in *instance.Instance, opts Options) Decider {
+	if opts.Decider != nil {
+		return opts.Decider
+	}
+	oracle := opts.Oracle
+	if oracle == nil {
+		oracle = DirectOracle{In: in}
+	}
+	return WrapOracle(oracle)
 }
+
+// Proto is 𝒵-CPA's registry entry; the package registers it under
+// protocol.ZCPA at init.
+type Proto struct{}
+
+// Name implements protocol.Protocol.
+func (Proto) Name() string { return protocol.ZCPA }
+
+// Caps implements protocol.Protocol: 𝒵-CPA is the ad hoc protocol and only
+// the receiver decides.
+func (Proto) Caps() protocol.Caps { return protocol.Caps{} }
+
+// Assemble implements protocol.Protocol.
+func (Proto) Assemble(in *instance.Instance, xD network.Value, opts protocol.Options) (map[int]network.Process, error) {
+	return NewProcessesWithDecider(in, xD, opts.Corrupt, resolveDecider(in, opts)), nil
+}
+
+// Solvable implements protocol.Feasibility: 𝒵-CPA is tight against the RMT
+// 𝒵-pp cut condition (Theorems 7 & 8).
+func (Proto) Solvable(in *instance.Instance) bool { return Solvable(in) }
+
+func init() { protocol.Register(Proto{}) }
 
 // Run executes 𝒵-CPA on the instance with dealer value xD and the given
-// corrupted players, stopping as soon as the receiver decides.
+// corrupted players, stopping as soon as the receiver decides. A non-nil
+// corrupt map takes precedence over opts.Corrupt.
 func Run(in *instance.Instance, xD network.Value, corrupt map[int]network.Process, opts Options) (*network.Result, error) {
-	decider := opts.Decider
-	if decider == nil {
-		oracle := opts.Oracle
-		if oracle == nil {
-			oracle = DirectOracle{In: in}
-		}
-		decider = WrapOracle(oracle)
+	if corrupt != nil {
+		opts.Corrupt = corrupt
 	}
-	cfg := network.Config{
-		Graph:            in.G,
-		Processes:        NewProcessesWithDecider(in, xD, corrupt, decider),
-		Engine:           opts.Engine,
-		RecordTranscript: opts.RecordTranscript,
-		MaxRounds:        opts.MaxRounds,
-		StopEarly: func(d map[int]network.Value) bool {
-			_, ok := d[in.Receiver]
-			return ok
-		},
-	}
-	return network.Run(cfg)
+	return protocol.Run(Proto{}, in, xD, opts)
 }
 
 // Resilient reports whether 𝒵-CPA achieves RMT on the instance for every

@@ -39,6 +39,8 @@
 package rmt
 
 import (
+	"io"
+
 	"rmt/internal/adversary"
 	"rmt/internal/byzantine"
 	"rmt/internal/core"
@@ -47,6 +49,7 @@ import (
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
 	"rmt/internal/ppa"
+	"rmt/internal/protocol"
 	"rmt/internal/selfred"
 	"rmt/internal/view"
 	"rmt/internal/zcpa"
@@ -83,10 +86,18 @@ type (
 	RMTCut = core.RMTCut
 	// ZppCut witnesses the ad hoc impossibility condition.
 	ZppCut = zcpa.ZppCut
+	// RunOptions is the unified option set of the protocol runtime, shared
+	// by every registered protocol (see Protocols, RunProtocol).
+	RunOptions = protocol.Options
 	// PKAOptions tweaks an RMT-PKA run.
 	PKAOptions = core.Options
 	// ZCPAOptions tweaks a 𝒵-CPA run.
 	ZCPAOptions = zcpa.Options
+	// Tracer observes a run event-by-event (sends, drops, deliveries,
+	// decisions, halts, round boundaries); install via RunOptions.Tracers.
+	Tracer = network.Tracer
+	// JSONLTracer streams run events as JSON lines (see NewJSONLTracer).
+	JSONLTracer = network.JSONLTracer
 	// Basic is a Figure-1 basic instance for the Section 5 machinery.
 	Basic = selfred.Basic
 	// PiDecider is the Theorem 9 Decision Protocol as a 𝒵-CPA decider.
@@ -149,22 +160,48 @@ func NewAdHocInstance(g *Graph, z Structure, dealer, receiver int) (*Instance, e
 // (Definition 2): the maximal structure consistent with all of them.
 func JoinViews(rs ...Restricted) Restricted { return adversary.JoinAll(rs...) }
 
+// Registry names of the built-in protocols, usable with RunProtocol.
+const (
+	ProtocolPKA       = protocol.PKA
+	ProtocolZCPA      = protocol.ZCPA
+	ProtocolPPA       = protocol.PPA
+	ProtocolBroadcast = protocol.Broadcast
+)
+
+// Protocols returns the names of every registered protocol, sorted.
+func Protocols() []string { return protocol.Names() }
+
+// RunProtocol resolves a protocol by registry name and executes it on the
+// instance with dealer value xD. A non-nil corrupt map takes precedence
+// over opts.Corrupt. Receiver-decides protocols stop as soon as the
+// receiver decides; broadcast-style protocols run until quiescence.
+func RunProtocol(name string, in *Instance, xD Value, corrupt map[int]Process, opts RunOptions) (*Result, error) {
+	if corrupt != nil {
+		opts.Corrupt = corrupt
+	}
+	return protocol.RunByName(name, in, xD, opts)
+}
+
 // RunPKA executes RMT-PKA (Protocol 1) with dealer value xD. Nodes in
 // corrupt run the supplied Byzantine processes instead of the protocol; the
 // dealer and receiver cannot be corrupted.
 func RunPKA(in *Instance, xD Value, corrupt map[int]Process, opts PKAOptions) (*Result, error) {
-	return core.Run(in, xD, corrupt, opts)
+	return RunProtocol(ProtocolPKA, in, xD, corrupt, opts)
 }
 
 // RunZCPA executes 𝒵-CPA adapted for RMT (Section 4).
 func RunZCPA(in *Instance, xD Value, corrupt map[int]Process, opts ZCPAOptions) (*Result, error) {
-	return zcpa.Run(in, xD, corrupt, opts)
+	return RunProtocol(ProtocolZCPA, in, xD, corrupt, opts)
 }
 
 // RunPPA executes the full-knowledge Path Propagation baseline.
 func RunPPA(in *Instance, xD Value, corrupt map[int]Process, engine Engine) (*Result, error) {
-	return ppa.Run(in, xD, corrupt, engine)
+	return RunProtocol(ProtocolPPA, in, xD, corrupt, RunOptions{Engine: engine})
 }
+
+// NewJSONLTracer returns a Tracer streaming every run event as one JSON
+// object per line on w, for offline analysis.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return network.NewJSONLTracer(w) }
 
 // SolvablePKA reports whether RMT is solvable on the instance — the tight
 // condition of Theorems 3 & 5 (no RMT-cut). RMT-PKA succeeds exactly on
