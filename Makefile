@@ -3,17 +3,18 @@
 
 GO ?= go
 
-.PHONY: tier1 test race bench benchjson benchguard vet
+.PHONY: tier1 test race bench benchjson benchguard vet attacksweep fuzzsmoke
 
 # tier1 is the gate every PR must keep green: build + full test suite +
 # vet + race detector on the packages that spawn goroutines or share state
 # across them (the lockstep/goroutine network engines, the parallel
-# experiment harness, and the protocol registry).
+# experiment harness, the protocol registry, the Byzantine strategy
+# library, and the attack sweep that fans trials out across workers).
 tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/network/ ./internal/eval/ ./internal/protocol/
+	$(GO) test -race ./internal/network/ ./internal/eval/ ./internal/protocol/ ./internal/byzantine/ ./internal/attack/
 
 test:
 	$(GO) test ./...
@@ -36,3 +37,14 @@ benchjson:
 # tier1 — benchmark numbers are too machine-sensitive to gate every PR.
 benchguard:
 	$(GO) run ./cmd/rmtbench -compare BENCH.json
+
+# Randomized Theorem-4 safety fuzzer: 200 seeded trials across every
+# registered protocol × every registered Byzantine strategy × both
+# engines, with a gullible canary proving the oracle can fail. Attack
+# traces stream as JSONL to attack-traces.jsonl.
+attacksweep:
+	$(GO) run ./cmd/rmtattack -trials 200 -seed 1 -out attack-traces.jsonl
+
+# Short coverage-guided fuzz smoke on the instance-spec parser.
+fuzzsmoke:
+	$(GO) test ./internal/cliutil/ -run=^$$ -fuzz=FuzzParseInstanceSpec -fuzztime=10s

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-trials", "6", "-seed", "11", "-workers", "2", "-out", "-"}, &sb)
+	if err != nil {
+		t.Fatalf("sweep failed: %v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"type":"run"`) {
+		t.Fatalf("no run records in JSONL stream:\n%s", out)
+	}
+	if !strings.Contains(out, "0 violations") || !strings.Contains(out, "canary flagged") {
+		t.Fatalf("summary missing:\n%s", out)
+	}
+}
+
+func TestRunSubsetFlags(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-trials", "2", "-seed", "5",
+		"-protocols", "pka", "-strategies", "value-flip,silent",
+		"-engines", "lockstep",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("sweep failed: %v\noutput:\n%s", err, sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-engines", "warp"},
+		{"-trials", "1", "-protocols", "nope"},
+		{"-trials", "1", "-strategies", "nope"},
+	}
+	for i, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 )
@@ -36,15 +37,27 @@ func compareBenchJSON(path string, out io.Writer) error {
 }
 
 // compareResults applies the regression rule to a baseline/current pair.
+//
+// Every entry on both sides must have a finite, positive ns/op. A zero, NaN
+// or Inf baseline would make every ratio comparison vacuously false (NaN
+// compares false with everything; x/0 is +Inf only on one side), turning the
+// guard into a silent pass — so degenerate measurements are a hard error,
+// not a skip.
 func compareResults(baseline, current []benchResult, path string, out io.Writer) error {
 	base := make(map[string]benchResult, len(baseline))
 	for _, r := range baseline {
+		if !finitePositive(r.NsPerOp) {
+			return fmt.Errorf("baseline %s: %s has degenerate ns/op %v; refusing to compare", path, r.Name, r.NsPerOp)
+		}
 		base[r.Name] = r
 	}
 	var regressions []string
 	seen := make(map[string]bool, len(current))
 	for _, cur := range current {
 		seen[cur.Name] = true
+		if !finitePositive(cur.NsPerOp) {
+			return fmt.Errorf("current run: %s has degenerate ns/op %v; refusing to compare", cur.Name, cur.NsPerOp)
+		}
 		b, ok := base[cur.Name]
 		if !ok {
 			fmt.Fprintf(out, "%-16s not in baseline — skipped\n", cur.Name)
@@ -72,4 +85,9 @@ func compareResults(baseline, current []benchResult, path string, out io.Writer)
 	}
 	fmt.Fprintf(out, "benchguard: all benchmarks within %.0f%% of %s\n", 100*regressionThreshold, path)
 	return nil
+}
+
+// finitePositive reports whether v is a usable ns/op measurement.
+func finitePositive(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -37,4 +38,44 @@ func TestCompareResults(t *testing.T) {
 			t.Fatalf("err = %v, want PKARun regression", err)
 		}
 	})
+}
+
+// A zero/NaN/Inf baseline used to slide through silently: NaN compares
+// false against the threshold and a zero baseline makes every current
+// figure +Inf, which still isn't > 1.25 when the baseline is NaN too. All
+// degenerate measurements must now be hard errors on either side.
+func TestCompareResultsRejectsDegenerateEntries(t *testing.T) {
+	good := []benchResult{{Name: "PKARun", NsPerOp: 1000}}
+	cases := []struct {
+		name              string
+		baseline, current []benchResult
+		wantErr           string
+	}{
+		{"zero-baseline", []benchResult{{Name: "PKARun", NsPerOp: 0}}, good, "degenerate"},
+		{"nan-baseline", []benchResult{{Name: "PKARun", NsPerOp: math.NaN()}}, good, "degenerate"},
+		{"inf-baseline", []benchResult{{Name: "PKARun", NsPerOp: math.Inf(1)}}, good, "degenerate"},
+		{"negative-baseline", []benchResult{{Name: "PKARun", NsPerOp: -5}}, good, "degenerate"},
+		{"nan-current", good, []benchResult{{Name: "PKARun", NsPerOp: math.NaN()}}, "degenerate"},
+		{"zero-current", good, []benchResult{{Name: "PKARun", NsPerOp: 0}}, "degenerate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			err := compareResults(tc.baseline, tc.current, "BENCH.json", &sb)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want %q error", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Regression fixture for the original bug shape: a wildly slower current
+// run against a NaN baseline must not pass.
+func TestCompareResultsNaNBaselineDoesNotMaskRegression(t *testing.T) {
+	baseline := []benchResult{{Name: "PKARun", NsPerOp: math.NaN()}}
+	current := []benchResult{{Name: "PKARun", NsPerOp: 1e9}}
+	var sb strings.Builder
+	if err := compareResults(baseline, current, "BENCH.json", &sb); err == nil {
+		t.Fatal("NaN baseline slid through the guard")
+	}
 }

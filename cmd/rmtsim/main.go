@@ -40,7 +40,7 @@ func run(args []string, out io.Writer) error {
 		protocol  = fs.String("protocol", rmt.ProtocolPKA, "protocol name: "+strings.Join(rmt.Protocols(), "|"))
 		value     = fs.String("value", "1", "dealer value x_D")
 		corrupt   = fs.String("corrupt", "", "corrupted nodes, e.g. \"2,3\" (must be admissible)")
-		attack    = fs.String("attack", "silent", "silent|value-flip|path-forgery|ghost-node|split-brain|structure-liar")
+		attack    = fs.String("attack", "silent", "attack strategy: "+strings.Join(rmt.AttackStrategies(), "|"))
 		engine    = fs.String("engine", "lockstep", "lockstep|goroutine")
 		perRound  = fs.Bool("rounds", false, "print per-round message counts")
 		trace     = fs.Bool("trace", false, "print every delivered message, round by round")
@@ -98,11 +98,9 @@ func run(args []string, out io.Writer) error {
 
 	var corruptProcs map[int]rmt.Process
 	if !t.IsEmpty() {
-		zoo := rmt.AttackZoo(in, t, "forged-by-"+rmt.Value(*attack))
-		var ok bool
-		corruptProcs, ok = zoo[*attack]
-		if !ok {
-			return fmt.Errorf("unknown attack %q", *attack)
+		corruptProcs, err = rmt.NewAttack(*attack, in, t, "forged-by-"+rmt.Value(*attack))
+		if err != nil {
+			return err
 		}
 	}
 

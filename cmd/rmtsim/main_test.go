@@ -4,6 +4,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"rmt"
 )
 
 const tripleGraph = "0-1 0-2 0-3 1-4 2-4 3-4"
@@ -23,8 +25,8 @@ func TestRunHonest(t *testing.T) {
 }
 
 func TestRunEveryProtocolAndAttack(t *testing.T) {
-	for _, proto := range []string{"pka", "zcpa", "ppa", "broadcast"} {
-		for _, attack := range []string{"silent", "value-flip", "path-forgery", "ghost-node", "split-brain", "structure-liar"} {
+	for _, proto := range rmt.Protocols() {
+		for _, attack := range rmt.AttackStrategies() {
 			var sb strings.Builder
 			err := run([]string{
 				"-graph", tripleGraph, "-structure", "1;2;3",

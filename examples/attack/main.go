@@ -1,13 +1,14 @@
-// Safety demo: the full Byzantine strategy zoo against RMT-PKA.
+// Safety demo: the full registered Byzantine strategy zoo against RMT-PKA.
 //
 // Theorem 4 gives RMT-PKA an unusually strong safety property: the
 // receiver never decides a wrong value even against adversaries that
-// report fictitious topology, invent ghost nodes, present different
-// stories to different neighbors, or lie about their local adversary
-// structures. This example throws every implemented strategy at both a
-// solvable and an unsolvable instance and tallies the outcomes: correct
+// report fictitious topology, invent ghost nodes, equivocate per neighbor,
+// mutate trails, or lie about their local adversary structures. This
+// example throws every registered strategy (rmt.AttackStrategies) at both
+// a solvable and an unsolvable instance and tallies the outcomes: correct
 // decisions and abstentions are both acceptable; a wrong decision never
-// happens.
+// happens. For the randomized version of this check across instance
+// families, protocols and engines, see `make attacksweep`.
 //
 //	go run ./examples/attack
 package main
@@ -31,7 +32,7 @@ func main() {
 		{"weak-diamond (unsolvable)", "0-1 0-2 1-3 2-3",
 			[][]int{{1}, {2}}, 3},
 	}
-	strategies := []string{"silent", "value-flip", "path-forgery", "ghost-node", "split-brain", "structure-liar"}
+	strategies := rmt.AttackStrategies()
 
 	fmt.Printf("%-26s %-15s %-9s %-10s %s\n", "instance", "strategy", "corrupt", "decision", "verdict")
 	wrong := 0

@@ -1,0 +1,142 @@
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"rmt/internal/byzantine"
+	"rmt/internal/core"
+	"rmt/internal/gen"
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
+	"rmt/internal/zcpa"
+)
+
+// This file is the sweep's teeth check: a deliberately UNSAFE decision rule
+// run through the exact same safety oracle as the real protocols. The
+// gullible receiver decides the lexicographically smallest candidate value
+// it has seen as soon as any candidate exists — no cover check, no
+// certification — so a single value-forging corrupted relay fools it. If
+// the oracle does not flag it, the sweep's zero-violation claim about the
+// real protocols is vacuous and Report.Err fails.
+
+// CanaryName names the unsafe decision rule in reports and traces. The
+// protocol is deliberately NOT registered in internal/protocol's registry:
+// it must never leak into conformance batteries or the CLI.
+const CanaryName = "canary-gullible"
+
+// gullibleReceiver accepts any type-1 message with a plausibly admissible
+// trail, or any bare 𝒵-CPA value, as a candidate — and decides the smallest
+// candidate at the end of the first round that produced one.
+type gullibleReceiver struct {
+	id      int
+	decided bool
+	value   network.Value
+}
+
+func (r *gullibleReceiver) Init(network.Outbox) {}
+
+func (r *gullibleReceiver) Round(_ int, inbox []network.Message, _ network.Outbox) bool {
+	if r.decided {
+		return false
+	}
+	var candidates []network.Value
+	for _, m := range inbox {
+		switch p := m.Payload.(type) {
+		case core.ValueMsg:
+			if len(p.P) == 0 || p.P.Contains(r.id) || p.P.Tail() != m.From {
+				continue
+			}
+			candidates = append(candidates, p.X)
+		case zcpa.ValuePayload:
+			candidates = append(candidates, p.X)
+		}
+	}
+	if len(candidates) == 0 {
+		return true
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	r.decided, r.value = true, candidates[0]
+	return false
+}
+
+func (r *gullibleReceiver) Decision() (network.Value, bool) { return r.value, r.decided }
+
+// canaryProto wires the gullible receiver into an otherwise honest RMT-PKA
+// player set. It implements protocol.Protocol so it runs through the very
+// same protocol.Run path as the audited protocols, but is never registered.
+type canaryProto struct{}
+
+func (canaryProto) Name() string        { return CanaryName }
+func (canaryProto) Caps() protocol.Caps { return protocol.Caps{} }
+
+func (canaryProto) Assemble(in *instance.Instance, xD network.Value, opts protocol.Options) (map[int]network.Process, error) {
+	return protocol.Build(in.G, nodeset.Of(in.Dealer, in.Receiver), opts.Corrupt, func(v int) network.Process {
+		switch v {
+		case in.Dealer:
+			return core.NewDealer(in, xD)
+		case in.Receiver:
+			return &gullibleReceiver{id: v}
+		default:
+			return core.NewRelay(in, v)
+		}
+	}), nil
+}
+
+// canaryFixture is the deterministic teeth fixture: three disjoint one-hop
+// relays between D=0 and R=4 with singleton corruptions. Corrupting relay 1
+// with any value-forging strategy puts a forged candidate in front of the
+// gullible receiver no later than the honest value, and ForgedValue sorts
+// below x_D, so the receiver reliably decides wrong.
+func canaryFixture() (*instance.Instance, nodeset.Set, error) {
+	g, d, r := gen.DisjointPaths(3, 1)
+	in, err := instance.AdHoc(g, gen.Singletons(nodeset.Of(1, 2, 3)), d, r)
+	if err != nil {
+		return nil, nodeset.Empty(), err
+	}
+	return in, nodeset.Of(1), nil
+}
+
+// runCanaryBattery runs every configured strategy against the gullible
+// receiver on the fixture and counts how many runs the safety oracle flags.
+// The battery's event traces go to cfg.Out so the JSONL stream always
+// contains at least one fully traced attack.
+func runCanaryBattery(cfg Config, rep *Report) error {
+	in, corrupt, err := canaryFixture()
+	if err != nil {
+		return fmt.Errorf("attack: canary fixture: %w", err)
+	}
+	for _, stratName := range cfg.strategies() {
+		strat, ok := byzantine.Get(stratName)
+		if !ok {
+			return byzantine.UnknownError(stratName)
+		}
+		var tracers []network.Tracer
+		var jsonl *network.JSONLTracer
+		if cfg.Out != nil {
+			jsonl = network.NewJSONLTracer(cfg.Out)
+			tracers = append(tracers, jsonl)
+		}
+		res, err := protocol.Run(canaryProto{}, in, xD, protocol.Options{
+			Engine:    network.Lockstep,
+			MaxRounds: cfg.maxRounds(),
+			Corrupt:   strat.Build(in, corrupt, ForgedValue),
+			Tracers:   tracers,
+		})
+		if err != nil {
+			return fmt.Errorf("attack: canary under %s: %w", stratName, err)
+		}
+		if jsonl != nil {
+			if err := jsonl.Err(); err != nil {
+				return fmt.Errorf("attack: canary trace under %s: %w", stratName, err)
+			}
+		}
+		rep.CanaryRuns++
+		if len(unsafeDecisions(in, corrupt, res)) > 0 {
+			rep.CanaryFlagged++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,570 @@
+// Package attack is the randomized Theorem-4 safety fuzzer: it samples
+// instances and admissible corruption sets, corrupts them with every
+// registered byzantine strategy, runs every registered protocol on both
+// engines, and asserts the paper's safety guarantee — no honest player ever
+// decides a value other than x_D while the corruption set is in 𝒵 — plus
+// transcript-level engine agreement.
+//
+// Two guard rails keep the oracle honest:
+//
+//   - control runs corrupt a minimal NON-admissible superset (a maximal set
+//     of 𝒵 plus one honest node); their outcomes are counted but not
+//     asserted, documenting that the guarantee being fuzzed is exactly the
+//     t ∈ 𝒵 boundary;
+//   - a canary battery runs a deliberately unsafe decision rule
+//     (internal/attack's gullible receiver) through the same oracle and the
+//     sweep FAILS unless the oracle flags it — a safety fuzzer that cannot
+//     catch a gullible receiver has no teeth.
+package attack
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"rmt/internal/adversary"
+	"rmt/internal/byzantine"
+	"rmt/internal/eval"
+	"rmt/internal/gen"
+	"rmt/internal/graph"
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
+	"rmt/internal/view"
+)
+
+// ForgedValue is the default wrong value injected by value-forging
+// strategies. It sorts before the honest dealer value "1", so a decision
+// rule that is gullible toward lexicographically small candidates (the
+// canary) is reliably fooled.
+const ForgedValue = "0!forged"
+
+// xD is the honest dealer value used by every sweep run.
+const xD network.Value = "1"
+
+// Config parameterizes a sweep.
+type Config struct {
+	// Seed is the master seed; per-trial RNGs derive from it via
+	// eval.TrialSeed, so a sweep is reproducible at any worker count.
+	Seed int64
+	// Trials is the number of sampled (instance, corruption) trials.
+	Trials int
+	// Workers bounds the worker pool (≤ 0 = one per logical CPU).
+	Workers int
+	// Protocols to exercise (nil = every registered protocol).
+	Protocols []string
+	// Strategies to exercise (nil = every registered strategy).
+	Strategies []string
+	// Engines to exercise (nil = lockstep and goroutine).
+	Engines []network.Engine
+	// MaxRounds bounds each run (0 = 16, ample for the sampled instances
+	// and necessary because nuisance strategies never quiesce).
+	MaxRounds int
+	// Out, when non-nil, receives one JSONL record per run, in trial
+	// order, plus full message-level event traces (network.JSONLTracer)
+	// for every violating run and for the canary battery.
+	Out io.Writer
+}
+
+func (c Config) protocols() []string {
+	if len(c.Protocols) > 0 {
+		return c.Protocols
+	}
+	return protocol.Names()
+}
+
+func (c Config) strategies() []string {
+	if len(c.Strategies) > 0 {
+		return c.Strategies
+	}
+	return byzantine.Names()
+}
+
+func (c Config) engines() []network.Engine {
+	if len(c.Engines) > 0 {
+		return c.Engines
+	}
+	return []network.Engine{network.Lockstep, network.Goroutine}
+}
+
+func (c Config) maxRounds() int {
+	if c.MaxRounds > 0 {
+		return c.MaxRounds
+	}
+	return 16
+}
+
+// Violation is one observed breach of the Theorem-4 safety guarantee: an
+// honest player decided a value other than x_D under an admissible
+// corruption set.
+type Violation struct {
+	Trial    int           `json:"trial"`
+	Instance string        `json:"instance"`
+	Protocol string        `json:"protocol"`
+	Strategy string        `json:"strategy"`
+	Engine   string        `json:"engine"`
+	Corrupt  []int         `json:"corrupt"`
+	Node     int           `json:"node"`
+	Got      network.Value `json:"got"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("trial %d %s: %s under %s/%s, corrupt %v: node %d decided %q ≠ %q",
+		v.Trial, v.Instance, v.Protocol, v.Strategy, v.Engine, v.Corrupt, v.Node, v.Got, xD)
+}
+
+// Mismatch is a transcript- or decision-level disagreement between engines
+// on the same deterministic run.
+type Mismatch struct {
+	Trial    int    `json:"trial"`
+	Instance string `json:"instance"`
+	Protocol string `json:"protocol"`
+	Strategy string `json:"strategy"`
+	Detail   string `json:"detail"`
+}
+
+// Report aggregates a sweep.
+type Report struct {
+	Trials int
+	Runs   int
+
+	Violations []Violation
+	Mismatches []Mismatch
+
+	// ControlRuns / ControlViolations count the non-admissible-superset
+	// control runs and how many of them breached safety. Controls are
+	// documentation, not assertions: outside 𝒵 the theorem promises
+	// nothing.
+	ControlRuns       int
+	ControlViolations int
+
+	// CanaryRuns / CanaryFlagged count the unsafe-decision-rule battery;
+	// the sweep fails unless at least one canary run is flagged.
+	CanaryRuns    int
+	CanaryFlagged int
+}
+
+// Err reports whether the sweep establishes what it claims: zero safety
+// violations, zero engine disagreements, and a safety oracle with teeth.
+func (r *Report) Err() error {
+	if len(r.Violations) > 0 {
+		return fmt.Errorf("attack: %d Theorem-4 safety violations (first: %s)",
+			len(r.Violations), r.Violations[0])
+	}
+	if len(r.Mismatches) > 0 {
+		m := r.Mismatches[0]
+		return fmt.Errorf("attack: %d engine disagreements (first: trial %d %s/%s: %s)",
+			len(r.Mismatches), m.Trial, m.Protocol, m.Strategy, m.Detail)
+	}
+	if r.CanaryRuns > 0 && r.CanaryFlagged == 0 {
+		return fmt.Errorf("attack: canary decision rule survived %d runs undetected — the safety oracle has no teeth", r.CanaryRuns)
+	}
+	return nil
+}
+
+// Summary renders a one-paragraph human summary.
+func (r *Report) Summary() string {
+	return fmt.Sprintf(
+		"attack sweep: %d trials, %d runs: %d violations, %d engine mismatches; "+
+			"%d control runs (%d unsafe, expected outside 𝒵); canary flagged in %d/%d runs",
+		r.Trials, r.Runs, len(r.Violations), len(r.Mismatches),
+		r.ControlRuns, r.ControlViolations, r.CanaryFlagged, r.CanaryRuns)
+}
+
+// sample is one drawn (instance, corruption, control) trial.
+type sample struct {
+	desc    string
+	in      *instance.Instance
+	full    *instance.Instance // full-knowledge clone for NeedsFullKnowledge protocols
+	corrupt nodeset.Set        // admissible: a random maximal set of 𝒵
+	control nodeset.Set        // minimal non-admissible superset, empty if none exists
+}
+
+// drawSample derives a deterministic trial fixture from the trial's RNG.
+func drawSample(rng *rand.Rand) (*sample, error) {
+	var (
+		g    *graph.Graph
+		z    adversary.Structure
+		d, r int
+		desc string
+	)
+	level := gen.Levels()[rng.Intn(len(gen.Levels()))]
+	switch rng.Intn(4) {
+	case 0:
+		paths, hops := 2+rng.Intn(2), 1+rng.Intn(2)
+		g, d, r = gen.DisjointPaths(paths, hops)
+		z = gen.Singletons(g.Nodes().Minus(nodeset.Of(d, r)))
+		desc = fmt.Sprintf("paths(%d,%d)/%s", paths, hops, level)
+	case 1:
+		k := 2 + rng.Intn(2)
+		g, z, d, r = gen.ChimeraScaled(k)
+		desc = fmt.Sprintf("chimera(%d)/%s", k, level)
+	case 2:
+		width := 2 + rng.Intn(2)
+		g, d, r = gen.Layered(2, width)
+		z = gen.Singletons(g.Nodes().Minus(nodeset.Of(d, r)))
+		desc = fmt.Sprintf("layered(2,%d)/%s", width, level)
+	default:
+		n := 5 + rng.Intn(4)
+		in, err := gen.RandomInstance(rng, n, 0.4, 2+rng.Intn(2), 0.3, level)
+		if err == nil && hasCorruptibleSet(in) {
+			return finishSample(in, fmt.Sprintf("gnp(%d)/%s", n, level), rng)
+		}
+		// Rare degenerate draw — unbuildable, or an adversary structure whose
+		// only admissible set is ∅ (nothing to corrupt). Fall back to a fixed
+		// family so the trial still contributes coverage.
+		g, d, r = gen.DisjointPaths(3, 1)
+		z = gen.Singletons(g.Nodes().Minus(nodeset.Of(d, r)))
+		desc = fmt.Sprintf("paths(3,1)/%s", level)
+	}
+	in, err := gen.Build(g, z, level, d, r)
+	if err != nil {
+		return nil, fmt.Errorf("attack: building %s: %w", desc, err)
+	}
+	return finishSample(in, desc, rng)
+}
+
+// hasCorruptibleSet reports whether the instance admits any non-empty
+// corruption set — the precondition for a meaningful attack trial.
+func hasCorruptibleSet(in *instance.Instance) bool {
+	for _, t := range in.MaximalCorruptions() {
+		if t.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// finishSample picks the trial's corruption set and control superset and
+// materializes the full-knowledge clone.
+func finishSample(in *instance.Instance, desc string, rng *rand.Rand) (*sample, error) {
+	maximal := in.MaximalCorruptions()
+	nonEmpty := maximal[:0:0]
+	for _, t := range maximal {
+		if t.Len() > 0 {
+			nonEmpty = append(nonEmpty, t)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return nil, fmt.Errorf("attack: %s has no non-empty corruption set", desc)
+	}
+	corrupt := nonEmpty[rng.Intn(len(nonEmpty))]
+
+	// Control: the chosen maximal set plus the smallest honest non-terminal
+	// that pushes it outside 𝒵.
+	control := nodeset.Empty()
+	in.HonestNodes(corrupt).ForEach(func(v int) bool {
+		if v == in.Dealer || v == in.Receiver {
+			return true
+		}
+		if super := corrupt.Add(v); !in.Admissible(super) {
+			control = super
+			return false
+		}
+		return true
+	})
+
+	full, err := instance.New(in.G, in.Z, view.Full(in.G), in.Dealer, in.Receiver)
+	if err != nil {
+		return nil, fmt.Errorf("attack: full-knowledge clone of %s: %w", desc, err)
+	}
+	return &sample{desc: desc, in: in, full: full, corrupt: corrupt, control: control}, nil
+}
+
+// runRecord is the per-run JSONL summary record.
+type runRecord struct {
+	Type     string        `json:"type"` // "run"
+	Trial    int           `json:"trial"`
+	Instance string        `json:"instance"`
+	Protocol string        `json:"protocol"`
+	Strategy string        `json:"strategy"`
+	Engine   string        `json:"engine"`
+	Corrupt  []int         `json:"corrupt"`
+	InZ      bool          `json:"in_z"`
+	Rounds   int           `json:"rounds"`
+	Messages int           `json:"messages"`
+	Decided  bool          `json:"decided"`
+	Value    network.Value `json:"value,omitempty"`
+	Safe     bool          `json:"safe"`
+}
+
+// trialResult is everything one trial reports back to the aggregator.
+type trialResult struct {
+	err        error
+	runs       int
+	violations []Violation
+	mismatches []Mismatch
+	ctrlRuns   int
+	ctrlViol   int
+	records    []runRecord
+	// violating runs to re-trace for the JSONL stream
+	traces []traceRequest
+}
+
+type traceRequest struct {
+	sample   *sample
+	protocol string
+	strategy string
+	corrupt  nodeset.Set
+}
+
+// Sweep runs the fuzzer and aggregates its report. The per-trial work is
+// fanned across eval.ParallelMap; records and traces are emitted serially
+// in trial order after the pool drains, so output is deterministic.
+func Sweep(cfg Config) (*Report, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	results := eval.ParallelMap(cfg.Trials, cfg.Workers, func(trial int) trialResult {
+		rng := rand.New(rand.NewSource(eval.TrialSeed(cfg.Seed, 0, trial)))
+		return runTrial(cfg, trial, rng)
+	})
+
+	rep := &Report{Trials: cfg.Trials}
+	for _, tr := range results {
+		if tr.err != nil {
+			return nil, tr.err
+		}
+		rep.Runs += tr.runs
+		rep.Violations = append(rep.Violations, tr.violations...)
+		rep.Mismatches = append(rep.Mismatches, tr.mismatches...)
+		rep.ControlRuns += tr.ctrlRuns
+		rep.ControlViolations += tr.ctrlViol
+	}
+
+	if cfg.Out != nil {
+		enc := json.NewEncoder(cfg.Out)
+		for _, tr := range results {
+			for _, rec := range tr.records {
+				if err := enc.Encode(rec); err != nil {
+					return nil, fmt.Errorf("attack: writing records: %w", err)
+				}
+			}
+			for _, req := range tr.traces {
+				if err := traceRun(cfg, req); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	if err := runCanaryBattery(cfg, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// runTrial executes the full protocol × strategy × engine matrix on one
+// sampled fixture.
+func runTrial(cfg Config, trial int, rng *rand.Rand) trialResult {
+	var tr trialResult
+	smp, err := drawSample(rng)
+	if err != nil {
+		tr.err = err
+		return tr
+	}
+
+	for _, protoName := range cfg.protocols() {
+		proto, ok := protocol.Get(protoName)
+		if !ok {
+			tr.err = fmt.Errorf("attack: unknown protocol %q", protoName)
+			return tr
+		}
+		in := smp.in
+		if proto.Caps().NeedsFullKnowledge {
+			in = smp.full
+		}
+		for _, stratName := range cfg.strategies() {
+			strat, ok := byzantine.Get(stratName)
+			if !ok {
+				tr.err = byzantine.UnknownError(stratName)
+				return tr
+			}
+
+			// Admissible corruption: assert safety and engine agreement.
+			var runs []*network.Result
+			for _, engine := range cfg.engines() {
+				res, err := runOnce(cfg, proto, strat, in, smp.corrupt, engine)
+				if err != nil {
+					tr.err = fmt.Errorf("attack: trial %d %s %s/%s: %w",
+						trial, smp.desc, protoName, stratName, err)
+					return tr
+				}
+				tr.runs++
+				runs = append(runs, res)
+				viols := unsafeDecisions(in, smp.corrupt, res)
+				for _, v := range viols {
+					tr.violations = append(tr.violations, Violation{
+						Trial: trial, Instance: smp.desc,
+						Protocol: protoName, Strategy: stratName,
+						Engine: engine.String(), Corrupt: members(smp.corrupt),
+						Node: v.node, Got: v.got,
+					})
+				}
+				if len(viols) > 0 {
+					tr.traces = append(tr.traces, traceRequest{
+						sample: smp, protocol: protoName, strategy: stratName,
+						corrupt: smp.corrupt,
+					})
+				}
+				tr.records = append(tr.records, record(trial, smp.desc, protoName, stratName,
+					engine, smp.corrupt, true, in, res, len(viols) == 0))
+			}
+			if d := disagreement(cfg.engines(), runs); d != "" {
+				tr.mismatches = append(tr.mismatches, Mismatch{
+					Trial: trial, Instance: smp.desc,
+					Protocol: protoName, Strategy: stratName, Detail: d,
+				})
+			}
+
+			// Control: minimal non-admissible superset, lockstep only.
+			// Outcomes are recorded, not asserted.
+			if smp.control.Len() > 0 {
+				res, err := runOnce(cfg, proto, strat, in, smp.control, network.Lockstep)
+				if err != nil {
+					tr.err = fmt.Errorf("attack: trial %d control %s %s/%s: %w",
+						trial, smp.desc, protoName, stratName, err)
+					return tr
+				}
+				tr.ctrlRuns++
+				unsafe := len(unsafeDecisions(in, smp.control, res)) > 0
+				if unsafe {
+					tr.ctrlViol++
+				}
+				tr.records = append(tr.records, record(trial, smp.desc, protoName, stratName,
+					network.Lockstep, smp.control, false, in, res, !unsafe))
+			}
+		}
+	}
+	return tr
+}
+
+// runOnce builds a fresh corruption overlay (strategy processes are
+// stateful and single-use) and executes one run.
+func runOnce(cfg Config, proto protocol.Protocol, strat byzantine.Strategy,
+	in *instance.Instance, corrupt nodeset.Set, engine network.Engine) (*network.Result, error) {
+	return protocol.Run(proto, in, xD, protocol.Options{
+		Engine:           engine,
+		MaxRounds:        cfg.maxRounds(),
+		RecordTranscript: true,
+		Corrupt:          strat.Build(in, corrupt, ForgedValue),
+	})
+}
+
+type unsafeDecision struct {
+	node int
+	got  network.Value
+}
+
+// unsafeDecisions applies the Theorem-4 safety oracle: every decision by a
+// node outside the corruption set must equal x_D. Deciding ⊥ (not at all)
+// is always acceptable — safety, not liveness, is on trial.
+func unsafeDecisions(in *instance.Instance, corrupt nodeset.Set, res *network.Result) []unsafeDecision {
+	var out []unsafeDecision
+	for node, got := range res.Decisions {
+		if corrupt.Contains(node) || got == xD {
+			continue
+		}
+		out = append(out, unsafeDecision{node: node, got: got})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].node < out[j].node })
+	return out
+}
+
+// disagreement compares the recorded transcripts and decisions of the
+// per-engine runs of one deterministic configuration.
+func disagreement(engines []network.Engine, runs []*network.Result) string {
+	if len(runs) < 2 {
+		return ""
+	}
+	ref := runs[0]
+	for i, res := range runs[1:] {
+		if res.Transcript.Key() != ref.Transcript.Key() {
+			return fmt.Sprintf("transcript of %s differs from %s", engines[i+1], engines[0])
+		}
+		if !decisionsEqual(ref.Decisions, res.Decisions) {
+			return fmt.Sprintf("decisions of %s differ from %s: %v vs %v",
+				engines[i+1], engines[0], res.Decisions, ref.Decisions)
+		}
+	}
+	return ""
+}
+
+func decisionsEqual(a, b map[int]network.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func record(trial int, desc, protoName, stratName string, engine network.Engine,
+	corrupt nodeset.Set, inZ bool, in *instance.Instance, res *network.Result, safe bool) runRecord {
+	val, decided := res.DecisionOf(in.Receiver)
+	return runRecord{
+		Type: "run", Trial: trial, Instance: desc,
+		Protocol: protoName, Strategy: stratName, Engine: engine.String(),
+		Corrupt: members(corrupt), InZ: inZ,
+		Rounds: res.Rounds, Messages: res.Metrics.MessagesSent,
+		Decided: decided, Value: val, Safe: safe,
+	}
+}
+
+func members(s nodeset.Set) []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(v int) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// traceRun re-executes a violating run with a message-level JSONL tracer
+// attached, so the attack trace lands in the output stream right after the
+// violating run's summary record.
+func traceRun(cfg Config, req traceRequest) error {
+	proto := protocol.MustGet(req.protocol)
+	in := req.sample.in
+	if proto.Caps().NeedsFullKnowledge {
+		in = req.sample.full
+	}
+	strat := byzantine.MustGet(req.strategy)
+	tracer := network.NewJSONLTracer(cfg.Out)
+	_, err := protocol.Run(proto, in, xD, protocol.Options{
+		Engine:    network.Lockstep,
+		MaxRounds: cfg.maxRounds(),
+		Corrupt:   strat.Build(in, req.corrupt, ForgedValue),
+		Tracers:   []network.Tracer{tracer},
+	})
+	if err != nil {
+		return fmt.Errorf("attack: tracing %s/%s: %w", req.protocol, req.strategy, err)
+	}
+	return tracer.Err()
+}
+
+// ParseEngines parses a comma-separated engine list ("lockstep,goroutine").
+func ParseEngines(s string) ([]network.Engine, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []network.Engine
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "lockstep":
+			out = append(out, network.Lockstep)
+		case "goroutine":
+			out = append(out, network.Goroutine)
+		default:
+			return nil, fmt.Errorf("attack: unknown engine %q (want lockstep or goroutine)", name)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package attack
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rmt/internal/byzantine"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
+)
+
+func TestSweepHoldsTheoremFourSafety(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := Sweep(Config{Seed: 7, Trials: 12, Workers: 2, Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	wantRuns := 12 * len(protocol.Names()) * len(byzantine.Names()) * 2
+	if rep.Runs != wantRuns {
+		t.Fatalf("runs = %d, want %d (trials × protocols × strategies × engines)", rep.Runs, wantRuns)
+	}
+	if rep.CanaryRuns != len(byzantine.Names()) {
+		t.Fatalf("canary runs = %d, want one per strategy", rep.CanaryRuns)
+	}
+	if rep.CanaryFlagged == 0 {
+		t.Fatal("canary was never flagged")
+	}
+	if rep.ControlRuns == 0 {
+		t.Fatal("no control runs: the non-𝒵 boundary went unexercised")
+	}
+	text := out.String()
+	if !strings.Contains(text, `"type":"run"`) {
+		t.Fatal("JSONL stream has no run records")
+	}
+	// The canary battery always traces through the JSONL tracer, so the
+	// stream must contain message-level events too.
+	if !strings.Contains(text, `"send"`) && !strings.Contains(text, `"begin_run"`) {
+		t.Fatalf("JSONL stream has no tracer events:\n%.400s", text)
+	}
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	var a, b bytes.Buffer
+	if _, err := Sweep(Config{Seed: 11, Trials: 6, Workers: 1, Out: &a}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sweep(Config{Seed: 11, Trials: 6, Workers: 4, Out: &b}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("sweep output depends on worker count")
+	}
+}
+
+func TestSweepFlagsCanaryViolation(t *testing.T) {
+	// Run ONLY the canary battery path with a value-forging strategy and
+	// check the oracle flags the gullible receiver directly.
+	in, corrupt, err := canaryFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := byzantine.MustGet(byzantine.ValueFlipName)
+	res, err := protocol.Run(canaryProto{}, in, xD, protocol.Options{
+		MaxRounds: 16,
+		Corrupt:   strat.Build(in, corrupt, ForgedValue),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viols := unsafeDecisions(in, corrupt, res)
+	if len(viols) == 0 {
+		t.Fatal("gullible receiver survived a value flipper")
+	}
+	if viols[0].node != in.Receiver || viols[0].got == xD {
+		t.Fatalf("unexpected violation shape: %+v", viols[0])
+	}
+	// Under the silent adversary the gullible receiver decides the honest
+	// value — the oracle must not false-positive.
+	silent := byzantine.MustGet(byzantine.SilentName)
+	res, err = protocol.Run(canaryProto{}, in, xD, protocol.Options{
+		MaxRounds: 16,
+		Corrupt:   silent.Build(in, corrupt, ForgedValue),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viols := unsafeDecisions(in, corrupt, res); len(viols) != 0 {
+		t.Fatalf("oracle false-positived on a safe run: %+v", viols)
+	}
+}
+
+func TestReportErrRequiresTeeth(t *testing.T) {
+	rep := &Report{CanaryRuns: 5}
+	if err := rep.Err(); err == nil || !strings.Contains(err.Error(), "teeth") {
+		t.Fatalf("toothless report did not fail: %v", err)
+	}
+	rep.CanaryFlagged = 1
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rep.Violations = []Violation{{Protocol: "pka"}}
+	if rep.Err() == nil {
+		t.Fatal("violations did not fail the report")
+	}
+	rep = &Report{CanaryRuns: 1, CanaryFlagged: 1, Mismatches: []Mismatch{{Detail: "x"}}}
+	if rep.Err() == nil {
+		t.Fatal("engine mismatches did not fail the report")
+	}
+}
+
+func TestParseEngines(t *testing.T) {
+	got, err := ParseEngines("lockstep,goroutine")
+	if err != nil || len(got) != 2 || got[0] != network.Lockstep || got[1] != network.Goroutine {
+		t.Fatalf("ParseEngines = %v, %v", got, err)
+	}
+	if _, err := ParseEngines("warp"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if got, err := ParseEngines(""); err != nil || got != nil {
+		t.Fatalf("empty spec = %v, %v", got, err)
+	}
+}
+
+// TestSweepGoroutineEngineUnderRace exercises the goroutine engine through
+// the full attack matrix with a parallel worker pool; `go test -race` on
+// this package makes it a data-race detector for the strategies, which
+// must not share state across runs.
+func TestSweepGoroutineEngineUnderRace(t *testing.T) {
+	rep, err := Sweep(Config{
+		Seed:    3,
+		Trials:  4,
+		Workers: 4,
+		Engines: []network.Engine{network.Goroutine},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsafeDecisionsOracle(t *testing.T) {
+	in, corrupt, err := canaryFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &network.Result{Decisions: map[int]network.Value{
+		0: xD,         // dealer: honest, correct
+		1: "0!forged", // corrupted node: its decisions are ignored
+		4: "0!forged", // honest receiver deciding wrong: violation
+		2: xD,         // honest, correct
+	}}
+	viols := unsafeDecisions(in, corrupt, res)
+	if len(viols) != 1 || viols[0].node != 4 {
+		t.Fatalf("oracle = %+v, want exactly node 4", viols)
+	}
+	_ = nodeset.Empty() // keep import if fixture changes
+}

@@ -18,7 +18,6 @@ import (
 	"fmt"
 
 	"rmt/internal/adversary"
-	"rmt/internal/byzantine"
 	"rmt/internal/graph"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
@@ -118,7 +117,7 @@ func Resilient(in *Instance) (bool, error) {
 	resilient := true
 	var runErr error
 	in.Z.Members(func(t nodeset.Set) bool {
-		res, err := Run(in, "1", byzantine.SilentProcesses(t), 0)
+		res, err := Run(in, "1", protocol.Silence(t), 0)
 		if err != nil {
 			runErr = err
 			return false

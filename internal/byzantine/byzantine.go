@@ -1,8 +1,12 @@
-// Package byzantine provides protocol-agnostic Byzantine player behaviors.
-// A corrupted player is just a network.Process with arbitrary behavior, so
-// strategies here can be dropped into any protocol run. Protocol-specific
-// attacks (wrong values, fictitious topology, fake local structures) live
-// next to their protocols in internal/zcpa and internal/core.
+// Package byzantine is the adversary library: named attack strategies that
+// corrupt players of any protocol run. A corrupted player is just a
+// network.Process with arbitrary behavior, so strategies range from
+// protocol-agnostic nuisances (Silent, Spammer, Replayer) to protocol-aware
+// attacks built on the RMT message vocabularies (Equivocator, PathForger,
+// ViewLiar, Eclipser), plus the legacy Forger constructions that stay in
+// internal/core. All of them self-register in a strategy registry mirroring
+// internal/protocol's, so the safety fuzzer, the CLI and the examples
+// enumerate one shared zoo.
 package byzantine
 
 import (
@@ -37,8 +41,12 @@ type noisePayload struct {
 	seq   int
 }
 
-func (p noisePayload) BitSize() int { return 64 }
-func (p noisePayload) Key() string  { return fmt.Sprintf("noise(%d,%d,%d)", p.from, p.round, p.seq) }
+// BitSize implements network.Payload. It is derived from the canonical
+// encoding so the metrics stream charges the spammer for exactly the bits
+// it puts on the wire, whatever the field widths happen to be.
+func (p noisePayload) BitSize() int { return 8 * len(p.Key()) }
+
+func (p noisePayload) Key() string { return fmt.Sprintf("noise(%d,%d,%d)", p.from, p.round, p.seq) }
 
 // Spammer floods its neighbors with junk payloads every round, exercising
 // protocol robustness to erroneous messages (the paper's "messages of
@@ -76,9 +84,13 @@ func (*Spammer) Decision() (network.Value, bool) { return "", false }
 
 // Replayer echoes back to every neighbor each payload it receives, with one
 // round of delay — a cheap "confusion" adversary that reuses well-formed
-// protocol messages in wrong contexts.
+// protocol messages in wrong contexts. Each distinct payload (by Key) is
+// replayed at most once: without the dedup, two adjacent Replayers re-echo
+// each other's echoes forever and the run never quiesces.
 type Replayer struct {
 	Neighbors nodeset.Set
+
+	seen map[string]bool
 }
 
 // Init implements network.Process.
@@ -87,6 +99,14 @@ func (*Replayer) Init(network.Outbox) {}
 // Round implements network.Process.
 func (r *Replayer) Round(_ int, inbox []network.Message, out network.Outbox) bool {
 	for _, m := range inbox {
+		key := m.Payload.Key()
+		if r.seen[key] {
+			continue
+		}
+		if r.seen == nil {
+			r.seen = make(map[string]bool)
+		}
+		r.seen[key] = true
 		r.Neighbors.ForEach(func(u int) bool {
 			out(u, m.Payload)
 			return true

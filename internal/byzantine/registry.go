@@ -1,0 +1,119 @@
+package byzantine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+)
+
+// Canonical registry names of the built-in strategies. As with the protocol
+// registry, these constants are the only place strategy names are spelled.
+const (
+	// Protocol-agnostic behaviors.
+	SilentName   = "silent"
+	SpammerName  = "spammer"
+	ReplayerName = "replayer"
+
+	// Protocol-aware strategies built on the RMT message vocabularies.
+	EquivocatorName = "equivocator"
+	PathForgerName  = "path-forger"
+	ViewLiarName    = "view-liar"
+	EclipserName    = "eclipser"
+
+	// Legacy zoo strategies (internal/core's Forger constructions), kept
+	// under their historical names for rmtsim, examples and experiment E3.
+	ValueFlipName     = "value-flip"
+	PathForgeryName   = "path-forgery"
+	GhostNodeName     = "ghost-node"
+	SplitBrainName    = "split-brain"
+	StructureLiarName = "structure-liar"
+)
+
+// Strategy is a named adversarial behavior: given an instance and a
+// corruption set, it builds the Byzantine process overlay for the corrupted
+// nodes. Strategies register themselves like protocols do, so the fuzzer,
+// the CLI and the examples enumerate one shared zoo.
+//
+// The forged value is the attacker's preferred wrong value; strategies that
+// never inject values ignore it. Build must be deterministic: the safety
+// sweep compares transcripts across engines, so a strategy may not consult
+// clocks or unseeded randomness.
+type Strategy interface {
+	// Name is the registry key.
+	Name() string
+	// Describe is a one-line human description for CLI help output.
+	Describe() string
+	// Build returns the corrupt-process overlay for the nodes of t.
+	Build(in *instance.Instance, t nodeset.Set, forged network.Value) map[int]network.Process
+}
+
+var strategies = struct {
+	sync.RWMutex
+	m map[string]Strategy
+}{m: make(map[string]Strategy)}
+
+// Register adds a strategy under its Name. Called from init(); registering
+// an empty name or a duplicate panics, as with database/sql drivers.
+func Register(s Strategy) {
+	name := s.Name()
+	if name == "" {
+		panic("byzantine: Register with empty name")
+	}
+	strategies.Lock()
+	defer strategies.Unlock()
+	if _, dup := strategies.m[name]; dup {
+		panic("byzantine: Register called twice for " + name)
+	}
+	strategies.m[name] = s
+}
+
+// Get returns the strategy registered under name.
+func Get(name string) (Strategy, bool) {
+	strategies.RLock()
+	defer strategies.RUnlock()
+	s, ok := strategies.m[name]
+	return s, ok
+}
+
+// MustGet returns the strategy registered under name, panicking when
+// absent. For static names known at compile time.
+func MustGet(name string) Strategy {
+	s, ok := Get(name)
+	if !ok {
+		panic("byzantine: no strategy registered as " + name)
+	}
+	return s
+}
+
+// Names returns the registered strategy names, sorted.
+func Names() []string {
+	strategies.RLock()
+	defer strategies.RUnlock()
+	names := make([]string, 0, len(strategies.m))
+	for name := range strategies.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the registered strategies in name order.
+func All() []Strategy {
+	names := Names()
+	out := make([]Strategy, len(names))
+	for i, name := range names {
+		out[i] = MustGet(name)
+	}
+	return out
+}
+
+// UnknownError builds the not-registered error with the available names.
+func UnknownError(name string) error {
+	return fmt.Errorf("byzantine: unknown strategy %q (registered: %s)",
+		name, strings.Join(Names(), ", "))
+}

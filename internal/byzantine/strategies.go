@@ -1,0 +1,458 @@
+package byzantine
+
+import (
+	"strconv"
+
+	"rmt/internal/adversary"
+	"rmt/internal/core"
+	"rmt/internal/graph"
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+	"rmt/internal/zcpa"
+)
+
+// admissibleTrail is Protocol 1's admission check from the attacker's seat:
+// a trail the honest code would have accepted from this channel. Strategies
+// apply it before mutating a message so that every forgery they emit is one
+// an honest relay could plausibly have produced — the strongest position
+// Theorem 4 grants the adversary.
+func admissibleTrail(trail graph.Path, self, from int) bool {
+	return len(trail) > 0 && !trail.Contains(self) && trail.Tail() == from
+}
+
+// honestInfo reconstructs the truthful type-2 claim of a corrupted node, for
+// strategies that stay plausible on the knowledge layer.
+func honestInfo(in *instance.Instance, v int) core.NodeInfo {
+	return core.NodeInfo{Node: v, View: in.Gamma.Of(v), Z: in.LocalStructure(v)}.Sealed()
+}
+
+// understatedInfo fabricates a claim for node v with the given view and a
+// trivial local structure ("nobody I see can be corrupted") — the shape that
+// makes a forged path look maximally trustworthy.
+func understatedInfo(v int, fakeView *graph.Graph) core.NodeInfo {
+	return core.NodeInfo{
+		Node: v,
+		View: fakeView,
+		Z:    adversary.Restricted{Domain: fakeView.Nodes(), Structure: adversary.Trivial()},
+	}.Sealed()
+}
+
+// Equivocator sends a different wrong value to every neighbor: at Init it
+// claims per-neighbor dealer values on both the RMT-PKA type-1 channel and
+// the 𝒵-CPA value channel, and while relaying it rewrites every admissible
+// type-1 value into the destination's private variant. Type-2 traffic is
+// relayed honestly so the attacker's knowledge layer stays above suspicion.
+//
+// Safety intuition: every equivocated trail ends at the Equivocator, so any
+// valid message set containing one also contains a corrupted node — the
+// receiver's cover check absorbs the attack. In 𝒵-CPA the per-neighbor
+// variants fragment the reporter classes instead of concentrating them.
+type Equivocator struct {
+	id        int
+	dealer    int
+	neighbors nodeset.Set
+	forged    network.Value
+	info      core.NodeInfo
+}
+
+// NewEquivocator corrupts node c of the instance with the equivocation
+// strategy, forging variants of the given base value.
+func NewEquivocator(in *instance.Instance, c int, forged network.Value) *Equivocator {
+	return &Equivocator{
+		id:        c,
+		dealer:    in.Dealer,
+		neighbors: in.G.Neighbors(c),
+		forged:    forged,
+		info:      honestInfo(in, c),
+	}
+}
+
+// variant is the neighbor-specific forged value.
+func (e *Equivocator) variant(u int) network.Value {
+	return e.forged + "@" + network.Value(strconv.Itoa(u))
+}
+
+// Init implements network.Process.
+func (e *Equivocator) Init(out network.Outbox) {
+	trail := graph.Path{e.id}
+	forgedTrail := graph.Path{e.dealer, e.id}
+	e.neighbors.ForEach(func(u int) bool {
+		out(u, core.InfoMsg{Info: e.info, P: trail})
+		out(u, core.ValueMsg{X: e.variant(u), P: forgedTrail})
+		out(u, zcpa.ValuePayload{X: e.variant(u)})
+		return true
+	})
+}
+
+// Round implements network.Process.
+func (e *Equivocator) Round(_ int, inbox []network.Message, out network.Outbox) bool {
+	for _, m := range inbox {
+		switch p := m.Payload.(type) {
+		case core.ValueMsg:
+			if !admissibleTrail(p.P, e.id, m.From) {
+				continue
+			}
+			trail := p.P.Append(e.id)
+			e.neighbors.ForEach(func(u int) bool {
+				out(u, core.ValueMsg{X: e.variant(u), P: trail})
+				return true
+			})
+		case core.InfoMsg:
+			if !admissibleTrail(p.P, e.id, m.From) {
+				continue
+			}
+			next := core.InfoMsg{Info: p.Info, P: p.P.Append(e.id)}
+			e.neighbors.ForEach(func(u int) bool {
+				out(u, next)
+				return true
+			})
+		}
+	}
+	return true
+}
+
+// Decision implements network.Process.
+func (*Equivocator) Decision() (network.Value, bool) { return "", false }
+
+// PathForger attacks the trail discipline of type-1 messages: besides
+// injecting a fabricated direct-from-dealer claim at Init (backed by a
+// fictitious view containing the edge c–D), it mutates every admissible
+// type-1 message it relays, cycling through three forgeries — forged value
+// on the honest trail, truncated trail (erase the intermediate hops), and
+// spliced trail (stitch the last hop directly onto the dealer).
+//
+// All three keep the trail's last element equal to the forger, which the
+// authenticated channels force anyway; the attack tests that receivers never
+// trust the *interior* of a trail that passes through a corrupted node.
+type PathForger struct {
+	id        int
+	dealer    int
+	neighbors nodeset.Set
+	forged    network.Value
+	info      core.NodeInfo
+	n         int
+}
+
+// NewTrailForger corrupts node c of the instance with the trail-mutation
+// strategy. (The constructor avoids the name NewPathForger, which
+// internal/core uses for the legacy injection-only attack.)
+func NewTrailForger(in *instance.Instance, c int, forged network.Value) *PathForger {
+	fakeView := in.Gamma.Of(c).Clone()
+	fakeView.AddEdge(c, in.Dealer)
+	return &PathForger{
+		id:        c,
+		dealer:    in.Dealer,
+		neighbors: in.G.Neighbors(c),
+		forged:    forged,
+		info:      understatedInfo(c, fakeView),
+	}
+}
+
+// Init implements network.Process.
+func (f *PathForger) Init(out network.Outbox) {
+	trail := graph.Path{f.id}
+	f.neighbors.ForEach(func(u int) bool {
+		out(u, core.InfoMsg{Info: f.info, P: trail})
+		out(u, core.ValueMsg{X: f.forged, P: graph.Path{f.dealer, f.id}})
+		out(u, zcpa.ValuePayload{X: f.forged})
+		return true
+	})
+}
+
+// Round implements network.Process.
+func (f *PathForger) Round(_ int, inbox []network.Message, out network.Outbox) bool {
+	for _, m := range inbox {
+		switch p := m.Payload.(type) {
+		case core.ValueMsg:
+			if !admissibleTrail(p.P, f.id, m.From) {
+				continue
+			}
+			next, ok := f.mutate(p)
+			if !ok {
+				continue
+			}
+			f.neighbors.ForEach(func(u int) bool {
+				out(u, next)
+				return true
+			})
+		case core.InfoMsg:
+			if !admissibleTrail(p.P, f.id, m.From) {
+				continue
+			}
+			next := core.InfoMsg{Info: p.Info, P: p.P.Append(f.id)}
+			f.neighbors.ForEach(func(u int) bool {
+				out(u, next)
+				return true
+			})
+		}
+	}
+	return true
+}
+
+// mutate picks the next forgery in the cycle for an admissible type-1
+// message. A mutation that would produce a non-simple trail is skipped.
+func (f *PathForger) mutate(p core.ValueMsg) (core.ValueMsg, bool) {
+	mode := f.n % 3
+	f.n++
+	switch mode {
+	case 0: // forged value, honest trail
+		return core.ValueMsg{X: f.forged, P: p.P.Append(f.id)}, true
+	case 1: // truncated trail: pretend the head delivered it directly
+		if p.P.Head() == f.id {
+			return core.ValueMsg{}, false
+		}
+		return core.ValueMsg{X: p.X, P: graph.Path{p.P.Head(), f.id}}, true
+	default: // spliced trail: stitch the last hop straight onto the dealer
+		last := p.P.Tail()
+		if last == f.dealer || last == f.id || f.dealer == f.id {
+			return core.ValueMsg{}, false
+		}
+		return core.ValueMsg{X: p.X, P: graph.Path{f.dealer, last, f.id}}, true
+	}
+}
+
+// Decision implements network.Process.
+func (*PathForger) Decision() (network.Value, bool) { return "", false }
+
+// ViewLiar attacks the knowledge layer only: it announces two contested
+// versions of its own initial knowledge (an understated fake view containing
+// direct edges to the dealer and the receiver, and an overstated version
+// claiming everything it sees may be corrupted), plus a claim on behalf of a
+// fictitious node that allegedly sits between the dealer and the liar. All
+// traffic is relayed honestly, so any unsafe decision traces back purely to
+// trusting fictitious γ/Z claims.
+type ViewLiar struct {
+	id        int
+	neighbors nodeset.Set
+	lies      []network.Payload
+}
+
+// NewViewLiar corrupts node c of the instance with the fictitious-knowledge
+// strategy.
+func NewViewLiar(in *instance.Instance, c int) *ViewLiar {
+	ghost := in.G.MaxID() + 1
+	fakeView := in.Gamma.Of(c).Clone()
+	fakeView.AddEdge(c, in.Dealer)
+	fakeView.AddEdge(c, in.Receiver)
+	fakeView.AddEdge(c, ghost)
+
+	dom := in.Gamma.NodesOf(c)
+	overstated := core.NodeInfo{
+		Node: c,
+		View: in.Gamma.Of(c),
+		Z: adversary.Restricted{
+			Domain:    dom,
+			Structure: adversary.FromSets(dom.Remove(in.Dealer).Remove(in.Receiver)),
+		},
+	}.Sealed()
+
+	ghostView := graph.New()
+	ghostView.AddEdge(in.Dealer, ghost)
+	ghostView.AddEdge(ghost, c)
+
+	return &ViewLiar{
+		id:        c,
+		neighbors: in.G.Neighbors(c),
+		lies: []network.Payload{
+			core.InfoMsg{Info: understatedInfo(c, fakeView), P: graph.Path{c}},
+			core.InfoMsg{Info: overstated, P: graph.Path{c}},
+			core.InfoMsg{Info: understatedInfo(ghost, ghostView), P: graph.Path{ghost, c}},
+		},
+	}
+}
+
+// Init implements network.Process.
+func (l *ViewLiar) Init(out network.Outbox) {
+	l.neighbors.ForEach(func(u int) bool {
+		for _, p := range l.lies {
+			out(u, p)
+		}
+		return true
+	})
+}
+
+// Round implements network.Process: relay both message types honestly.
+func (l *ViewLiar) Round(_ int, inbox []network.Message, out network.Outbox) bool {
+	for _, m := range inbox {
+		var next network.Payload
+		switch p := m.Payload.(type) {
+		case core.ValueMsg:
+			if !admissibleTrail(p.P, l.id, m.From) {
+				continue
+			}
+			next = core.ValueMsg{X: p.X, P: p.P.Append(l.id)}
+		case core.InfoMsg:
+			if !admissibleTrail(p.P, l.id, m.From) {
+				continue
+			}
+			next = core.InfoMsg{Info: p.Info, P: p.P.Append(l.id)}
+		default:
+			continue
+		}
+		l.neighbors.ForEach(func(u int) bool {
+			out(u, next)
+			return true
+		})
+	}
+	return true
+}
+
+// Decision implements network.Process.
+func (*ViewLiar) Decision() (network.Value, bool) { return "", false }
+
+// Eclipser is a selective-relay adversary: it behaves like an honest player
+// but forwards traffic only to neighbors that are no closer to the receiver
+// than itself, steering information away from R. It forges nothing, so it is
+// a pure liveness attack — safety must hold trivially, and the sweep's
+// engine-agreement check gets a strategy whose damage is starvation rather
+// than confusion.
+type Eclipser struct {
+	id      int
+	allowed nodeset.Set
+	info    core.NodeInfo
+	seen    map[string]bool
+}
+
+// NewEclipser corrupts node c of the instance with the selective-relay
+// strategy, suppressing every link that makes progress toward the receiver.
+func NewEclipser(in *instance.Instance, c int) *Eclipser {
+	dist := in.G.Distances(in.Receiver)
+	allowed := nodeset.Empty()
+	in.G.Neighbors(c).ForEach(func(u int) bool {
+		if dist[u] < 0 || dist[c] < 0 || dist[u] >= dist[c] {
+			allowed = allowed.Add(u)
+		}
+		return true
+	})
+	return &Eclipser{
+		id:      c,
+		allowed: allowed,
+		info:    honestInfo(in, c),
+		seen:    make(map[string]bool),
+	}
+}
+
+// Init implements network.Process.
+func (e *Eclipser) Init(out network.Outbox) {
+	e.allowed.ForEach(func(u int) bool {
+		out(u, core.InfoMsg{Info: e.info, P: graph.Path{e.id}})
+		return true
+	})
+}
+
+// Round implements network.Process.
+func (e *Eclipser) Round(_ int, inbox []network.Message, out network.Outbox) bool {
+	for _, m := range inbox {
+		var next network.Payload
+		switch p := m.Payload.(type) {
+		case core.ValueMsg:
+			if !admissibleTrail(p.P, e.id, m.From) {
+				continue
+			}
+			next = core.ValueMsg{X: p.X, P: p.P.Append(e.id)}
+		case core.InfoMsg:
+			if !admissibleTrail(p.P, e.id, m.From) {
+				continue
+			}
+			next = core.InfoMsg{Info: p.Info, P: p.P.Append(e.id)}
+		case zcpa.ValuePayload:
+			// 𝒵-CPA payloads carry no trail; dedup by key so two adjacent
+			// Eclipsers cannot ping-pong the same value forever.
+			if e.seen[p.Key()] {
+				continue
+			}
+			e.seen[p.Key()] = true
+			next = p
+		default:
+			continue
+		}
+		e.allowed.ForEach(func(u int) bool {
+			out(u, next)
+			return true
+		})
+	}
+	return true
+}
+
+// Decision implements network.Process.
+func (*Eclipser) Decision() (network.Value, bool) { return "", false }
+
+// funcStrategy adapts a build function into a registered Strategy.
+type funcStrategy struct {
+	name  string
+	desc  string
+	build func(in *instance.Instance, c int, forged network.Value, i int) network.Process
+}
+
+func (s funcStrategy) Name() string     { return s.name }
+func (s funcStrategy) Describe() string { return s.desc }
+
+// Build implements Strategy: every node of t is corrupted with the same
+// behavior kind. ForEach iterates in increasing ID order, so the overlay —
+// including per-index artifacts like ghost IDs — is deterministic.
+func (s funcStrategy) Build(in *instance.Instance, t nodeset.Set, forged network.Value) map[int]network.Process {
+	m := make(map[int]network.Process, t.Len())
+	i := 0
+	t.ForEach(func(c int) bool {
+		m[c] = s.build(in, c, forged, i)
+		i++
+		return true
+	})
+	return m
+}
+
+func init() {
+	for _, s := range []funcStrategy{
+		{SilentName, "drop everything (worst case for liveness of safe protocols)",
+			func(in *instance.Instance, c int, _ network.Value, _ int) network.Process {
+				return NewSilent()
+			}},
+		{SpammerName, "flood neighbors with erroneous junk payloads every round",
+			func(in *instance.Instance, c int, _ network.Value, _ int) network.Process {
+				return &Spammer{ID: c, Neighbors: in.G.Neighbors(c)}
+			}},
+		{ReplayerName, "echo each distinct received payload back to all neighbors once",
+			func(in *instance.Instance, c int, _ network.Value, _ int) network.Process {
+				return &Replayer{Neighbors: in.G.Neighbors(c)}
+			}},
+		{EquivocatorName, "send a different forged value to every neighbor, on both value channels",
+			func(in *instance.Instance, c int, forged network.Value, _ int) network.Process {
+				return NewEquivocator(in, c, forged)
+			}},
+		{PathForgerName, "mutate relayed trails: forged value, truncation, dealer splice",
+			func(in *instance.Instance, c int, forged network.Value, _ int) network.Process {
+				return NewTrailForger(in, c, forged)
+			}},
+		{ViewLiarName, "announce contested fictitious views and local structures, relay honestly",
+			func(in *instance.Instance, c int, _ network.Value, _ int) network.Process {
+				return NewViewLiar(in, c)
+			}},
+		{EclipserName, "relay honestly but only away from the receiver (starvation)",
+			func(in *instance.Instance, c int, _ network.Value, _ int) network.Process {
+				return NewEclipser(in, c)
+			}},
+		{ValueFlipName, "relay type-1 messages with the forged value substituted",
+			func(in *instance.Instance, c int, forged network.Value, _ int) network.Process {
+				return core.NewValueFlipper(in, c, forged)
+			}},
+		{PathForgeryName, "inject a fabricated direct-from-dealer value backed by a fake view",
+			func(in *instance.Instance, c int, forged network.Value, _ int) network.Process {
+				return core.NewPathForger(in, c, forged)
+			}},
+		{GhostNodeName, "invent a fictitious node connecting the dealer to the attacker",
+			func(in *instance.Instance, c int, forged network.Value, i int) network.Process {
+				return core.NewGhostForger(in, c, in.G.MaxID()+1+i, forged)
+			}},
+		{SplitBrainName, "present two versions of own knowledge to two halves of the neighborhood",
+			func(in *instance.Instance, c int, forged network.Value, _ int) network.Process {
+				return core.NewSplitBrain(in, c, forged)
+			}},
+		{StructureLiarName, "relay faithfully but claim every visible subset may be corrupted",
+			func(in *instance.Instance, c int, _ network.Value, _ int) network.Process {
+				return core.NewStructureLiar(in, c)
+			}},
+	} {
+		Register(s)
+	}
+}

@@ -4,10 +4,10 @@ import (
 	"testing"
 
 	"rmt/internal/adversary"
-	"rmt/internal/byzantine"
 	"rmt/internal/gen"
 	"rmt/internal/instance"
 	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
 	"rmt/internal/view"
 )
 
@@ -17,7 +17,7 @@ import (
 func TestHorizonDeliversOnShortPaths(t *testing.T) {
 	// Triple path: all D–R paths have 3 nodes; horizon 3 changes nothing.
 	in := triplePath(t)
-	res, err := Run(in, "x", byzantine.SilentProcesses(nodeset.Of(1)), Options{Horizon: 3})
+	res, err := Run(in, "x", protocol.Silence(nodeset.Of(1)), Options{Horizon: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +105,11 @@ func TestHorizonNeverBeatsUnbounded(t *testing.T) {
 	for _, in := range fixtures {
 		for _, m := range in.MaximalCorruptions() {
 			for _, h := range []int{3, 4, 5} {
-				bounded, err := Run(in, "x", byzantine.SilentProcesses(m), Options{Horizon: h})
+				bounded, err := Run(in, "x", protocol.Silence(m), Options{Horizon: h})
 				if err != nil {
 					t.Fatal(err)
 				}
-				unbounded, err := Run(in, "x", byzantine.SilentProcesses(m), Options{})
+				unbounded, err := Run(in, "x", protocol.Silence(m), Options{})
 				if err != nil {
 					t.Fatal(err)
 				}

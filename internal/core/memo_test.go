@@ -5,11 +5,11 @@ import (
 	"testing"
 
 	"rmt/internal/adversary"
-	"rmt/internal/byzantine"
 	"rmt/internal/graph"
 	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
 	"rmt/internal/view"
 )
 
@@ -80,11 +80,11 @@ func TestReceiverMemoEquivalenceRandomized(t *testing.T) {
 		}
 		corruptions := append([]nodeset.Set{nodeset.Empty()}, in.MaximalCorruptions()...)
 		for _, m := range corruptions {
-			memo, err := Run(in, "real", byzantine.SilentProcesses(m), Options{})
+			memo, err := Run(in, "real", protocol.Silence(m), Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			fresh, err := Run(in, "real", byzantine.SilentProcesses(m), Options{DisableMemo: true})
+			fresh, err := Run(in, "real", protocol.Silence(m), Options{DisableMemo: true})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"rmt/internal/byzantine"
 	"rmt/internal/graph"
 	"rmt/internal/instance"
 	"rmt/internal/network"
@@ -168,7 +167,7 @@ func Run(in *instance.Instance, xD network.Value, corrupt map[int]network.Proces
 // corruption set (the liveness-worst behavior, DESIGN.md §5).
 func Resilient(in *instance.Instance) (bool, error) {
 	for _, t := range in.MaximalCorruptions() {
-		res, err := Run(in, "1", byzantine.SilentProcesses(t), Options{})
+		res, err := Run(in, "1", protocol.Silence(t), Options{})
 		if err != nil {
 			return false, err
 		}

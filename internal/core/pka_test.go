@@ -4,11 +4,11 @@ import (
 	"testing"
 
 	"rmt/internal/adversary"
-	"rmt/internal/byzantine"
 	"rmt/internal/graph"
 	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
 	"rmt/internal/view"
 )
 
@@ -98,7 +98,7 @@ func TestHonestLongerLine(t *testing.T) {
 func TestTriplePathResilient(t *testing.T) {
 	in := triplePath(t)
 	for _, c := range []int{1, 2, 3} {
-		res, err := Run(in, "x", byzantine.SilentProcesses(nodeset.Of(c)), Options{})
+		res, err := Run(in, "x", protocol.Silence(nodeset.Of(c)), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -276,11 +276,11 @@ func TestStructureLiarCannotStallSolvable(t *testing.T) {
 func TestGoroutineEngineAgrees(t *testing.T) {
 	in := triplePath(t)
 	for _, c := range []int{1, 2, 3} {
-		a, err := Run(in, "x", byzantine.SilentProcesses(nodeset.Of(c)), Options{})
+		a, err := Run(in, "x", protocol.Silence(nodeset.Of(c)), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Run(in, "x", byzantine.SilentProcesses(nodeset.Of(c)), Options{Engine: network.Goroutine})
+		b, err := Run(in, "x", protocol.Silence(nodeset.Of(c)), Options{Engine: network.Goroutine})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -82,3 +82,18 @@ func runTrials[T any](p Params, stream int, fn func(r *rand.Rand, trial int) T) 
 		return fn(rand.New(rand.NewSource(trialSeed(p.Seed, stream, i))), i)
 	})
 }
+
+// TrialSeed exposes the per-trial seed derivation for other deterministic
+// harnesses (the attack safety sweep), so every randomized driver in the
+// repository decorrelates (seed, stream, trial) the same way.
+func TrialSeed(seed int64, stream, trial int) int64 { return trialSeed(seed, stream, trial) }
+
+// ParallelMap exposes the worker pool for other deterministic harnesses:
+// fn(0..n-1) computed across at most `workers` goroutines (≤ 0 means one
+// per logical CPU, as with Params.Workers), results in index order.
+func ParallelMap[T any](n, workers int, fn func(i int) T) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return parallelMap(n, workers, fn)
+}

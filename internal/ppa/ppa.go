@@ -18,7 +18,6 @@
 package ppa
 
 import (
-	"rmt/internal/byzantine"
 	"rmt/internal/core"
 	"rmt/internal/graph"
 	"rmt/internal/instance"
@@ -197,7 +196,7 @@ func Run(in *instance.Instance, xD network.Value, corrupt map[int]network.Proces
 // corruption set.
 func Resilient(in *instance.Instance) (bool, error) {
 	for _, t := range in.MaximalCorruptions() {
-		res, err := Run(in, "1", byzantine.SilentProcesses(t), 0)
+		res, err := Run(in, "1", protocol.Silence(t), 0)
 		if err != nil {
 			return false, err
 		}

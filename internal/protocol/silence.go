@@ -1,0 +1,35 @@
+package protocol
+
+import (
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+)
+
+// silentProcess blocks everything: it never sends, never relays and never
+// decides, but keeps consuming traffic so the engine never observes an
+// artificial early halt from its side.
+type silentProcess struct{}
+
+// Init implements network.Process.
+func (silentProcess) Init(network.Outbox) {}
+
+// Round implements network.Process.
+func (silentProcess) Round(int, []network.Message, network.Outbox) bool { return true }
+
+// Decision implements network.Process.
+func (silentProcess) Decision() (network.Value, bool) { return "", false }
+
+// Silence builds the corrupt overlay that silences every node of t — the
+// liveness-worst-case adversary for safe protocols (DESIGN.md §5), which the
+// protocol packages' Resilient checkers simulate on every admissible
+// corruption set. It lives in this package rather than internal/byzantine so
+// that protocol packages need not depend on the attack library, which itself
+// builds on the protocols' message vocabularies.
+func Silence(t nodeset.Set) map[int]network.Process {
+	m := make(map[int]network.Process, t.Len())
+	t.ForEach(func(v int) bool {
+		m[v] = silentProcess{}
+		return true
+	})
+	return m
+}

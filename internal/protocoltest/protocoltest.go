@@ -16,7 +16,7 @@ import (
 	"testing"
 
 	"rmt/internal/adversary"
-	"rmt/internal/core"
+	"rmt/internal/byzantine"
 	"rmt/internal/gen"
 	"rmt/internal/instance"
 	"rmt/internal/network"
@@ -207,8 +207,9 @@ func safetyZoo(t *testing.T, f Factory, cfg Config) {
 			if m.IsEmpty() {
 				continue
 			}
-			for name, corrupt := range core.Strategies(in, m, "forged") {
-				res, err := run(f, in, "real", corrupt, network.Lockstep, cfg.MaxRounds)
+			for _, strat := range byzantine.All() {
+				name := strat.Name()
+				res, err := run(f, in, "real", strat.Build(in, m, "forged"), network.Lockstep, cfg.MaxRounds)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -228,7 +229,7 @@ func engineEquivalence(t *testing.T, f Factory, cfg Config) {
 				if m.IsEmpty() {
 					return nil
 				}
-				return core.Strategies(in, m, "forged")["silent"]
+				return protocol.Silence(m)
 			}
 			a, act, err := runTraced(f, in, "x", mk(), network.Lockstep, cfg.MaxRounds, true)
 			if err != nil {
@@ -271,7 +272,7 @@ func tightness(t *testing.T, f Factory, cfg Config) {
 		want := f.Solvable(in)
 		got := true
 		for _, tset := range in.MaximalCorruptions() {
-			res, err := run(f, in, "1", core.Strategies(in, tset, "x")["silent"], network.Lockstep, cfg.MaxRounds)
+			res, err := run(f, in, "1", protocol.Silence(tset), network.Lockstep, cfg.MaxRounds)
 			if err != nil {
 				t.Fatal(err)
 			}

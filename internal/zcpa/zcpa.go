@@ -21,7 +21,6 @@ package zcpa
 import (
 	"sort"
 
-	"rmt/internal/byzantine"
 	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
@@ -283,7 +282,7 @@ func Run(in *instance.Instance, xD network.Value, corrupt map[int]network.Proces
 // 𝒵-CPA is safe (DESIGN.md §5); monotonicity makes maximal sets sufficient.
 func Resilient(in *instance.Instance) (bool, error) {
 	for _, t := range in.MaximalCorruptions() {
-		res, err := Run(in, "1", byzantine.SilentProcesses(t), Options{})
+		res, err := Run(in, "1", protocol.Silence(t), Options{})
 		if err != nil {
 			return false, err
 		}

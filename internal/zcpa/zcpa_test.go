@@ -5,12 +5,62 @@ import (
 	"testing"
 
 	"rmt/internal/adversary"
-	"rmt/internal/byzantine"
 	"rmt/internal/graph"
 	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
 )
+
+// junk is an erroneous payload — "a message of different form" in the
+// paper's terms — that honest players must recognize and discard.
+type junk struct{ seq int }
+
+func (j junk) BitSize() int { return 8 }
+func (j junk) Key() string  { return "junk:" + string(rune('a'+j.seq)) }
+
+// noisemaker floods its neighbors with junk every round (a minimal local
+// stand-in for the attack library's Spammer, which cannot be imported here
+// without a test-only cycle).
+type noisemaker struct{ neighbors nodeset.Set }
+
+func (*noisemaker) Init(network.Outbox) {}
+func (n *noisemaker) Round(round int, _ []network.Message, out network.Outbox) bool {
+	n.neighbors.ForEach(func(u int) bool {
+		for i := 0; i < 3; i++ {
+			out(u, junk{seq: i})
+		}
+		return true
+	})
+	return true
+}
+func (*noisemaker) Decision() (network.Value, bool) { return "", false }
+
+// echoer bounces each received payload back to all neighbors once (a local
+// stand-in for the attack library's Replayer).
+type echoer struct {
+	neighbors nodeset.Set
+	seen      map[string]bool
+}
+
+func (*echoer) Init(network.Outbox) {}
+func (e *echoer) Round(_ int, inbox []network.Message, out network.Outbox) bool {
+	for _, m := range inbox {
+		if e.seen == nil {
+			e.seen = make(map[string]bool)
+		}
+		if e.seen[m.Payload.Key()] {
+			continue
+		}
+		e.seen[m.Payload.Key()] = true
+		e.neighbors.ForEach(func(u int) bool {
+			out(u, m.Payload)
+			return true
+		})
+	}
+	return true
+}
+func (*echoer) Decision() (network.Value, bool) { return "", false }
 
 func mustInstance(t *testing.T, edges string, z adversary.Structure, d, r int) *instance.Instance {
 	t.Helper()
@@ -72,7 +122,7 @@ func TestMultiHopRelay(t *testing.T) {
 func TestTriplePathResilient(t *testing.T) {
 	in := triplePath(t)
 	for _, corrupted := range []int{1, 2, 3} {
-		res, err := Run(in, "x", byzantine.SilentProcesses(nodeset.Of(corrupted)), Options{})
+		res, err := Run(in, "x", protocol.Silence(nodeset.Of(corrupted)), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +257,7 @@ func TestTwoFacedAttackSafety(t *testing.T) {
 
 func TestErroneousMessagesIgnored(t *testing.T) {
 	in := triplePath(t)
-	spammer := &byzantine.Spammer{ID: 2, Neighbors: in.G.Neighbors(2), PerRound: 3}
+	spammer := &noisemaker{neighbors: in.G.Neighbors(2)}
 	res, err := Run(in, "x", map[int]network.Process{2: spammer}, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -219,7 +269,7 @@ func TestErroneousMessagesIgnored(t *testing.T) {
 
 func TestReplayerHarmless(t *testing.T) {
 	in := triplePath(t)
-	rep := &byzantine.Replayer{Neighbors: in.G.Neighbors(3)}
+	rep := &echoer{neighbors: in.G.Neighbors(3)}
 	res, err := Run(in, "x", map[int]network.Process{3: rep}, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -231,10 +281,7 @@ func TestReplayerHarmless(t *testing.T) {
 
 func TestCorruptMapCannotTouchDealerReceiver(t *testing.T) {
 	in := triplePath(t)
-	procs := NewProcesses(in, "x", map[int]network.Process{
-		0: byzantine.NewSilent(),
-		4: byzantine.NewSilent(),
-	}, nil)
+	procs := NewProcesses(in, "x", protocol.Silence(nodeset.Of(0, 4)), nil)
 	if _, ok := procs[0].(*Dealer); !ok {
 		t.Fatal("dealer was replaced by a corrupt process")
 	}
@@ -246,11 +293,11 @@ func TestCorruptMapCannotTouchDealerReceiver(t *testing.T) {
 func TestGoroutineEngineAgrees(t *testing.T) {
 	in := triplePath(t)
 	for _, corrupted := range []int{1, 2, 3} {
-		a, err := Run(in, "x", byzantine.SilentProcesses(nodeset.Of(corrupted)), Options{})
+		a, err := Run(in, "x", protocol.Silence(nodeset.Of(corrupted)), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Run(in, "x", byzantine.SilentProcesses(nodeset.Of(corrupted)), Options{Engine: network.Goroutine})
+		b, err := Run(in, "x", protocol.Silence(nodeset.Of(corrupted)), Options{Engine: network.Goroutine})
 		if err != nil {
 			t.Fatal(err)
 		}

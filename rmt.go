@@ -254,12 +254,32 @@ func ResilientZCPA(in *Instance) (bool, error) { return zcpa.Resilient(in) }
 // strategy — the worst case for liveness against safe protocols.
 func SilentCorruption(t Set) map[int]Process { return byzantine.SilentProcesses(t) }
 
-// AttackZoo returns the full named Byzantine strategy suite against an
-// instance for corruption set t: silent, value-flip, path-forgery,
-// ghost-node, split-brain and structure-liar (see Theorem 4's adversary
-// capabilities). Keys are strategy names.
+// AttackStrategies returns the names of every registered Byzantine attack
+// strategy, sorted — the keys usable with NewAttack and rmtsim's -attack.
+func AttackStrategies() []string { return byzantine.Names() }
+
+// NewAttack resolves a strategy by registry name and builds the
+// corrupt-process overlay for the nodes of t, with forged as the attacker's
+// preferred wrong value (ignored by strategies that never inject values).
+func NewAttack(name string, in *Instance, t Set, forged Value) (map[int]Process, error) {
+	s, ok := byzantine.Get(name)
+	if !ok {
+		return nil, byzantine.UnknownError(name)
+	}
+	return s.Build(in, t, forged), nil
+}
+
+// AttackZoo returns the full registered Byzantine strategy suite against an
+// instance for corruption set t — from protocol-agnostic nuisances (silent,
+// spammer, replayer) to the protocol-aware attacks of Theorem 4's adversary
+// (equivocator, path-forger, view-liar, eclipser, and the classic forgery
+// suite). Keys are strategy names; see AttackStrategies.
 func AttackZoo(in *Instance, t Set, forged Value) map[string]map[int]Process {
-	return core.Strategies(in, t, forged)
+	zoo := make(map[string]map[int]Process)
+	for _, s := range byzantine.All() {
+		zoo[s.Name()] = s.Build(in, t, forged)
+	}
+	return zoo
 }
 
 // NewBasic builds a Figure-1 basic instance (middle set + structure).
