@@ -5,9 +5,16 @@
 // than x_D. A deliberately gullible canary decision rule is attacked in
 // the same battery to prove the oracle has teeth.
 //
+// With -schedules, every (instance, protocol, strategy) cell additionally
+// runs under the async engine with each named seeded delivery schedule
+// (delay, reorder, partition-then-heal), asserting the same oracle on every
+// schedule and transcript agreement between the zero-fault schedule and the
+// synchronous engines.
+//
 // Usage:
 //
 //	rmtattack -trials 200 -seed 1 -out traces.jsonl
+//	rmtattack -trials 100 -seed 2 -engines lockstep -schedules all
 //
 // Exit status is non-zero on any safety violation, engine disagreement,
 // or an unflagged canary.
@@ -38,7 +45,8 @@ func run(args []string, out io.Writer) error {
 		workers    = fs.Int("workers", 0, "parallel workers (<=0 = GOMAXPROCS)")
 		protocols  = fs.String("protocols", "", "comma-separated protocol subset (default: all registered)")
 		strategies = fs.String("strategies", "", "comma-separated strategy subset (default: all registered)")
-		engines    = fs.String("engines", "", "comma-separated engines: lockstep,goroutine (default: both)")
+		engines    = fs.String("engines", "", "comma-separated engines: lockstep,goroutine,async (default: lockstep+goroutine)")
+		schedules  = fs.String("schedules", "", "comma-separated async schedules to cross in (or \"all\"); each adds a seeded async run per cell")
 		maxRounds  = fs.Int("maxrounds", 0, "round cap per run (0 = default)")
 		outPath    = fs.String("out", "", "JSONL stream of run records and attack traces (\"-\" = stdout)")
 	)
@@ -63,6 +71,13 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		cfg.Engines = engs
+	}
+	if *schedules != "" {
+		scheds, err := attack.ParseSchedules(*schedules)
+		if err != nil {
+			return err
+		}
+		cfg.Schedules = scheds
 	}
 	if *outPath != "" {
 		w := out

@@ -3,6 +3,9 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"rmt/internal/cliutil"
+	"rmt/internal/gen"
 )
 
 func TestFamilies(t *testing.T) {
@@ -66,6 +69,56 @@ func TestSpecBadKnowledge(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-spec", "-knowledge", "psychic"}, &sb); err == nil {
 		t.Fatal("bad knowledge accepted")
+	}
+}
+
+func TestSpecOutputParsesForEveryFamily(t *testing.T) {
+	// Every family's -spec output must round-trip through the parser the
+	// consuming commands (rmtcheck/rmtsim -file) use, with the requested
+	// knowledge level intact.
+	families := [][]string{
+		{"-family", "disjoint", "-paths", "3", "-hops", "2"},
+		{"-family", "layered", "-layers", "2", "-width", "3", "-threshold", "1"},
+		{"-family", "chimera", "-k", "2"},
+		{"-family", "line", "-n", "5"},
+		{"-family", "ring", "-n", "6"},
+		{"-family", "grid", "-n", "3", "-cols", "3"},
+		{"-family", "random", "-n", "7", "-seed", "4"},
+		{"-family", "star", "-n", "6"},
+		{"-family", "bipartite", "-n", "2", "-cols", "3"},
+		{"-family", "butterfly", "-k", "2"},
+		{"-family", "regular", "-n", "8", "-seed", "3"},
+	}
+	for _, args := range families {
+		var sb strings.Builder
+		if err := run(append(args, "-spec", "-knowledge", "radius1"), &sb); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		spec, err := cliutil.ParseInstanceSpec(sb.String())
+		if err != nil {
+			t.Fatalf("%v: spec output does not parse: %v\n%s", args, err, sb.String())
+		}
+		if spec.Knowledge != gen.Radius1 {
+			t.Errorf("%v: knowledge = %v, want radius1", args, spec.Knowledge)
+		}
+		if _, err := spec.Instance(); err != nil {
+			t.Errorf("%v: spec does not build an instance: %v", args, err)
+		}
+	}
+}
+
+func TestThresholdStructureInSpec(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-family", "disjoint", "-paths", "4", "-threshold", "2", "-spec"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := cliutil.ParseInstanceSpec(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 2 over 4 relays: C(4,2) = 6 maximal sets.
+	if got := spec.Z.NumMaximal(); got != 6 {
+		t.Fatalf("maximal sets = %d, want 6\n%s", got, sb.String())
 	}
 }
 

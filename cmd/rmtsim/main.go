@@ -41,7 +41,9 @@ func run(args []string, out io.Writer) error {
 		value     = fs.String("value", "1", "dealer value x_D")
 		corrupt   = fs.String("corrupt", "", "corrupted nodes, e.g. \"2,3\" (must be admissible)")
 		attack    = fs.String("attack", "silent", "attack strategy: "+strings.Join(rmt.AttackStrategies(), "|"))
-		engine    = fs.String("engine", "lockstep", "lockstep|goroutine")
+		engine    = fs.String("engine", "lockstep", "lockstep|goroutine|async")
+		sched     = fs.String("sched", "sync", "async schedule: "+strings.Join(rmt.SchedulerNames(), "|"))
+		seed      = fs.Int64("seed", 1, "schedule seed (async engine)")
 		perRound  = fs.Bool("rounds", false, "print per-round message counts")
 		trace     = fs.Bool("trace", false, "print every delivered message, round by round")
 		jsonl     = fs.String("jsonl", "", "stream run events as JSON lines to this file (\"-\" = stdout)")
@@ -89,11 +91,17 @@ func run(args []string, out io.Writer) error {
 	if !in.Admissible(t) {
 		return fmt.Errorf("corruption set %v is not admissible under %v", t, in.Z)
 	}
-	var eng rmt.Engine = rmt.Lockstep
-	if *engine == "goroutine" {
-		eng = rmt.Goroutine
-	} else if *engine != "lockstep" {
-		return fmt.Errorf("unknown engine %q", *engine)
+	eng, err := rmt.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	var scheduler rmt.Scheduler
+	if eng == rmt.Async {
+		if scheduler, err = rmt.NewScheduler(*sched, *seed); err != nil {
+			return err
+		}
+	} else if *sched != "sync" {
+		return fmt.Errorf("-sched %q requires -engine async", *sched)
 	}
 
 	var corruptProcs map[int]rmt.Process
@@ -104,7 +112,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	opts := rmt.RunOptions{Engine: eng, RecordTranscript: *trace}
+	opts := rmt.RunOptions{Engine: eng, Scheduler: scheduler, RecordTranscript: *trace}
 	var jt *rmt.JSONLTracer
 	if *jsonl != "" {
 		w := out
@@ -138,7 +146,11 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	fmt.Fprintf(out, "protocol=%s engine=%s corrupt=%v attack=%s\n", *protocol, eng, t, *attack)
+	engineDesc := eng.String()
+	if scheduler != nil {
+		engineDesc = fmt.Sprintf("%s sched=%s seed=%d", eng, scheduler.Name(), *seed)
+	}
+	fmt.Fprintf(out, "protocol=%s engine=%s corrupt=%v attack=%s\n", *protocol, engineDesc, t, *attack)
 	if got, ok := res.DecisionOf(*receiver); ok {
 		status := "CORRECT"
 		if got != rmt.Value(*value) {
@@ -151,6 +163,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "rounds=%d messages=%d dropped=%d bits=%d maxInbox=%d\n",
 		res.Rounds, res.Metrics.MessagesSent, res.Metrics.MessagesDropped,
 		res.Metrics.BitsSent, res.Metrics.MaxInboxPerPlayer)
+	if eng == rmt.Async {
+		fmt.Fprintf(out, "delayed=%d\n", res.Metrics.MessagesDelayed)
+	}
 	if *perRound {
 		for r, m := range res.Metrics.MessagesPerRound {
 			fmt.Fprintf(out, "  round %2d: %d messages\n", r, m)

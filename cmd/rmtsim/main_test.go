@@ -132,6 +132,80 @@ func TestRunJSONL(t *testing.T) {
 	}
 }
 
+func TestRunAsyncEngine(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-graph", tripleGraph, "-structure", "1;2;3", "-receiver", "4",
+		"-protocol", "zcpa", "-value", "v",
+		"-engine", "async", "-sched", "random", "-seed", "7",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"engine=async sched=random seed=7", "CORRECT", "delayed="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAsyncDefaultsToSyncSchedule(t *testing.T) {
+	// -engine async with no -sched runs the zero-fault schedule: nothing is
+	// delayed and the run matches the synchronous engines.
+	var sb strings.Builder
+	err := run([]string{
+		"-graph", tripleGraph, "-structure", "1;2;3", "-receiver", "4",
+		"-protocol", "zcpa", "-value", "v", "-engine", "async",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "sched=sync") || !strings.Contains(out, "delayed=0") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunSchedRequiresAsyncEngine(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-graph", tripleGraph, "-structure", "", "-receiver", "4",
+		"-sched", "random",
+	}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "requires -engine async") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := run([]string{
+		"-graph", tripleGraph, "-structure", "", "-receiver", "4",
+		"-engine", "async", "-sched", "bogus",
+	}, &sb); err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+}
+
+func TestRunAsyncSeededJSONLIsReproducible(t *testing.T) {
+	args := []string{
+		"-graph", tripleGraph, "-structure", "1;2;3", "-receiver", "4",
+		"-protocol", "pka", "-value", "v",
+		"-engine", "async", "-sched", "partition", "-seed", "3",
+		"-jsonl", "-",
+	}
+	var a, b strings.Builder
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same (sched, seed), different output")
+	}
+	if !strings.Contains(a.String(), `"engine":"async"`) {
+		t.Fatalf("jsonl missing async run header:\n%.300s", a.String())
+	}
+}
+
 func TestRunSimFromFile(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/in.rmt"

@@ -61,6 +61,14 @@ type Config struct {
 	Strategies []string
 	// Engines to exercise (nil = lockstep and goroutine).
 	Engines []network.Engine
+	// Schedules are async delivery schedules to cross with every
+	// (instance, protocol, strategy) cell: each named schedule adds one run
+	// under the async engine with a per-trial seeded scheduler, asserting
+	// the same Theorem-4 oracle. The "sync" schedule additionally asserts
+	// transcript- and decision-agreement with the synchronous engines (the
+	// zero-fault schedule must be indistinguishable from lockstep). Nil
+	// means no schedule runs.
+	Schedules []string
 	// MaxRounds bounds each run (0 = 16, ample for the sampled instances
 	// and necessary because nuisance strategies never quiesce).
 	MaxRounds int
@@ -310,6 +318,10 @@ type traceRequest struct {
 	protocol string
 	strategy string
 	corrupt  nodeset.Set
+	// schedule and schedSeed identify the async schedule of a violating
+	// schedule run; schedule == "" re-traces under lockstep.
+	schedule  string
+	schedSeed int64
 }
 
 // Sweep runs the fuzzer and aggregates its report. The per-trial work is
@@ -412,13 +424,62 @@ func runTrial(cfg Config, trial int, rng *rand.Rand) trialResult {
 					})
 				}
 				tr.records = append(tr.records, record(trial, smp.desc, protoName, stratName,
-					engine, smp.corrupt, true, in, res, len(viols) == 0))
+					engine.String(), smp.corrupt, true, in, res, len(viols) == 0))
 			}
 			if d := disagreement(cfg.engines(), runs); d != "" {
 				tr.mismatches = append(tr.mismatches, Mismatch{
 					Trial: trial, Instance: smp.desc,
 					Protocol: protoName, Strategy: stratName, Detail: d,
 				})
+			}
+
+			// Schedule runs: the async engine under every configured
+			// delivery schedule, seeded per (trial, schedule) so any
+			// violation replays from (Seed, trial) alone.
+			for schedIdx, schedName := range cfg.Schedules {
+				schedSeed := eval.TrialSeed(cfg.Seed, 1000+schedIdx, trial)
+				sched, err := network.NewScheduler(schedName, schedSeed)
+				if err != nil {
+					tr.err = fmt.Errorf("attack: trial %d: %w", trial, err)
+					return tr
+				}
+				res, err := runSchedule(cfg, proto, strat, in, smp.corrupt, sched)
+				if err != nil {
+					tr.err = fmt.Errorf("attack: trial %d %s %s/%s sched %s: %w",
+						trial, smp.desc, protoName, stratName, schedName, err)
+					return tr
+				}
+				tr.runs++
+				engName := "async/" + schedName
+				viols := unsafeDecisions(in, smp.corrupt, res)
+				for _, v := range viols {
+					tr.violations = append(tr.violations, Violation{
+						Trial: trial, Instance: smp.desc,
+						Protocol: protoName, Strategy: stratName,
+						Engine: engName, Corrupt: members(smp.corrupt),
+						Node: v.node, Got: v.got,
+					})
+				}
+				if len(viols) > 0 {
+					tr.traces = append(tr.traces, traceRequest{
+						sample: smp, protocol: protoName, strategy: stratName,
+						corrupt: smp.corrupt, schedule: schedName, schedSeed: schedSeed,
+					})
+				}
+				tr.records = append(tr.records, record(trial, smp.desc, protoName,
+					stratName, engName, smp.corrupt, true, in, res, len(viols) == 0))
+				// The zero-fault schedule must be indistinguishable from the
+				// synchronous engines: same transcript, same decisions.
+				if schedName == network.SchedSync && len(runs) > 0 {
+					if d := disagreement([]network.Engine{cfg.engines()[0], network.Async},
+						[]*network.Result{runs[0], res}); d != "" {
+						tr.mismatches = append(tr.mismatches, Mismatch{
+							Trial: trial, Instance: smp.desc,
+							Protocol: protoName, Strategy: stratName,
+							Detail: "sync schedule: " + d,
+						})
+					}
+				}
 			}
 
 			// Control: minimal non-admissible superset, lockstep only.
@@ -436,7 +497,7 @@ func runTrial(cfg Config, trial int, rng *rand.Rand) trialResult {
 					tr.ctrlViol++
 				}
 				tr.records = append(tr.records, record(trial, smp.desc, protoName, stratName,
-					network.Lockstep, smp.control, false, in, res, !unsafe))
+					network.Lockstep.String(), smp.control, false, in, res, !unsafe))
 			}
 		}
 	}
@@ -449,6 +510,19 @@ func runOnce(cfg Config, proto protocol.Protocol, strat byzantine.Strategy,
 	in *instance.Instance, corrupt nodeset.Set, engine network.Engine) (*network.Result, error) {
 	return protocol.Run(proto, in, xD, protocol.Options{
 		Engine:           engine,
+		MaxRounds:        cfg.maxRounds(),
+		RecordTranscript: true,
+		Corrupt:          strat.Build(in, corrupt, ForgedValue),
+	})
+}
+
+// runSchedule is runOnce under the async engine with the given (single-use)
+// scheduler.
+func runSchedule(cfg Config, proto protocol.Protocol, strat byzantine.Strategy,
+	in *instance.Instance, corrupt nodeset.Set, sched network.Scheduler) (*network.Result, error) {
+	return protocol.Run(proto, in, xD, protocol.Options{
+		Engine:           network.Async,
+		Scheduler:        sched,
 		MaxRounds:        cfg.maxRounds(),
 		RecordTranscript: true,
 		Corrupt:          strat.Build(in, corrupt, ForgedValue),
@@ -506,12 +580,12 @@ func decisionsEqual(a, b map[int]network.Value) bool {
 	return true
 }
 
-func record(trial int, desc, protoName, stratName string, engine network.Engine,
+func record(trial int, desc, protoName, stratName, engine string,
 	corrupt nodeset.Set, inZ bool, in *instance.Instance, res *network.Result, safe bool) runRecord {
 	val, decided := res.DecisionOf(in.Receiver)
 	return runRecord{
 		Type: "run", Trial: trial, Instance: desc,
-		Protocol: protoName, Strategy: stratName, Engine: engine.String(),
+		Protocol: protoName, Strategy: stratName, Engine: engine,
 		Corrupt: members(corrupt), InZ: inZ,
 		Rounds: res.Rounds, Messages: res.Metrics.MessagesSent,
 		Decided: decided, Value: val, Safe: safe,
@@ -529,7 +603,8 @@ func members(s nodeset.Set) []int {
 
 // traceRun re-executes a violating run with a message-level JSONL tracer
 // attached, so the attack trace lands in the output stream right after the
-// violating run's summary record.
+// violating run's summary record. Schedule violations replay under the same
+// (schedule, seed) pair, reproducing the violating delivery order exactly.
 func traceRun(cfg Config, req traceRequest) error {
 	proto := protocol.MustGet(req.protocol)
 	in := req.sample.in
@@ -538,33 +613,61 @@ func traceRun(cfg Config, req traceRequest) error {
 	}
 	strat := byzantine.MustGet(req.strategy)
 	tracer := network.NewJSONLTracer(cfg.Out)
-	_, err := protocol.Run(proto, in, xD, protocol.Options{
+	opts := protocol.Options{
 		Engine:    network.Lockstep,
 		MaxRounds: cfg.maxRounds(),
 		Corrupt:   strat.Build(in, req.corrupt, ForgedValue),
 		Tracers:   []network.Tracer{tracer},
-	})
+	}
+	if req.schedule != "" {
+		sched, err := network.NewScheduler(req.schedule, req.schedSeed)
+		if err != nil {
+			return err
+		}
+		opts.Engine = network.Async
+		opts.Scheduler = sched
+	}
+	_, err := protocol.Run(proto, in, xD, opts)
 	if err != nil {
 		return fmt.Errorf("attack: tracing %s/%s: %w", req.protocol, req.strategy, err)
 	}
 	return tracer.Err()
 }
 
-// ParseEngines parses a comma-separated engine list ("lockstep,goroutine").
+// ParseEngines parses a comma-separated engine list
+// ("lockstep,goroutine,async"). A bare "async" engine runs under the
+// zero-fault schedule; use Config.Schedules for adversarial schedules.
 func ParseEngines(s string) ([]network.Engine, error) {
 	if s == "" {
 		return nil, nil
 	}
 	var out []network.Engine
 	for _, name := range strings.Split(s, ",") {
-		switch strings.TrimSpace(name) {
-		case "lockstep":
-			out = append(out, network.Lockstep)
-		case "goroutine":
-			out = append(out, network.Goroutine)
-		default:
-			return nil, fmt.Errorf("attack: unknown engine %q (want lockstep or goroutine)", name)
+		e, err := network.ParseEngine(strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("attack: %w", err)
 		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// ParseSchedules parses a comma-separated schedule list for
+// Config.Schedules; "all" expands to every stock schedule.
+func ParseSchedules(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if s == "all" {
+		return network.SchedulerNames(), nil
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if _, err := network.NewScheduler(name, 0); err != nil {
+			return nil, fmt.Errorf("attack: %w", err)
+		}
+		out = append(out, name)
 	}
 	return out, nil
 }

@@ -114,8 +114,8 @@ func TestReportErrRequiresTeeth(t *testing.T) {
 }
 
 func TestParseEngines(t *testing.T) {
-	got, err := ParseEngines("lockstep,goroutine")
-	if err != nil || len(got) != 2 || got[0] != network.Lockstep || got[1] != network.Goroutine {
+	got, err := ParseEngines("lockstep,goroutine,async")
+	if err != nil || len(got) != 3 || got[0] != network.Lockstep || got[1] != network.Goroutine || got[2] != network.Async {
 		t.Fatalf("ParseEngines = %v, %v", got, err)
 	}
 	if _, err := ParseEngines("warp"); err == nil {
@@ -123,6 +123,75 @@ func TestParseEngines(t *testing.T) {
 	}
 	if got, err := ParseEngines(""); err != nil || got != nil {
 		t.Fatalf("empty spec = %v, %v", got, err)
+	}
+}
+
+func TestParseSchedules(t *testing.T) {
+	got, err := ParseSchedules("sync,random")
+	if err != nil || len(got) != 2 || got[0] != "sync" || got[1] != "random" {
+		t.Fatalf("ParseSchedules = %v, %v", got, err)
+	}
+	all, err := ParseSchedules("all")
+	if err != nil || len(all) != len(network.SchedulerNames()) {
+		t.Fatalf(`ParseSchedules("all") = %v, %v`, all, err)
+	}
+	if _, err := ParseSchedules("bogus"); err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+	if got, err := ParseSchedules(""); err != nil || got != nil {
+		t.Fatalf("empty spec = %v, %v", got, err)
+	}
+}
+
+// TestSweepSchedulesCrossProduct runs the schedule-crossing sweep: every
+// cell gains one async run per schedule, the zero-fault schedule must agree
+// with lockstep, and the Theorem-4 oracle must hold on every delivery order.
+func TestSweepSchedulesCrossProduct(t *testing.T) {
+	scheds := network.SchedulerNames()
+	rep, err := Sweep(Config{
+		Seed:      5,
+		Trials:    6,
+		Workers:   2,
+		Engines:   []network.Engine{network.Lockstep},
+		Schedules: scheds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	wantRuns := 6 * len(protocol.Names()) * len(byzantine.Names()) * (1 + len(scheds))
+	if rep.Runs != wantRuns {
+		t.Fatalf("runs = %d, want %d (trials × protocols × strategies × (engines + schedules))",
+			rep.Runs, wantRuns)
+	}
+}
+
+// TestSweepSchedulesDeterministic re-runs the schedule sweep at different
+// worker counts and requires byte-identical JSONL output — the determinism
+// claim the seeded schedulers exist to provide.
+func TestSweepSchedulesDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	cfg := Config{
+		Seed:      13,
+		Trials:    4,
+		Engines:   []network.Engine{network.Lockstep},
+		Schedules: []string{"random", "partition"},
+	}
+	cfg.Workers, cfg.Out = 1, &a
+	if _, err := Sweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers, cfg.Out = 4, &b
+	if _, err := Sweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("schedule sweep output depends on worker count")
+	}
+	if !strings.Contains(a.String(), `"engine":"async/random"`) {
+		t.Fatal("JSONL stream has no async schedule records")
 	}
 }
 

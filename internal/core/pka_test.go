@@ -4,12 +4,13 @@ import (
 	"testing"
 
 	"rmt/internal/adversary"
+	"rmt/internal/feasibility"
+	"rmt/internal/gen"
 	"rmt/internal/graph"
 	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
 	"rmt/internal/protocol"
-	"rmt/internal/view"
 )
 
 func mustGraph(t *testing.T, edges string) *graph.Graph {
@@ -31,32 +32,16 @@ func adhocInstance(t *testing.T, edges string, z adversary.Structure, d, r int) 
 }
 
 // triplePath: three disjoint relays, singleton corruptions — solvable.
+// The topology and verdicts live in internal/feasibility.
 func triplePath(t *testing.T) *instance.Instance {
-	return adhocInstance(t, "0-1 0-2 0-3 1-4 2-4 3-4",
-		adversary.FromSlices([]int{1}, []int{2}, []int{3}), 0, 4)
+	t.Helper()
+	return feasibility.MustByName(feasibility.TriplePath).MustBuild(gen.AdHoc)
 }
 
 // weakDiamond: two disjoint relays, either corruptible — unsolvable.
 func weakDiamond(t *testing.T) *instance.Instance {
-	return adhocInstance(t, "0-1 0-2 1-3 2-3",
-		adversary.FromSlices([]int{1}, []int{2}), 0, 3)
-}
-
-// chimeraGraph is the knowledge-separation fixture (DESIGN.md / E5, E6):
-//
-//	D=0 → cut layer {1,2,3}; node 4 hangs off {1,2}; node 5 off {1,3};
-//	R=6 behind {4,5}. 𝒵 = ⟨{1},{2},{3}⟩.
-//
-// In the ad hoc model the joint structure Z_B of B = {4,5,6} admits the
-// chimera set {2,3} (no member of B sees both 2 and 3), giving the RMT-cut
-// C1={1}, C2={2,3}. With radius-2 views node 6 sees both 2 and 3, the ⊕
-// operation kills the chimera, and RMT becomes solvable.
-func chimeraGraph(t *testing.T) *graph.Graph {
-	return mustGraph(t, "0-1 0-2 0-3 1-4 2-4 1-5 3-5 4-6 5-6")
-}
-
-func chimeraZ() adversary.Structure {
-	return adversary.FromSlices([]int{1}, []int{2}, []int{3})
+	t.Helper()
+	return feasibility.MustByName(feasibility.WeakDiamond).MustBuild(gen.AdHoc)
 }
 
 func TestDealerRule(t *testing.T) {
@@ -145,10 +130,11 @@ func TestDisconnectedTrivialCut(t *testing.T) {
 }
 
 func TestChimeraKnowledgeSeparation(t *testing.T) {
-	g := chimeraGraph(t)
-	z := chimeraZ()
+	// The knowledge-separation fixture (DESIGN.md / E5, E6); topology,
+	// structure and the per-level verdicts live in internal/feasibility.
+	chimera := feasibility.MustByName(feasibility.Chimera)
 
-	adhoc := instance.MustNew(g, z, view.AdHoc(g), 0, 6)
+	adhoc := chimera.MustBuild(gen.AdHoc)
 	if Solvable(adhoc) {
 		t.Fatal("chimera instance solvable in the ad hoc model")
 	}
@@ -160,13 +146,13 @@ func TestChimeraKnowledgeSeparation(t *testing.T) {
 		t.Logf("note: witness cut was %v (chimera {2,3} expected but any witness is valid)", cut)
 	}
 
-	r2 := instance.MustNew(g, z, view.Radius(g, 2), 0, 6)
+	r2 := chimera.MustBuild(gen.Radius2)
 	if !Solvable(r2) {
 		cut, _ := FindRMTCut(r2)
 		t.Fatalf("chimera instance unsolvable at radius 2; cut = %v", cut)
 	}
 
-	full := instance.MustNew(g, z, view.Full(g), 0, 6)
+	full := chimera.MustBuild(gen.FullKnowledge)
 	if !Solvable(full) {
 		t.Fatal("chimera instance unsolvable at full knowledge")
 	}

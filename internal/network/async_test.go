@@ -1,0 +1,235 @@
+package network
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rmt/internal/graph"
+)
+
+// diamond builds the 4-node two-path graph 0-1-3, 0-2-3.
+func diamond(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	return g
+}
+
+// runFlood executes a flood from node 0 under the given engine/scheduler
+// with a transcript and returns the result.
+func runFlood(t *testing.T, g *graph.Graph, engine Engine, sched Scheduler, maxRounds int) *Result {
+	t.Helper()
+	cfg := floodConfig(t, g, 0, "x")
+	cfg.Engine = engine
+	cfg.Scheduler = sched
+	cfg.MaxRounds = maxRounds
+	cfg.RecordTranscript = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run(%v/%v): %v", engine, sched, err)
+	}
+	return res
+}
+
+func TestAsyncSyncScheduleMatchesLockstep(t *testing.T) {
+	g := diamond(t)
+	lock := runFlood(t, g, Lockstep, nil, 0)
+	// Both a nil scheduler and an explicit SyncScheduler are the zero-fault
+	// schedule.
+	for name, sched := range map[string]Scheduler{"nil": nil, "sync": SyncScheduler{}} {
+		async := runFlood(t, g, Async, sched, 0)
+		if async.Transcript.Key() != lock.Transcript.Key() {
+			t.Errorf("%s: async transcript differs from lockstep:\n%s\nvs\n%s",
+				name, async.Transcript.Key(), lock.Transcript.Key())
+		}
+		if len(async.Decisions) != len(lock.Decisions) {
+			t.Fatalf("%s: decision count %d vs %d", name, len(async.Decisions), len(lock.Decisions))
+		}
+		for v, want := range lock.Decisions {
+			if got := async.Decisions[v]; got != want {
+				t.Errorf("%s: node %d decided %q, lockstep %q", name, v, got, want)
+			}
+		}
+		if async.Rounds != lock.Rounds {
+			t.Errorf("%s: rounds %d vs %d", name, async.Rounds, lock.Rounds)
+		}
+		if async.Metrics.MessagesDelayed != 0 {
+			t.Errorf("%s: zero-fault schedule delayed %d messages", name, async.Metrics.MessagesDelayed)
+		}
+		if async.Metrics.MessagesSent != lock.Metrics.MessagesSent {
+			t.Errorf("%s: sent %d vs %d", name, async.Metrics.MessagesSent, lock.Metrics.MessagesSent)
+		}
+	}
+}
+
+func TestAsyncSeededSchedulesAreReproducible(t *testing.T) {
+	g := diamond(t)
+	for _, name := range SchedulerNames() {
+		a := runFlood(t, g, Async, MustScheduler(name, 11), 40)
+		b := runFlood(t, g, Async, MustScheduler(name, 11), 40)
+		if a.Transcript.Key() != b.Transcript.Key() {
+			t.Errorf("%s: same seed produced different transcripts", name)
+		}
+		if a.Rounds != b.Rounds || !reflect.DeepEqual(a.Metrics, b.Metrics) {
+			t.Errorf("%s: same seed produced different run shape", name)
+		}
+	}
+}
+
+func TestAsyncEventualDeliveryUnderEverySchedule(t *testing.T) {
+	g := line(t, 6)
+	lock := runFlood(t, g, Lockstep, nil, 0)
+	for _, name := range SchedulerNames() {
+		for seed := int64(0); seed < 4; seed++ {
+			res := runFlood(t, g, Async, MustScheduler(name, seed), 100)
+			if len(res.Decisions) != g.NumNodes() {
+				t.Fatalf("%s seed %d: only %d/%d nodes decided", name, seed, len(res.Decisions), g.NumNodes())
+			}
+			// Decision agreement with the synchronous run: flooding carries a
+			// single value, so every schedule must reach the same decisions.
+			for v, want := range lock.Decisions {
+				if got := res.Decisions[v]; got != want {
+					t.Errorf("%s seed %d: node %d decided %q, lockstep %q", name, seed, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAsyncRandomScheduleDelaysAndTraces(t *testing.T) {
+	g := line(t, 6)
+	cfg := floodConfig(t, g, 0, "x")
+	cfg.Engine = Async
+	cfg.Scheduler = MustScheduler(SchedRandom, 3)
+	cfg.MaxRounds = 100
+	cfg.RecordTranscript = true
+	var buf bytes.Buffer
+	jt := NewJSONLTracer(&buf)
+	cfg.Tracers = []Tracer{jt}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jt.Err() != nil {
+		t.Fatalf("JSONL tracer error: %v", jt.Err())
+	}
+	if res.Metrics.MessagesDelayed == 0 {
+		t.Fatal("random schedule on a 6-line delayed nothing")
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"ev":"delay"`) {
+		t.Error("JSONL stream has no delay events")
+	}
+	if !strings.Contains(out, `"at":`) {
+		t.Error("delay events carry no delivery round")
+	}
+	if !strings.Contains(out, `"engine":"async"`) {
+		t.Error("run header does not name the async engine")
+	}
+	// The transcript records every accepted send at its actual delivery
+	// round, so its total matches the send counter even under reordering.
+	if n := res.Transcript.NumMessages(); n != res.Metrics.MessagesSent {
+		t.Errorf("transcript holds %d messages, %d were sent", n, res.Metrics.MessagesSent)
+	}
+}
+
+// constScheduler returns a fixed delivery round regardless of send round —
+// deliberately violating the scheduler contract to exercise the engine's
+// clamping.
+type constScheduler struct{ at int }
+
+func (constScheduler) Name() string                 { return "const" }
+func (s constScheduler) DeliverAt(int, Message) int { return s.at }
+
+// waitProc idles until its first message arrives, then decides on it and
+// halts.
+type waitProc struct {
+	got     int
+	val     Value
+	decided bool
+}
+
+func (*waitProc) Init(Outbox) {}
+
+func (p *waitProc) Round(_ int, inbox []Message, _ Outbox) bool {
+	if len(inbox) == 0 {
+		return true
+	}
+	p.got += len(inbox)
+	p.val = Value(inbox[0].Payload.(textPayload))
+	p.decided = true
+	return false
+}
+
+func (p *waitProc) Decision() (Value, bool) { return p.val, p.decided }
+
+// oneShotSender sends a single message to node 1 at Init and halts.
+type oneShotSender struct{}
+
+func (oneShotSender) Init(out Outbox) { out(1, textPayload("v")) }
+
+func (oneShotSender) Round(int, []Message, Outbox) bool { return false }
+
+func (oneShotSender) Decision() (Value, bool) { return "", false }
+
+func TestAsyncClampsSchedulerOutput(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		at        int
+		wantRound int // round the sink's message arrives (== run length here)
+	}{
+		{"past is clamped to next round", 0, 1},
+		{"beyond-horizon is clamped to maxRounds", 1000, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sink := &waitProc{}
+			cfg := Config{
+				Graph:     line(t, 2),
+				Processes: map[int]Process{0: oneShotSender{}, 1: sink},
+				Engine:    Async,
+				Scheduler: constScheduler{at: tc.at},
+				MaxRounds: 8,
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sink.got != 1 {
+				t.Fatalf("sink received %d messages, want 1", sink.got)
+			}
+			if res.Rounds != tc.wantRound {
+				t.Errorf("run length %d, want %d", res.Rounds, tc.wantRound)
+			}
+			if v, ok := res.DecisionOf(1); !ok || v != "v" {
+				t.Errorf("sink decided (%q, %v), want (\"v\", true)", v, ok)
+			}
+		})
+	}
+}
+
+func TestAsyncPartitionScheduleStillFloods(t *testing.T) {
+	g := diamond(t)
+	delayedSomewhere := false
+	for seed := int64(0); seed < 8; seed++ {
+		res := runFlood(t, g, Async, MustScheduler(SchedPartition, seed), 60)
+		if len(res.Decisions) != g.NumNodes() {
+			t.Fatalf("seed %d: only %d/%d nodes decided", seed, len(res.Decisions), g.NumNodes())
+		}
+		for v, val := range res.Decisions {
+			if val != "x" {
+				t.Errorf("seed %d: node %d decided %q", seed, v, val)
+			}
+		}
+		if res.Metrics.MessagesDelayed > 0 {
+			delayedSomewhere = true
+		}
+	}
+	if !delayedSomewhere {
+		t.Error("no partition seed delayed any flood message on the diamond")
+	}
+}

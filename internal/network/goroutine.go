@@ -35,12 +35,12 @@ func runGoroutine(cfg Config) (*Result, error) {
 
 	haltedNow := make(map[int]bool, len(st.ids))
 	for round := 1; round <= st.maxRounds; round++ {
-		pending := st.takePending()
+		pending := st.takePending(round)
 		live := st.liveDeliveries(pending)
-		if live == 0 && st.allHalted() {
+		if live == 0 && st.futureLive() == 0 && st.allHalted() {
 			break
 		}
-		quiescent := live == 0
+		quiescent := live == 0 && st.futureLive() == 0
 
 		var mu sync.Mutex // guards haltedNow
 		for k := range haltedNow {

@@ -25,12 +25,12 @@ func runLockstep(cfg Config) (*Result, error) {
 		outboxes[i] = st.newOutbox(v, &bufs[i])
 	}
 	for round := 1; round <= st.maxRounds; round++ {
-		pending := st.takePending()
+		pending := st.takePending(round)
 		live := st.liveDeliveries(pending)
-		if live == 0 && st.allHalted() {
+		if live == 0 && st.futureLive() == 0 && st.allHalted() {
 			break
 		}
-		quiescent := live == 0
+		quiescent := live == 0 && st.futureLive() == 0
 
 		// Compute phase: run every live player against its inbox, buffering
 		// sends. Merging afterwards in ID order mirrors the goroutine engine

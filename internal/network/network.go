@@ -14,12 +14,16 @@
 //   - Corrupted players are ordinary Process implementations with arbitrary
 //     behavior; honesty is a property of the implementation, not the engine.
 //
-// Two engines implement identical semantics: the deterministic lockstep
+// Three engines share one delivery substrate: the deterministic lockstep
 // engine (Run with Engine = Lockstep) steps players in ID order in a single
 // goroutine; the goroutine engine gives every player its own goroutine with
 // a round barrier, exercising the natural Go embedding of a distributed
-// node. For deterministic protocols the two produce identical transcripts,
-// which a property test asserts.
+// node; the async engine relaxes "delivered at the start of round k+1" to a
+// pluggable Scheduler that assigns each message its delivery round under an
+// eventual-delivery clamp, simulating adversarial message timing while
+// staying fully deterministic for a fixed seed. For deterministic protocols
+// lockstep, goroutine and async-under-SyncScheduler produce identical
+// transcripts, which property tests assert.
 package network
 
 import (
@@ -86,6 +90,7 @@ type Engine int
 const (
 	Lockstep Engine = iota + 1
 	Goroutine
+	Async
 )
 
 func (e Engine) String() string {
@@ -94,8 +99,24 @@ func (e Engine) String() string {
 		return "lockstep"
 	case Goroutine:
 		return "goroutine"
+	case Async:
+		return "async"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine parses an engine name ("lockstep", "goroutine", "async").
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "lockstep":
+		return Lockstep, nil
+	case "goroutine":
+		return Goroutine, nil
+	case "async":
+		return Async, nil
+	default:
+		return 0, fmt.Errorf("network: unknown engine %q (want lockstep, goroutine or async)", name)
 	}
 }
 
@@ -110,8 +131,11 @@ type Config struct {
 	// protocol in this repository (Z-CPA needs ≤ n rounds, RMT-PKA floods
 	// paths of length ≤ n).
 	MaxRounds int
-	// Engine selects lockstep (default) or goroutine execution.
+	// Engine selects lockstep (default), goroutine or async execution.
 	Engine Engine
+	// Scheduler is the async engine's delivery policy (nil = SyncScheduler).
+	// Ignored by the synchronous engines.
+	Scheduler Scheduler
 	// RecordTranscript enables full message recording (memory-heavy).
 	RecordTranscript bool
 	// StopEarly, if non-nil, is evaluated after every round with the
@@ -186,6 +210,7 @@ func (r *Result) DecisionOf(v int) (Value, bool) {
 type Metrics struct {
 	MessagesSent      int   // accepted sends (along edges)
 	MessagesDropped   int   // sends along non-edges or to self (Byzantine noise)
+	MessagesDelayed   int   // sends the scheduler held past the synchronous round (async engine)
 	BitsSent          int   // Σ payload BitSize over accepted sends
 	MessagesPerRound  []int // accepted sends indexed by round (0 = Init)
 	MaxInboxPerPlayer int   // largest single-round inbox observed
@@ -199,6 +224,8 @@ func Run(cfg Config) (*Result, error) {
 	switch cfg.Engine {
 	case Goroutine:
 		return runGoroutine(cfg)
+	case Async:
+		return runAsync(cfg)
 	case Lockstep, 0:
 		return runLockstep(cfg)
 	default:

@@ -21,8 +21,10 @@ type runState struct {
 	ids       []int
 	maxRounds int
 	halted    map[int]bool
-	next      map[int][]Message // messages to deliver next round
-	extra     []Tracer          // user-installed observers (Config.Tracers)
+	future    map[int]map[int][]Message // delivery round → recipient → messages
+	inFlight  int                       // undelivered scheduled messages
+	sched     Scheduler                 // nil = synchronous delivery at sent+1
+	extra     []Tracer                  // user-installed observers (Config.Tracers)
 	mt        MetricsTracer
 	tt        *TranscriptTracer // nil unless Config.RecordTranscript
 	rounds    int
@@ -37,10 +39,16 @@ func newRunState(cfg Config) *runState {
 		ids:       cfg.Graph.SortedIDs(),
 		maxRounds: cfg.maxRounds(),
 		halted:    make(map[int]bool),
-		next:      make(map[int][]Message),
+		future:    make(map[int]map[int][]Message),
 		decisions: make(map[int]Value),
 		decidedAt: make(map[int]int),
 		extra:     cfg.Tracers,
+	}
+	if cfg.engine() == Async {
+		st.sched = cfg.Scheduler
+		if st.sched == nil {
+			st.sched = SyncScheduler{}
+		}
 	}
 	if cfg.RecordTranscript {
 		st.tt = NewTranscriptTracer()
@@ -76,9 +84,11 @@ func (st *runState) newOutbox(v int, buf *sendBuf) Outbox {
 	}
 }
 
-// merge folds one player's send buffer into the next-round queues, emitting
-// Send/Drop events. Must be called serially, in player-ID order, with the
-// round in which the sends happened.
+// merge folds one player's send buffer into the delivery calendar, emitting
+// Send/Drop (and, for scheduler-delayed messages, Delay) events. Must be
+// called serially, in player-ID order, with the round in which the sends
+// happened — that order is also the order in which the scheduler sees the
+// messages, which is what makes a seeded schedule reproducible.
 func (st *runState) merge(round int, buf *sendBuf) {
 	for _, r := range buf.recs {
 		if !r.ok {
@@ -92,7 +102,14 @@ func (st *runState) merge(round int, buf *sendBuf) {
 			continue
 		}
 		st.roundSend++
-		st.next[r.msg.To] = append(st.next[r.msg.To], r.msg)
+		at := st.deliveryRound(round, r.msg)
+		byTo := st.future[at]
+		if byTo == nil {
+			byTo = make(map[int][]Message)
+			st.future[at] = byTo
+		}
+		byTo[r.msg.To] = append(byTo[r.msg.To], r.msg)
+		st.inFlight++
 		st.mt.Send(round, r.msg)
 		if st.tt != nil {
 			st.tt.Send(round, r.msg)
@@ -100,7 +117,36 @@ func (st *runState) merge(round int, buf *sendBuf) {
 		for _, tr := range st.extra {
 			tr.Send(round, r.msg)
 		}
+		if at != round+1 {
+			st.mt.Delay(round, at, r.msg)
+			if st.tt != nil {
+				st.tt.Delay(round, at, r.msg)
+			}
+			for _, tr := range st.extra {
+				tr.Delay(round, at, r.msg)
+			}
+		}
 	}
+}
+
+// deliveryRound asks the scheduler (when one is installed) for the delivery
+// round of a message sent in round, clamped into [round+1, maxRounds] so a
+// scheduler can neither deliver into the past nor starve a message past the
+// end of a bounded run — the engine-enforced eventual-delivery guarantee.
+// Sends in the final round are necessarily lost, as under synchronous
+// delivery.
+func (st *runState) deliveryRound(round int, m Message) int {
+	if st.sched == nil {
+		return round + 1
+	}
+	at := st.sched.DeliverAt(round, m)
+	if at < round+1 {
+		at = round + 1
+	}
+	if at > st.maxRounds && round+1 <= st.maxRounds {
+		at = st.maxRounds
+	}
+	return at
 }
 
 // collectSends runs fn with a fresh outbox for v and merges immediately.
@@ -111,11 +157,32 @@ func (st *runState) collectSends(v, round int, fn func(out Outbox)) {
 	st.merge(round, buf)
 }
 
-// takePending swaps out the messages due for delivery this round.
-func (st *runState) takePending() map[int][]Message {
-	pending := st.next
-	st.next = make(map[int][]Message)
+// takePending removes and returns the messages due for delivery in round.
+func (st *runState) takePending(round int) map[int][]Message {
+	pending := st.future[round]
+	delete(st.future, round)
+	for _, msgs := range pending {
+		st.inFlight -= len(msgs)
+	}
 	return pending
+}
+
+// futureLive counts the scheduled-but-undelivered messages addressed to
+// players that have not halted. While it is non-zero the run cannot be
+// quiescent: a later round will still see new input.
+func (st *runState) futureLive() int {
+	if st.inFlight == 0 {
+		return 0
+	}
+	live := 0
+	for _, byTo := range st.future {
+		for to, msgs := range byTo {
+			if !st.halted[to] {
+				live += len(msgs)
+			}
+		}
+	}
+	return live
 }
 
 // sealRound closes the round's accounting and returns the number of sends

@@ -1,0 +1,192 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scheduler is the async engine's delivery policy: it assigns a delivery
+// round to every accepted send. The engine calls DeliverAt exactly once per
+// accepted send, in the deterministic merge order (player-ID order, then
+// send order within a player), so a scheduler seeded from a fixed stream
+// reproduces the same schedule byte-for-byte on every run — including
+// across worker counts when the seed derives from eval.TrialSeed.
+//
+// Contract:
+//
+//   - DeliverAt must return a round ≥ sent+1 (the engine clamps upward,
+//     counting the clamp as a normal delivery, so a buggy scheduler cannot
+//     deliver into the past);
+//   - the extra delay must be bounded by MaxSkew rounds, except for
+//     partition-style schedulers, whose delay is bounded by their heal
+//     round. Bounded delay is the eventual-delivery guarantee: every
+//     accepted send is delivered while the run still has rounds to spend
+//     (the engine additionally clamps delivery to Config.MaxRounds so a
+//     finite run realizes it).
+//
+// Schedulers are single-use: they may keep per-link state (FIFO ordering,
+// reorder cycles) and must not be shared between runs.
+type Scheduler interface {
+	// Name is the registry name of the scheduling policy.
+	Name() string
+	// DeliverAt returns the delivery round for a message accepted in round
+	// sent.
+	DeliverAt(sent int, m Message) int
+}
+
+// MaxSkew bounds the extra delay (beyond the synchronous sent+1) the stock
+// delay/reorder schedulers ever add.
+const MaxSkew = 3
+
+// Stock scheduler names.
+const (
+	SchedSync      = "sync"      // synchronous: every send delivered next round (zero-fault schedule)
+	SchedRandom    = "random"    // seeded per-message delay in [1, 1+MaxSkew)
+	SchedFIFO      = "fifo"      // seeded per-message delay, but FIFO order per directed link
+	SchedLIFO      = "lifo"      // last-writer-first: per-link delay cycle 3,2,1 reorders each window
+	SchedPartition = "partition" // seed-chosen bipartition delays crossing messages until a heal round
+)
+
+// SchedulerNames returns the stock scheduler names, sorted.
+func SchedulerNames() []string {
+	names := []string{SchedSync, SchedRandom, SchedFIFO, SchedLIFO, SchedPartition}
+	sort.Strings(names)
+	return names
+}
+
+// NewScheduler builds the named stock scheduler. The seed drives every
+// random choice through a private splitmix64 stream; equal (name, seed)
+// pairs yield identical schedules.
+func NewScheduler(name string, seed int64) (Scheduler, error) {
+	switch name {
+	case SchedSync:
+		return SyncScheduler{}, nil
+	case SchedRandom:
+		return &randomScheduler{rng: newSplitMix(uint64(seed))}, nil
+	case SchedFIFO:
+		return &fifoScheduler{rng: newSplitMix(uint64(seed)), last: make(map[[2]int]int)}, nil
+	case SchedLIFO:
+		return &lifoScheduler{seq: make(map[[2]int]int)}, nil
+	case SchedPartition:
+		return newPartitionScheduler(uint64(seed)), nil
+	default:
+		return nil, fmt.Errorf("network: unknown scheduler %q (want one of %v)", name, SchedulerNames())
+	}
+}
+
+// MustScheduler is NewScheduler for static names known at compile time.
+func MustScheduler(name string, seed int64) Scheduler {
+	s, err := NewScheduler(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// splitmix64 is the splitmix64 PRNG stream (the same finalizer that
+// eval.TrialSeed decorrelates trial seeds with) — tiny, allocation-free,
+// and fully determined by its seed.
+type splitmix64 struct{ x uint64 }
+
+func newSplitMix(seed uint64) *splitmix64 { return &splitmix64{x: seed} }
+
+func (s *splitmix64) next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). The modulo bias is irrelevant for
+// schedule sampling.
+func (s *splitmix64) intn(n int) int { return int(s.next() % uint64(n)) }
+
+// SyncScheduler is the zero-fault schedule: every message is delivered in
+// the round after it was sent, exactly as the lockstep and goroutine
+// engines deliver. The async engine under SyncScheduler is transcript- and
+// decision-identical to lockstep, which the conformance suite asserts.
+type SyncScheduler struct{}
+
+// Name implements Scheduler.
+func (SyncScheduler) Name() string { return SchedSync }
+
+// DeliverAt implements Scheduler.
+func (SyncScheduler) DeliverAt(sent int, _ Message) int { return sent + 1 }
+
+// randomScheduler delays each message independently by 1..1+MaxSkew rounds,
+// permuting both per-link order and round membership.
+type randomScheduler struct{ rng *splitmix64 }
+
+func (*randomScheduler) Name() string { return SchedRandom }
+
+func (s *randomScheduler) DeliverAt(sent int, _ Message) int {
+	return sent + 1 + s.rng.intn(MaxSkew+1)
+}
+
+// fifoScheduler delays like randomScheduler but never lets a message
+// overtake an earlier one on the same directed link — the classic
+// reliable-FIFO-channel asynchrony model.
+type fifoScheduler struct {
+	rng  *splitmix64
+	last map[[2]int]int
+}
+
+func (*fifoScheduler) Name() string { return SchedFIFO }
+
+func (s *fifoScheduler) DeliverAt(sent int, m Message) int {
+	link := [2]int{m.From, m.To}
+	at := sent + 1 + s.rng.intn(MaxSkew+1)
+	if prev := s.last[link]; at < prev {
+		at = prev
+	}
+	s.last[link] = at
+	return at
+}
+
+// lifoScheduler is the adversarial last-writer-first reordering: on each
+// directed link the delay cycles 3, 2, 1, so within every window of three
+// sends the latest arrives first. It is deterministic without a seed.
+type lifoScheduler struct{ seq map[[2]int]int }
+
+func (*lifoScheduler) Name() string { return SchedLIFO }
+
+func (s *lifoScheduler) DeliverAt(sent int, m Message) int {
+	link := [2]int{m.From, m.To}
+	n := s.seq[link]
+	s.seq[link] = n + 1
+	return sent + MaxSkew - n%MaxSkew // delays 3, 2, 1, 3, 2, 1, ...
+}
+
+// partitionScheduler splits the players into two seed-chosen blocks and
+// holds every cross-partition message back until a heal round, after which
+// the network is synchronous again — the partition-then-heal schedule.
+// Messages are delayed, never dropped, so eventual delivery holds.
+type partitionScheduler struct {
+	hash uint64
+	heal int
+}
+
+func newPartitionScheduler(seed uint64) *partitionScheduler {
+	rng := newSplitMix(seed)
+	return &partitionScheduler{
+		hash: rng.next(),
+		heal: 2 + rng.intn(4), // heal in rounds 2..5
+	}
+}
+
+func (*partitionScheduler) Name() string { return SchedPartition }
+
+// side assigns node v to one of the two blocks by hashing it against the
+// run's seed material.
+func (s *partitionScheduler) side(v int) bool {
+	h := newSplitMix(s.hash ^ (uint64(v)+1)*0xd1b54a32d192ed03)
+	return h.next()&1 == 1
+}
+
+func (s *partitionScheduler) DeliverAt(sent int, m Message) int {
+	if sent < s.heal && s.side(m.From) != s.side(m.To) {
+		return s.heal + 1
+	}
+	return sent + 1
+}

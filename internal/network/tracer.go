@@ -21,8 +21,13 @@ type Tracer interface {
 	// BeginRun is called once before Init with the topology and engine.
 	BeginRun(nodes, edges int, engine Engine)
 	// Send is an accepted send made in round (0 = Init); the message is
-	// delivered in round+1.
+	// delivered in round+1 unless a Delay event for it follows immediately.
 	Send(round int, m Message)
+	// Delay announces that the async engine's scheduler assigned the
+	// message just reported by Send a delivery round other than sent+1.
+	// It is emitted immediately after that Send, and only when the
+	// delivery round differs; synchronous engines never emit it.
+	Delay(sent, deliver int, m Message)
 	// Drop is a rejected send (non-edge or self destination) in round.
 	Drop(round int, m Message)
 	// Deliver is the inbox handed to a live player at the start of round.
@@ -46,6 +51,9 @@ func (NopTracer) BeginRun(int, int, Engine) {}
 
 // Send implements Tracer.
 func (NopTracer) Send(int, Message) {}
+
+// Delay implements Tracer.
+func (NopTracer) Delay(int, int, Message) {}
 
 // Drop implements Tracer.
 func (NopTracer) Drop(int, Message) {}
@@ -80,6 +88,9 @@ func (t *MetricsTracer) Send(round int, m Message) {
 	t.m.MessagesSent++
 	t.m.BitsSent += m.Payload.BitSize()
 }
+
+// Delay implements Tracer.
+func (t *MetricsTracer) Delay(int, int, Message) { t.m.MessagesDelayed++ }
 
 // Drop implements Tracer.
 func (t *MetricsTracer) Drop(int, Message) { t.m.MessagesDropped++ }
@@ -118,6 +129,13 @@ func NewTranscriptTracer() *TranscriptTracer {
 // Send implements Tracer: a send in round is delivered in round+1.
 func (t *TranscriptTracer) Send(round int, m Message) { t.t.record(round+1, m) }
 
+// Delay implements Tracer: the engine emits Delay immediately after the
+// delayed message's Send, so the recorder relocates the just-recorded
+// message from the synchronous round sent+1 to its actual delivery round.
+func (t *TranscriptTracer) Delay(sent, deliver int, _ Message) {
+	t.t.relocateLast(sent+1, deliver)
+}
+
 // Transcript returns the recorded transcript.
 func (t *TranscriptTracer) Transcript() *Transcript { return t.t }
 
@@ -140,6 +158,7 @@ func NewJSONLTracer(w io.Writer) *JSONLTracer { return &JSONLTracer{w: w} }
 type jsonlEvent struct {
 	Ev      string `json:"ev"`
 	Round   int    `json:"round"`
+	At      int    `json:"at,omitempty"` // delivery round of a delayed send
 	From    *int   `json:"from,omitempty"`
 	To      *int   `json:"to,omitempty"`
 	Player  *int   `json:"player,omitempty"`
@@ -177,6 +196,11 @@ func (t *JSONLTracer) BeginRun(nodes, edges int, engine Engine) {
 func (t *JSONLTracer) Send(round int, m Message) {
 	t.emit(jsonlEvent{Ev: "send", Round: round, From: id(m.From), To: id(m.To),
 		Bits: m.Payload.BitSize(), Payload: m.Payload.Key()})
+}
+
+// Delay implements Tracer.
+func (t *JSONLTracer) Delay(sent, deliver int, m Message) {
+	t.emit(jsonlEvent{Ev: "delay", Round: sent, At: deliver, From: id(m.From), To: id(m.To)})
 }
 
 // Drop implements Tracer.

@@ -26,6 +26,20 @@ func (t *Transcript) record(deliveryRound int, m Message) {
 	}
 }
 
+// relocateLast moves the most recently recorded message of round from to
+// round to — the TranscriptTracer's reaction to a Delay event, which the
+// engine emits immediately after the message's Send. Delays only ever push
+// delivery later (to > from), so maxRnd never goes stale.
+func (t *Transcript) relocateLast(from, to int) {
+	ms := t.byRound[from]
+	if len(ms) == 0 || from == to {
+		return
+	}
+	m := ms[len(ms)-1]
+	t.byRound[from] = ms[:len(ms)-1]
+	t.record(to, m)
+}
+
 // Rounds returns the last delivery round recorded.
 func (t *Transcript) Rounds() int { return t.maxRnd }
 

@@ -18,6 +18,8 @@
 package ppa
 
 import (
+	"sort"
+
 	"rmt/internal/core"
 	"rmt/internal/graph"
 	"rmt/internal/instance"
@@ -69,8 +71,16 @@ func (r *Receiver) Round(_ int, inbox []network.Message, _ network.Outbox) bool 
 		}
 		r.byValue[vm.X] = append(r.byValue[vm.X], trail.Append(r.id))
 	}
-	for x, paths := range r.byValue {
-		if r.certifies(paths) {
+	// Candidate values are scanned in sorted order: outside 𝒵 two values can
+	// certify in the same round, and the decision must not depend on map
+	// iteration order (the attack sweep asserts byte-identical output).
+	candidates := make([]network.Value, 0, len(r.byValue))
+	for x := range r.byValue {
+		candidates = append(candidates, x)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	for _, x := range candidates {
+		if r.certifies(r.byValue[x]) {
 			r.decided, r.value = true, x
 			return false
 		}

@@ -43,8 +43,11 @@ type Decider interface {
 // rest; the per-protocol aliases (core.Options, zcpa.Options) are aliases
 // of this type, so option values flow unchanged through every layer.
 type Options struct {
-	// Engine selects lockstep (default) or goroutine execution.
+	// Engine selects lockstep (default), goroutine or async execution.
 	Engine network.Engine
+	// Scheduler is the async engine's delivery policy (nil = the zero-fault
+	// SyncScheduler). Ignored by the synchronous engines.
+	Scheduler network.Scheduler
 	// RecordTranscript enables full message recording (memory-heavy).
 	RecordTranscript bool
 	// MaxRounds bounds the execution; 0 uses the engine default.

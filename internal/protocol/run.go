@@ -38,6 +38,7 @@ func Run(p Protocol, in *instance.Instance, xD network.Value, opts Options) (*ne
 		Graph:            in.G,
 		Processes:        procs,
 		Engine:           opts.Engine,
+		Scheduler:        opts.Scheduler,
 		RecordTranscript: opts.RecordTranscript,
 		MaxRounds:        opts.MaxRounds,
 		Tracers:          opts.Tracers,

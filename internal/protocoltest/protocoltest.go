@@ -73,10 +73,11 @@ func RunRegistry(t *testing.T, cfg Config) {
 
 // Config tunes the battery.
 type Config struct {
-	Seed       int64
-	Trials     int // random instances for the tightness sweep
-	MaxRounds  int
-	SkipEngine bool // skip the goroutine-engine equivalence check
+	Seed          int64
+	Trials        int // random instances for the tightness sweep
+	MaxRounds     int
+	SkipEngine    bool // skip the goroutine/async engine equivalence check
+	SkipSchedules bool // skip the async schedule-safety slice
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +99,9 @@ func Run(t *testing.T, f Factory, cfg Config) {
 	if !cfg.SkipEngine {
 		t.Run(f.Name+"/engine-equivalence", func(t *testing.T) { engineEquivalence(t, f, cfg) })
 	}
+	if !cfg.SkipSchedules {
+		t.Run(f.Name+"/schedule-safety", func(t *testing.T) { scheduleSafety(t, f, cfg) })
+	}
 	if f.Solvable != nil {
 		t.Run(f.Name+"/tightness", func(t *testing.T) { tightness(t, f, cfg) })
 	}
@@ -111,10 +115,16 @@ func run(f Factory, in *instance.Instance, xD network.Value, corrupt map[int]net
 // runTraced additionally records a transcript and a tracer event count when
 // record is set, for the engine-equivalence and reconciliation slices.
 func runTraced(f Factory, in *instance.Instance, xD network.Value, corrupt map[int]network.Process, engine network.Engine, maxRounds int, record bool) (*network.Result, *countTracer, error) {
+	return runScheduled(f, in, xD, corrupt, engine, nil, maxRounds, record)
+}
+
+// runScheduled is runTraced with an async delivery schedule installed.
+func runScheduled(f Factory, in *instance.Instance, xD network.Value, corrupt map[int]network.Process, engine network.Engine, sched network.Scheduler, maxRounds int, record bool) (*network.Result, *countTracer, error) {
 	cfg := network.Config{
 		Graph:     in.G,
 		Processes: f.NewProcesses(in, xD, corrupt),
 		Engine:    engine,
+		Scheduler: sched,
 		MaxRounds: maxRounds,
 		StopEarly: func(d map[int]network.Value) bool {
 			_, ok := d[in.Receiver]
@@ -239,20 +249,69 @@ func engineEquivalence(t *testing.T, f Factory, cfg Config) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			av, aok := a.DecisionOf(in.Receiver)
-			bv, bok := b.DecisionOf(in.Receiver)
-			if av != bv || aok != bok {
-				t.Errorf("fixture %d, corrupt %v: engines disagree (%q/%v vs %q/%v)",
-					i, m, av, aok, bv, bok)
+			// The async engine under the zero-fault schedule must be
+			// indistinguishable from the synchronous engines.
+			c, cct, err := runTraced(f, in, "x", mk(), network.Async, cfg.MaxRounds, true)
+			if err != nil {
+				t.Fatal(err)
 			}
-			// Deterministic protocols must be transcript-identical, not just
-			// decision-identical, across engines.
-			if ak, bk := a.Transcript.Key(), b.Transcript.Key(); ak != bk {
-				t.Errorf("fixture %d, corrupt %v: transcripts differ between engines:\nlockstep:  %s\ngoroutine: %s",
-					i, m, ak, bk)
+			av, aok := a.DecisionOf(in.Receiver)
+			for eng, res := range map[string]*network.Result{"goroutine": b, "async": c} {
+				v, ok := res.DecisionOf(in.Receiver)
+				if av != v || aok != ok {
+					t.Errorf("fixture %d, corrupt %v: %s disagrees with lockstep (%q/%v vs %q/%v)",
+						i, m, eng, v, ok, av, aok)
+				}
+				// Deterministic protocols must be transcript-identical, not
+				// just decision-identical, across engines.
+				if ak, k := a.Transcript.Key(), res.Transcript.Key(); ak != k {
+					t.Errorf("fixture %d, corrupt %v: %s transcript differs from lockstep:\nlockstep: %s\n%s: %s",
+						i, m, eng, ak, eng, k)
+				}
 			}
 			act.reconcile(t, fmt.Sprintf("fixture %d corrupt %v lockstep", i, m), a)
 			bct.reconcile(t, fmt.Sprintf("fixture %d corrupt %v goroutine", i, m), b)
+			cct.reconcile(t, fmt.Sprintf("fixture %d corrupt %v async", i, m), c)
+		}
+	}
+}
+
+// scheduleSafety runs every stock async schedule against the fixtures:
+// honest runs must still deliver x_D to the receiver (eventual delivery
+// preserves liveness, just later), and silenced admissible corruptions must
+// never induce a wrong receiver decision under any delivery order.
+func scheduleSafety(t *testing.T, f Factory, cfg Config) {
+	// Delays stretch a path of h hops to at most h·(1+MaxSkew) rounds, and
+	// the partition schedule holds cross messages for at most its heal
+	// round; 64 rounds dominate both on the small fixtures.
+	const maxRounds = 64
+	for i, in := range fixtures(t, f) {
+		for _, name := range network.SchedulerNames() {
+			for seed := int64(1); seed <= 2; seed++ {
+				sched := network.MustScheduler(name, seed)
+				res, _, err := runScheduled(f, in, "x", nil, network.Async, sched, maxRounds, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, ok := res.DecisionOf(in.Receiver); !ok || got != "x" {
+					t.Errorf("fixture %d, schedule %s seed %d: honest decision = %q, %v",
+						i, name, seed, got, ok)
+				}
+				for _, m := range in.MaximalCorruptions() {
+					if m.IsEmpty() {
+						continue
+					}
+					sched := network.MustScheduler(name, seed)
+					res, _, err := runScheduled(f, in, "real", protocol.Silence(m), network.Async, sched, maxRounds, false)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got, ok := res.DecisionOf(in.Receiver); ok && got != "real" {
+						t.Errorf("fixture %d, schedule %s seed %d, corrupt %v: decided %q — SAFETY VIOLATION",
+							i, name, seed, m, got)
+					}
+				}
+			}
 		}
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"rmt/internal/adversary"
+	"rmt/internal/feasibility"
+	"rmt/internal/gen"
 	"rmt/internal/graph"
 	"rmt/internal/instance"
 	"rmt/internal/network"
@@ -76,18 +78,19 @@ func mustInstance(t *testing.T, edges string, z adversary.Structure, d, r int) *
 }
 
 // triplePath: three disjoint relay paths 0→{1,2,3}→4; Z corrupts any single
-// relay. Solvable: two honest relays always certify at R.
+// relay. Solvable: two honest relays always certify at R. The topology and
+// verdicts live in internal/feasibility.
 func triplePath(t *testing.T) *instance.Instance {
-	return mustInstance(t, "0-1 0-2 0-3 1-4 2-4 3-4",
-		adversary.FromSlices([]int{1}, []int{2}, []int{3}), 0, 4)
+	t.Helper()
+	return feasibility.MustByName(feasibility.TriplePath).MustBuild(gen.AdHoc)
 }
 
 // weakDiamond: two disjoint relay paths with Z corrupting either relay.
 // Unsolvable in the ad hoc model: one honest relay is indistinguishable
 // from one corrupted relay.
 func weakDiamond(t *testing.T) *instance.Instance {
-	return mustInstance(t, "0-1 0-2 1-3 2-3",
-		adversary.FromSlices([]int{1}, []int{2}), 0, 3)
+	t.Helper()
+	return feasibility.MustByName(feasibility.WeakDiamond).MustBuild(gen.AdHoc)
 }
 
 func TestDealerNeighborDecides(t *testing.T) {

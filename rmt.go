@@ -19,9 +19,9 @@
 //     the partial-knowledge machinery (view functions, local structures);
 //   - Section 5's self-reduction: protocol Π on basic instances and the
 //     Decision Protocol plugged into 𝒵-CPA as a decider (selfred types);
-//   - a synchronous network simulator with deterministic lockstep and
-//     goroutine engines, a Byzantine strategy zoo, and an experiment
-//     harness regenerating every table in EXPERIMENTS.md.
+//   - a network simulator with deterministic lockstep, goroutine and
+//     seeded-async engines (NewScheduler), a Byzantine strategy zoo, and an
+//     experiment harness regenerating every table in EXPERIMENTS.md.
 //
 // # Quick start
 //
@@ -80,8 +80,12 @@ type (
 	// Process is a player state machine; corrupted players are arbitrary
 	// Processes.
 	Process = network.Process
-	// Engine selects the lockstep or goroutine execution engine.
+	// Engine selects the lockstep, goroutine or async execution engine.
 	Engine = network.Engine
+	// Scheduler is the async engine's delivery policy: it assigns each
+	// accepted send a delivery round (see NewScheduler for the stock
+	// policies); install via RunOptions.Scheduler.
+	Scheduler = network.Scheduler
 	// RMTCut witnesses the partial-knowledge impossibility condition.
 	RMTCut = core.RMTCut
 	// ZppCut witnesses the ad hoc impossibility condition.
@@ -108,7 +112,24 @@ type (
 const (
 	Lockstep  = network.Lockstep
 	Goroutine = network.Goroutine
+	Async     = network.Async
 )
+
+// ParseEngine parses an engine name ("lockstep", "goroutine", "async").
+func ParseEngine(name string) (Engine, error) { return network.ParseEngine(name) }
+
+// SchedulerNames returns the stock async-schedule names, sorted: "sync"
+// (zero-fault), "random" (seeded delay), "fifo" (seeded delay, FIFO per
+// link), "lifo" (last-writer-first reordering), "partition"
+// (partition-then-heal).
+func SchedulerNames() []string { return network.SchedulerNames() }
+
+// NewScheduler builds the named stock scheduler. Every random choice flows
+// from the seed, so equal (name, seed) pairs reproduce a run byte-for-byte.
+// Schedulers are single-use: build a fresh one per run.
+func NewScheduler(name string, seed int64) (Scheduler, error) {
+	return network.NewScheduler(name, seed)
+}
 
 // NewGraph returns an empty topology; add channels with AddEdge.
 func NewGraph() *Graph { return graph.New() }
