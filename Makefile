@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 test race bench benchjson benchguard vet attacksweep schedfuzz fuzzsmoke cover
+.PHONY: tier1 test race bench benchjson benchguard benchsnap vet attacksweep schedfuzz fuzzsmoke cover loadtest daemonsmoke
 
 # tier1 is the gate every PR must keep green: build + full test suite +
 # vet + race detector on the packages that spawn goroutines or share state
@@ -14,7 +14,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/network/ ./internal/eval/ ./internal/protocol/ ./internal/byzantine/ ./internal/attack/
+	$(GO) test -race ./internal/network/ ./internal/eval/ ./internal/protocol/ ./internal/byzantine/ ./internal/attack/ ./internal/server/
 
 test:
 	$(GO) test ./...
@@ -38,6 +38,13 @@ benchjson:
 benchguard:
 	$(GO) run ./cmd/rmtbench -compare BENCH.json
 
+# Per-PR benchmark snapshot: BENCH_<pr>.json next to the rolling BENCH.json
+# baseline, so the perf trajectory accumulates one point per PR (CI archives
+# the file as a build artifact). Usage: make benchsnap PR=5
+PR ?= dev
+benchsnap:
+	$(GO) run ./cmd/rmtbench -benchjson BENCH_$(PR).json
+
 # Randomized Theorem-4 safety fuzzer: 200 seeded trials across every
 # registered protocol × every registered Byzantine strategy × both
 # engines, with a gullible canary proving the oracle can fail. Attack
@@ -53,6 +60,18 @@ attacksweep:
 # (seed, trial) alone. Traces stream to sched-traces.jsonl.
 schedfuzz:
 	$(GO) run ./cmd/rmtattack -trials 100 -seed 2 -engines lockstep -schedules all -out sched-traces.jsonl
+
+# Load-test the rmtd query daemon in-process: 200 concurrent in-flight
+# requests over a repeating workload must complete with zero dropped
+# connections and zero 5xx, the canonical-instance cache must absorb the
+# repetition (hit ratio > 0.5), and equal requests must get byte-identical
+# bodies from 1-worker and 8-worker daemons.
+loadtest:
+	$(GO) run ./cmd/rmtload -concurrency 200 -requests 4000
+
+# CI-sized daemon smoke: the same assertions at a few dozen requests.
+daemonsmoke:
+	$(GO) run ./cmd/rmtload -smoke
 
 # Short coverage-guided fuzz smoke on the instance-spec parser.
 fuzzsmoke:

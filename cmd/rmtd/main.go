@@ -1,0 +1,107 @@
+// Command rmtd is the RMT query daemon: a long-lived HTTP/JSON service
+// answering feasibility queries (RMT-cut / 𝒵-pp-cut verdicts) and executing
+// any registered protocol × engine × schedule × seed, with canonical-instance
+// result caching and bounded-queue backpressure (see internal/server).
+//
+// Usage:
+//
+//	rmtd -addr :8080 -workers 0 -queue 256 -cache 1024 -timeout 30s
+//
+// Endpoints:
+//
+//	POST /v1/feasibility   {"graph":"0-1 ...","structure":"1;2","dealer":0,"receiver":4}
+//	POST /v1/run           the above plus protocol/engine/schedule/seed/trials/...
+//	GET  /v1/protocols     registered protocols, engines, schedules, attacks
+//	GET  /healthz          liveness
+//	GET  /metrics          Prometheus text format
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
+// requests finish (bounded by -drain), then the worker pool is released.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rmt/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "rmtd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled or the listener
+// fails. onReady, when non-nil, receives the bound address once the daemon
+// accepts connections (used by tests binding port 0).
+func run(ctx context.Context, args []string, logw io.Writer, onReady func(addr string)) error {
+	fs := flag.NewFlagSet("rmtd", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 0, "compute workers (0 = one per logical CPU)")
+		queue   = fs.Int("queue", 256, "max queued requests before shedding with 429")
+		cache   = fs.Int("cache", 1024, "result cache entries")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-request compute deadline")
+		drain   = fs.Duration("drain", 10*time.Second, "graceful shutdown bound")
+		quiet   = fs.Bool("quiet", false, "suppress the request log")
+	)
+	fs.SetOutput(logw)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reqLog := logw
+	if *quiet {
+		reqLog = io.Discard
+	}
+	srv := server.New(server.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		RequestTimeout: *timeout,
+		LogWriter:      reqLog,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpServer := &http.Server{Handler: srv}
+	fmt.Fprintf(logw, "rmtd: listening on %s\n", ln.Addr())
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(logw, "rmtd: draining (up to %v)\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		srv.Close()
+		return err
+	}
+	srv.Close()
+	fmt.Fprintf(logw, "rmtd: stopped\n")
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDaemonServesAndDrains boots the daemon on an ephemeral port, exercises
+// a cached round trip, then cancels the context and checks the graceful
+// drain completes.
+func TestDaemonServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-quiet"}, io.Discard,
+			func(addr string) { ready <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"graph":"0-1 0-2 0-3 1-4 2-4 3-4","structure":"1;2;3","dealer":0,"receiver":4}`
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/v1/feasibility", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("feasibility request %d: %d", i, resp.StatusCode)
+		}
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "rmtd_cache_hits_total 1") {
+		t.Fatalf("metrics missing cache hit:\n%s", metrics)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}
+
+func TestBadFlagsError(t *testing.T) {
+	err := run(context.Background(), []string{"-addr"}, io.Discard, nil)
+	if err == nil {
+		t.Fatal("missing flag value should error")
+	}
+}

@@ -8,6 +8,9 @@
 //	rmtgen -family disjoint -paths 3 -hops 2
 //	rmtgen -family layered -layers 2 -width 3 -threshold 1
 //	rmtgen -family random -n 8 -p 0.4 -seed 7
+//
+// Bad parameters are usage errors: rmtgen prints a one-line message and
+// exits with status 2, never a stack trace.
 package main
 
 import (
@@ -16,34 +19,35 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strings"
 
 	"rmt/internal/adversary"
 	"rmt/internal/cliutil"
 	"rmt/internal/gen"
-	"rmt/internal/graph"
 	"rmt/internal/nodeset"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rmtgen:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rmtgen", flag.ContinueOnError)
 	var (
-		family    = fs.String("family", "disjoint", "disjoint|layered|chimera|line|ring|grid|random|star|bipartite|butterfly|regular")
+		family    = fs.String("family", "disjoint", strings.Join(gen.FamilyNames(), "|"))
 		paths     = fs.Int("paths", 3, "disjoint: number of relay chains")
 		hops      = fs.Int("hops", 1, "disjoint: relays per chain")
 		layers    = fs.Int("layers", 2, "layered: number of layers")
 		width     = fs.Int("width", 3, "layered: relays per layer")
-		k         = fs.Int("k", 2, "chimera: branches")
-		n         = fs.Int("n", 8, "line/ring/random: nodes; grid: rows")
-		cols      = fs.Int("cols", 3, "grid: columns")
+		k         = fs.Int("k", 2, "chimera: branches; butterfly: dimension")
+		n         = fs.Int("n", 8, "line/ring/random/star/regular: nodes; grid: rows; bipartite: left side")
+		cols      = fs.Int("cols", 3, "grid: columns; bipartite: right side")
 		p         = fs.Float64("p", 0.4, "random: edge probability")
-		seed      = fs.Int64("seed", 1, "random: RNG seed")
+		degree    = fs.Int("degree", 3, "regular: node degree")
+		seed      = fs.Int64("seed", 1, "random/regular: RNG seed")
 		threshold = fs.Int("threshold", 0, "use a global threshold structure over the relays (0 = singletons)")
 		spec      = fs.Bool("spec", false, "emit the instance-spec file format (for rmtcheck/rmtsim -file)")
 		knowledge = fs.String("knowledge", "adhoc", "knowledge level recorded in -spec output")
@@ -52,37 +56,15 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	var (
-		g      *graph.Graph
-		z      adversary.Structure
-		d, rcv int
-	)
-	switch *family {
-	case "disjoint":
-		g, d, rcv = gen.DisjointPaths(*paths, *hops)
-	case "layered":
-		g, d, rcv = gen.Layered(*layers, *width)
-	case "chimera":
-		g, z, d, rcv = gen.ChimeraScaled(*k)
-	case "line":
-		g, d, rcv = gen.Line(*n), 0, *n-1
-	case "ring":
-		g, d, rcv = gen.Ring(*n), 0, *n/2
-	case "grid":
-		g, d, rcv = gen.Grid(*n, *cols), 0, (*n)*(*cols)-1
-	case "random":
-		g, d, rcv = gen.RandomGNP(rand.New(rand.NewSource(*seed)), *n, *p), 0, *n-1
-	case "star":
-		g, d, rcv = gen.Star(*n), 0, *n-1
-	case "bipartite":
-		g, d, rcv = gen.CompleteBipartite(*n, *cols), 0, *n+*cols-1
-	case "butterfly":
-		g = gen.Butterfly(*k)
-		d, rcv = 0, g.MaxID()
-	case "regular":
-		g, d, rcv = gen.RandomRegular(rand.New(rand.NewSource(*seed)), *n, 3), 0, *n-1
-	default:
-		return fmt.Errorf("unknown family %q", *family)
+	g, z, d, rcv, err := gen.BuildFamily(*family, gen.FamilyParams{
+		Paths: *paths, Hops: *hops,
+		Layers: *layers, Width: *width,
+		K: *k, N: *n, Cols: *cols,
+		P: *p, Degree: *degree,
+		Rand: rand.New(rand.NewSource(*seed)),
+	})
+	if err != nil {
+		return err
 	}
 	if z.NumMaximal() == 0 { // not set by the family: derive from relays
 		relays := g.Nodes().Minus(nodeset.Of(d, rcv))

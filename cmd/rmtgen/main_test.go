@@ -39,6 +39,37 @@ func TestUnknownFamily(t *testing.T) {
 	}
 }
 
+// TestBadParametersErrorInsteadOfPanicking: flag combinations that used to
+// crash with a stack trace are one-line usage errors (main exits 2).
+func TestBadParametersErrorInsteadOfPanicking(t *testing.T) {
+	cases := [][]string{
+		{"-family", "ring", "-n", "2"},
+		{"-family", "star", "-n", "1"},
+		{"-family", "line", "-n", "1"},
+		{"-family", "chimera", "-k", "1"},
+		{"-family", "butterfly", "-k", "7"},
+		{"-family", "butterfly", "-k", "0"},
+		{"-family", "bipartite", "-n", "0"},
+		{"-family", "regular", "-n", "5", "-degree", "3"},
+		{"-family", "disjoint", "-paths", "0"},
+		{"-family", "layered", "-layers", "0"},
+		{"-family", "grid", "-n", "1", "-cols", "1"},
+		{"-family", "random", "-n", "1"},
+		{"-family", "random", "-p", "2"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		err := run(args, &sb)
+		if err == nil {
+			t.Errorf("%v: no error", args)
+			continue
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Errorf("%v: error is not one line: %q", args, err)
+		}
+	}
+}
+
 func TestDeterministicRandom(t *testing.T) {
 	var a, b strings.Builder
 	if err := run([]string{"-family", "random", "-seed", "9"}, &a); err != nil {

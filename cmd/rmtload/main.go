@@ -1,0 +1,275 @@
+// Command rmtload drives load against an rmtd daemon and checks the
+// acceptance bar of the query service:
+//
+//   - it sustains -concurrency in-flight requests with zero dropped
+//     connections (transport-level failures) and zero 5xx replies;
+//   - the canonical-instance cache absorbs the repetition in the workload
+//     (final rmtd_cache_hit_ratio > 0.5);
+//   - equal requests get byte-identical JSON bodies regardless of the
+//     daemon's worker count (checked against two in-process servers with
+//     1 and 8 workers).
+//
+// With -addr it targets a running daemon; without it, it boots an
+// in-process server so `make loadtest` needs no orchestration. -smoke runs
+// the same checks at CI scale (one uncached plus one cached request).
+//
+// Usage:
+//
+//	rmtload                        # in-process, 200 in flight, 4000 requests
+//	rmtload -addr localhost:8080   # against a running daemon
+//	rmtload -smoke                 # CI-sized smoke with the same assertions
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rmt/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rmtload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rmtload", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "", "daemon address (empty = boot an in-process server)")
+		concurrency = fs.Int("concurrency", 200, "concurrent in-flight requests")
+		requests    = fs.Int("requests", 4000, "total requests to issue")
+		smoke       = fs.Bool("smoke", false, "CI-sized smoke run (overrides -concurrency/-requests)")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *smoke {
+		*concurrency, *requests = 4, 3*len(workload())
+	}
+	if *concurrency < 1 || *requests < *concurrency {
+		return fmt.Errorf("need requests ≥ concurrency ≥ 1 (got %d, %d)", *requests, *concurrency)
+	}
+
+	base := "http://" + *addr
+	if *addr == "" {
+		stop, inproc, err := bootInProcess(*concurrency)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		base = inproc
+	}
+
+	if err := driveLoad(out, base, *concurrency, *requests); err != nil {
+		return err
+	}
+	return checkByteIdentity(out)
+}
+
+// bootInProcess starts a quiet rmtd server on an ephemeral port with a
+// queue deep enough that the load itself never trips backpressure.
+func bootInProcess(concurrency int) (stop func(), base string, err error) {
+	srv := server.New(server.Options{QueueDepth: 2 * concurrency, LogWriter: io.Discard})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	httpServer := &http.Server{Handler: srv}
+	go httpServer.Serve(ln)
+	stop = func() {
+		httpServer.Close()
+		srv.Close()
+	}
+	return stop, "http://" + ln.Addr().String(), nil
+}
+
+type workItem struct {
+	path string
+	body string
+}
+
+// workload is the request mix: a handful of distinct feasibility and run
+// queries over small instances. Issuing `requests` draws round-robin from
+// it makes the expected cache hit ratio (requests - distinct) / requests,
+// far above the 0.5 bar for any realistic request count.
+func workload() []workItem {
+	items := []workItem{
+		{"/v1/feasibility", `{"graph":"0-1 0-2 0-3 1-4 2-4 3-4","structure":"1;2;3","dealer":0,"receiver":4}`},
+		{"/v1/feasibility", `{"graph":"0-1 1-2","structure":"1","dealer":0,"receiver":2}`},
+		{"/v1/feasibility", `{"graph":"0-1 0-2 1-3 2-3","structure":"1;2","dealer":0,"receiver":3}`},
+		{"/v1/feasibility", `{"graph":"0-1 0-2 1-3 2-3","structure":"1,2","dealer":0,"receiver":3}`},
+		{"/v1/run", `{"graph":"0-1 0-2 0-3 1-4 2-4 3-4","structure":"1;2;3","dealer":0,"receiver":4,"protocol":"pka"}`},
+		{"/v1/run", `{"graph":"0-1 0-2 0-3 1-4 2-4 3-4","structure":"1;2;3","dealer":0,"receiver":4,"protocol":"zcpa","corrupt":[2],"attack":"value-flip"}`},
+		{"/v1/run", `{"graph":"0-1 0-2 1-3 2-3","structure":"1;2","dealer":0,"receiver":3,"engine":"async","schedule":"random","seed":11,"trials":3}`},
+		{"/v1/run", `{"graph":"0-1 0-2 1-3 2-3","structure":"1;2","dealer":0,"receiver":3,"engine":"async","schedule":"lifo","seed":5}`},
+	}
+	return items
+}
+
+func driveLoad(out io.Writer, base string, concurrency, requests int) error {
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConns: concurrency, MaxIdleConnsPerHost: concurrency},
+		Timeout:   60 * time.Second,
+	}
+	items := workload()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		statuses  = make(map[int]int)
+		dropped   int
+	)
+	next := make(chan int)
+	go func() {
+		for i := 0; i < requests; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				item := items[i%len(items)]
+				t0 := time.Now()
+				resp, err := client.Post(base+item.path, "application/json", strings.NewReader(item.body))
+				d := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					dropped++
+				} else {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					statuses[resp.StatusCode]++
+					latencies = append(latencies, d)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	fmt.Fprintf(out, "requests=%d concurrency=%d elapsed=%v rate=%.0f/s\n",
+		requests, concurrency, elapsed.Round(time.Millisecond), float64(requests)/elapsed.Seconds())
+	codes := make([]int, 0, len(statuses))
+	for c := range statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(out, "status %d: %d\n", c, statuses[c])
+	}
+	fmt.Fprintf(out, "latency p50=%v p95=%v p99=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+
+	hitRatio, err := scrapeHitRatio(client, base)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "cache hit ratio: %.3f\n", hitRatio)
+
+	if dropped > 0 {
+		return fmt.Errorf("%d dropped connections", dropped)
+	}
+	for c, n := range statuses {
+		if c >= 500 {
+			return fmt.Errorf("%d requests answered %d", n, c)
+		}
+	}
+	if statuses[http.StatusOK] != requests {
+		return fmt.Errorf("only %d/%d requests answered 200", statuses[http.StatusOK], requests)
+	}
+	if hitRatio <= 0.5 {
+		return fmt.Errorf("cache hit ratio %.3f ≤ 0.5", hitRatio)
+	}
+	fmt.Fprintln(out, "load check PASS")
+	return nil
+}
+
+var hitRatioRe = regexp.MustCompile(`(?m)^rmtd_cache_hit_ratio ([0-9.]+)$`)
+
+func scrapeHitRatio(client *http.Client, base string) (float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, fmt.Errorf("scrape metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	m := hitRatioRe.FindSubmatch(text)
+	if m == nil {
+		return 0, fmt.Errorf("rmtd_cache_hit_ratio missing from /metrics")
+	}
+	return strconv.ParseFloat(string(m[1]), 64)
+}
+
+// checkByteIdentity serves one deterministic multi-trial run request from
+// two fresh in-process servers with different worker counts and requires
+// byte-identical bodies — the guarantee the result cache's first-body-wins
+// rule relies on.
+func checkByteIdentity(out io.Writer) error {
+	const req = `{"graph":"0-1 0-2 0-3 1-4 2-4 3-4","structure":"1;2;3","dealer":0,"receiver":4,` +
+		`"engine":"async","schedule":"lifo","seed":3,"trials":6,"corrupt":[1],"attack":"silent"}`
+	var bodies [][]byte
+	for _, workers := range []int{1, 8} {
+		srv := server.New(server.Options{Workers: workers, LogWriter: io.Discard})
+		rec := newLocalPost(srv, "/v1/run", req)
+		srv.Close()
+		if rec.status != http.StatusOK {
+			return fmt.Errorf("byte-identity probe (workers=%d): status %d: %s", workers, rec.status, rec.body.String())
+		}
+		bodies = append(bodies, rec.body.Bytes())
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		return fmt.Errorf("same request, different bodies across worker counts:\n%s\nvs\n%s", bodies[0], bodies[1])
+	}
+	fmt.Fprintln(out, "byte-identity across worker counts PASS")
+	return nil
+}
+
+type localRecorder struct {
+	status int
+	body   bytes.Buffer
+	header http.Header
+}
+
+func (r *localRecorder) Header() http.Header         { return r.header }
+func (r *localRecorder) WriteHeader(code int)        { r.status = code }
+func (r *localRecorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+
+// newLocalPost runs one POST through the handler without a TCP hop.
+func newLocalPost(h http.Handler, path, body string) *localRecorder {
+	rec := &localRecorder{status: http.StatusOK, header: make(http.Header)}
+	req, _ := http.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	return rec
+}

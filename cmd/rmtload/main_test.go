@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSmokeRun exercises the full driver at CI scale against an in-process
+// server: all requests 200, hit ratio above the bar, byte identity holds.
+func TestSmokeRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-smoke"}, &out); err != nil {
+		t.Fatalf("smoke run failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"load check PASS", "byte-identity across worker counts PASS", "cache hit ratio"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRejectsBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-concurrency", "0"}, &out); err == nil {
+		t.Fatal("concurrency 0 should error")
+	}
+}

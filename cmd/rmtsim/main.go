@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,9 +25,21 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rmtsim:", err)
-		os.Exit(1)
+		// Usage errors (bad flags, bad instance, unknown names) exit 2;
+		// failures of a validly-specified run exit 1.
+		if errors.As(err, &runError{}) {
+			os.Exit(1)
+		}
+		os.Exit(2)
 	}
 }
+
+// runError marks errors that occur after validation, while executing the
+// requested protocol run.
+type runError struct{ err error }
+
+func (e runError) Error() string { return e.err.Error() }
+func (e runError) Unwrap() error { return e.err }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rmtsim", flag.ContinueOnError)
@@ -129,11 +142,11 @@ func run(args []string, out io.Writer) error {
 	}
 	res, err := rmt.RunProtocol(*protocol, in, rmt.Value(*value), corruptProcs, opts)
 	if err != nil {
-		return err
+		return runError{err}
 	}
 	if jt != nil {
 		if err := jt.Err(); err != nil {
-			return fmt.Errorf("jsonl: %w", err)
+			return runError{fmt.Errorf("jsonl: %w", err)}
 		}
 	}
 	if *trace && res.Transcript != nil {

@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the long-lived sibling of parallelMap: a fixed set of worker
+// goroutines draining a bounded job queue. parallelMap fans a known batch
+// of trials out and joins; Pool serves an open-ended stream of jobs
+// arriving over time — the shape a daemon needs — while keeping the same
+// two guarantees the batch pool gives the experiment harness: a hard bound
+// on concurrent work (Workers) and a hard bound on admitted-but-unstarted
+// work (the queue), so overload is rejected at the door (TrySubmit
+// returning false, which the rmtd server maps to HTTP 429) instead of
+// accumulating unbounded goroutines or latency.
+type Pool struct {
+	mu      sync.RWMutex // guards closed vs. concurrent TrySubmit sends
+	closed  bool
+	jobs    chan func()
+	wg      sync.WaitGroup
+	depth   atomic.Int64 // queued + running jobs
+	workers int
+}
+
+// NewPool starts a pool of `workers` goroutines (≤ 0 means one per logical
+// CPU, as with Params.Workers) behind a queue of `queueDepth` waiting jobs
+// (≥ 0; 0 means a job is only admitted when a worker is free to take it).
+func NewPool(workers, queueDepth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &Pool{jobs: make(chan func(), queueDepth), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+				p.depth.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit offers a job to the pool. It returns false — without blocking —
+// when the queue is full or the pool is closed; the caller decides how to
+// shed the load. A true return guarantees the job will run (exactly once).
+func (p *Pool) TrySubmit(job func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- job:
+		p.depth.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Depth returns the number of jobs currently admitted and not yet finished
+// (queued + running) — the backpressure signal the server exports.
+func (p *Pool) Depth() int { return int(p.depth.Load()) }
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops admission and waits for every admitted job to finish — the
+// graceful-drain half of the daemon's SIGTERM handling. TrySubmit returns
+// false from the moment Close begins.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

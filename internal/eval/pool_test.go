@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsEveryAdmittedJob: every TrySubmit that returns true executes
+// exactly once, and Close drains the queue before returning.
+func TestPoolRunsEveryAdmittedJob(t *testing.T) {
+	p := NewPool(4, 64)
+	var ran atomic.Int64
+	admitted := 0
+	for i := 0; i < 200; i++ {
+		if p.TrySubmit(func() { ran.Add(1) }) {
+			admitted++
+		}
+	}
+	p.Close()
+	if int(ran.Load()) != admitted {
+		t.Fatalf("admitted %d jobs, ran %d", admitted, ran.Load())
+	}
+	if admitted == 0 {
+		t.Fatal("no job was admitted")
+	}
+}
+
+// TestPoolBackpressure: with every worker blocked and the queue full,
+// TrySubmit sheds load instead of blocking — the 429 path of the daemon.
+func TestPoolBackpressure(t *testing.T) {
+	const workers, queue = 2, 3
+	p := NewPool(workers, queue)
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(workers)
+	for i := 0; i < workers; i++ {
+		if !p.TrySubmit(func() { started.Done(); <-release }) {
+			t.Fatal("pool rejected a job while idle")
+		}
+	}
+	started.Wait() // both workers now blocked
+	for i := 0; i < queue; i++ {
+		if !p.TrySubmit(func() {}) {
+			t.Fatalf("queue slot %d rejected", i)
+		}
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("pool admitted a job beyond workers+queue while saturated")
+	}
+	if got := p.Depth(); got != workers+queue {
+		t.Fatalf("Depth() = %d, want %d", got, workers+queue)
+	}
+	close(release)
+	p.Close()
+	if got := p.Depth(); got != 0 {
+		t.Fatalf("Depth() after drain = %d", got)
+	}
+}
+
+// TestPoolCloseRejectsNewJobs: submissions racing Close either run or are
+// rejected — never lost, never panicking on a closed channel.
+func TestPoolCloseRejectsNewJobs(t *testing.T) {
+	p := NewPool(2, 8)
+	var ran atomic.Int64
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if p.TrySubmit(func() { ran.Add(1) }) {
+					admitted.Add(1)
+				}
+				time.Sleep(time.Microsecond)
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	p.Close()
+	wg.Wait()
+	if ran.Load() != admitted.Load() {
+		t.Fatalf("admitted %d, ran %d", admitted.Load(), ran.Load())
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("TrySubmit after Close must return false")
+	}
+}

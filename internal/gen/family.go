@@ -1,0 +1,139 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rmt/internal/adversary"
+	"rmt/internal/graph"
+)
+
+// FamilyParams is the union of the tunable knobs of the named topology
+// families — the flag set of cmd/rmtgen. Each family reads the fields it
+// understands and ignores the rest.
+type FamilyParams struct {
+	Paths, Hops   int        // disjoint
+	Layers, Width int        // layered
+	K             int        // chimera branches, butterfly dimension
+	N             int        // line/ring/random/star/regular nodes; grid rows; bipartite left side
+	Cols          int        // grid columns; bipartite right side
+	P             float64    // random: edge probability
+	Degree        int        // regular: node degree
+	Rand          *rand.Rand // random, regular: seeded source
+}
+
+// FamilyNames lists the known topology families, sorted.
+func FamilyNames() []string {
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuildFamily validates the parameters and builds the named family. It is
+// the CLI boundary into this package: the raw constructors state their
+// preconditions as panics (fine for code with literal arguments), while
+// BuildFamily turns every bad parameter — including combinations that would
+// make the dealer and receiver coincide — into a descriptive error.
+//
+// The returned structure has no maximal sets unless the family fixes one
+// (chimera does); callers overlay their own structure in that case.
+func BuildFamily(family string, p FamilyParams) (g *graph.Graph, z adversary.Structure, dealer, receiver int, err error) {
+	build, ok := families[family]
+	if !ok {
+		return nil, z, 0, 0, fmt.Errorf("gen: unknown family %q (known: %v)", family, FamilyNames())
+	}
+	return build(p)
+}
+
+type familyBuilder func(FamilyParams) (*graph.Graph, adversary.Structure, int, int, error)
+
+var families = map[string]familyBuilder{
+	"disjoint": func(p FamilyParams) (*graph.Graph, adversary.Structure, int, int, error) {
+		if p.Paths < 1 || p.Hops < 1 {
+			return fail("disjoint needs paths ≥ 1 and hops ≥ 1 (got paths=%d, hops=%d)", p.Paths, p.Hops)
+		}
+		g, d, r := DisjointPaths(p.Paths, p.Hops)
+		return g, adversary.Structure{}, d, r, nil
+	},
+	"layered": func(p FamilyParams) (*graph.Graph, adversary.Structure, int, int, error) {
+		if p.Layers < 1 || p.Width < 1 {
+			return fail("layered needs layers ≥ 1 and width ≥ 1 (got layers=%d, width=%d)", p.Layers, p.Width)
+		}
+		g, d, r := Layered(p.Layers, p.Width)
+		return g, adversary.Structure{}, d, r, nil
+	},
+	"chimera": func(p FamilyParams) (*graph.Graph, adversary.Structure, int, int, error) {
+		if p.K < 2 {
+			return fail("chimera needs k ≥ 2 (got k=%d)", p.K)
+		}
+		g, z, d, r := ChimeraScaled(p.K)
+		return g, z, d, r, nil
+	},
+	"line": func(p FamilyParams) (*graph.Graph, adversary.Structure, int, int, error) {
+		if p.N < 2 {
+			return fail("line needs n ≥ 2 so the dealer and receiver differ (got n=%d)", p.N)
+		}
+		return Line(p.N), adversary.Structure{}, 0, p.N - 1, nil
+	},
+	"ring": func(p FamilyParams) (*graph.Graph, adversary.Structure, int, int, error) {
+		if p.N < 3 {
+			return fail("ring needs n ≥ 3 (got n=%d)", p.N)
+		}
+		return Ring(p.N), adversary.Structure{}, 0, p.N / 2, nil
+	},
+	"grid": func(p FamilyParams) (*graph.Graph, adversary.Structure, int, int, error) {
+		if p.N < 1 || p.Cols < 1 || p.N*p.Cols < 2 {
+			return fail("grid needs rows ≥ 1, cols ≥ 1 and at least 2 nodes (got rows=%d, cols=%d)", p.N, p.Cols)
+		}
+		return Grid(p.N, p.Cols), adversary.Structure{}, 0, p.N*p.Cols - 1, nil
+	},
+	"random": func(p FamilyParams) (*graph.Graph, adversary.Structure, int, int, error) {
+		if p.N < 2 {
+			return fail("random needs n ≥ 2 (got n=%d)", p.N)
+		}
+		if p.P < 0 || p.P > 1 {
+			return fail("random needs 0 ≤ p ≤ 1 (got p=%g)", p.P)
+		}
+		if p.Rand == nil {
+			return fail("random needs a seeded source")
+		}
+		return RandomGNP(p.Rand, p.N, p.P), adversary.Structure{}, 0, p.N - 1, nil
+	},
+	"star": func(p FamilyParams) (*graph.Graph, adversary.Structure, int, int, error) {
+		if p.N < 2 {
+			return fail("star needs n ≥ 2 (got n=%d)", p.N)
+		}
+		return Star(p.N), adversary.Structure{}, 0, p.N - 1, nil
+	},
+	"bipartite": func(p FamilyParams) (*graph.Graph, adversary.Structure, int, int, error) {
+		if p.N < 1 || p.Cols < 1 {
+			return fail("bipartite needs both sides ≥ 1 (got a=%d, b=%d)", p.N, p.Cols)
+		}
+		return CompleteBipartite(p.N, p.Cols), adversary.Structure{}, 0, p.N + p.Cols - 1, nil
+	},
+	"butterfly": func(p FamilyParams) (*graph.Graph, adversary.Structure, int, int, error) {
+		if p.K < 1 || p.K > 6 {
+			return fail("butterfly needs 1 ≤ k ≤ 6 (got k=%d)", p.K)
+		}
+		g := Butterfly(p.K)
+		return g, adversary.Structure{}, 0, g.MaxID(), nil
+	},
+	"regular": func(p FamilyParams) (*graph.Graph, adversary.Structure, int, int, error) {
+		if p.Rand == nil {
+			return fail("regular needs a seeded source")
+		}
+		g, err := RandomRegular(p.Rand, p.N, p.Degree)
+		if err != nil {
+			return nil, adversary.Structure{}, 0, 0, err
+		}
+		return g, adversary.Structure{}, 0, p.N - 1, nil
+	},
+}
+
+func fail(format string, args ...any) (*graph.Graph, adversary.Structure, int, int, error) {
+	return nil, adversary.Structure{}, 0, 0, fmt.Errorf("gen: "+format, args...)
+}

@@ -1,0 +1,79 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func TestBuildFamilyBuildsEveryFamily(t *testing.T) {
+	cases := map[string]FamilyParams{
+		"disjoint":  {Paths: 3, Hops: 2},
+		"layered":   {Layers: 2, Width: 3},
+		"chimera":   {K: 2},
+		"line":      {N: 5},
+		"ring":      {N: 6},
+		"grid":      {N: 3, Cols: 3},
+		"random":    {N: 7, P: 0.5, Rand: testRand()},
+		"star":      {N: 6},
+		"bipartite": {N: 2, Cols: 3},
+		"butterfly": {K: 2},
+		"regular":   {N: 8, Degree: 3, Rand: testRand()},
+	}
+	if len(cases) != len(FamilyNames()) {
+		t.Fatalf("test covers %d families, registry has %v", len(cases), FamilyNames())
+	}
+	for family, p := range cases {
+		g, _, d, r, err := BuildFamily(family, p)
+		if err != nil {
+			t.Errorf("%s: %v", family, err)
+			continue
+		}
+		if g == nil || g.NumNodes() < 2 {
+			t.Errorf("%s: degenerate graph %v", family, g)
+		}
+		if d == r {
+			t.Errorf("%s: dealer == receiver == %d", family, d)
+		}
+		if !g.HasNode(d) || !g.HasNode(r) {
+			t.Errorf("%s: terminals %d, %d not in graph", family, d, r)
+		}
+	}
+}
+
+// TestBuildFamilyRejectsBadParameters: every parameter combination that
+// used to reach a constructor panic (stack-tracing the CLI) is a
+// descriptive error at the BuildFamily boundary.
+func TestBuildFamilyRejectsBadParameters(t *testing.T) {
+	cases := []struct {
+		family string
+		p      FamilyParams
+	}{
+		{"disjoint", FamilyParams{Paths: 0, Hops: 1}},
+		{"disjoint", FamilyParams{Paths: 1, Hops: 0}},
+		{"layered", FamilyParams{Layers: 0, Width: 1}},
+		{"layered", FamilyParams{Layers: 1, Width: 0}},
+		{"chimera", FamilyParams{K: 1}},
+		{"line", FamilyParams{N: 1}},
+		{"ring", FamilyParams{N: 2}},
+		{"grid", FamilyParams{N: 1, Cols: 1}},
+		{"grid", FamilyParams{N: 0, Cols: 3}},
+		{"random", FamilyParams{N: 1, Rand: testRand()}},
+		{"random", FamilyParams{N: 5, P: 1.5, Rand: testRand()}},
+		{"random", FamilyParams{N: 5, P: 0.5}},
+		{"star", FamilyParams{N: 1}},
+		{"bipartite", FamilyParams{N: 0, Cols: 3}},
+		{"butterfly", FamilyParams{K: 0}},
+		{"butterfly", FamilyParams{K: 7}},
+		{"regular", FamilyParams{N: 5, Degree: 3, Rand: testRand()}}, // odd n·d
+		{"regular", FamilyParams{N: 4, Degree: 4, Rand: testRand()}}, // d ≥ n
+		{"regular", FamilyParams{N: 8, Degree: 3}},                   // no source
+		{"mobius", FamilyParams{}},
+	}
+	for _, tc := range cases {
+		if _, _, _, _, err := BuildFamily(tc.family, tc.p); err == nil {
+			t.Errorf("%s %+v: no error", tc.family, tc.p)
+		}
+	}
+}

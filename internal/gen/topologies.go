@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"fmt"
 	"math/rand"
 
 	"rmt/internal/graph"
@@ -55,17 +56,23 @@ func Butterfly(k int) *graph.Graph {
 
 // RandomRegular returns a seeded random d-regular graph on n nodes via the
 // pairing model with restarts (n·d must be even, d < n). Useful for
-// constant-degree scaling experiments.
-func RandomRegular(r *rand.Rand, n, d int) *graph.Graph {
-	if d < 1 || d >= n || (n*d)%2 != 0 {
-		panic("gen: invalid regular-graph parameters")
+// constant-degree scaling experiments. Unlike the fixed-topology
+// constructors it returns errors instead of panicking: its parameter space
+// comes straight from CLI flags, and even valid-looking parameters can make
+// the pairing model fail to converge.
+func RandomRegular(r *rand.Rand, n, d int) (*graph.Graph, error) {
+	if d < 1 || d >= n {
+		return nil, fmt.Errorf("gen: regular graph needs 1 ≤ d < n (got n=%d, d=%d)", n, d)
+	}
+	if (n*d)%2 != 0 {
+		return nil, fmt.Errorf("gen: regular graph needs n·d even (got n=%d, d=%d)", n, d)
 	}
 	for attempt := 0; attempt < 1000; attempt++ {
 		if g, ok := tryPairing(r, n, d); ok {
-			return g
+			return g, nil
 		}
 	}
-	panic("gen: pairing model failed to converge (parameters too tight)")
+	return nil, fmt.Errorf("gen: pairing model failed to converge for n=%d, d=%d", n, d)
 }
 
 func tryPairing(r *rand.Rand, n, d int) (*graph.Graph, bool) {

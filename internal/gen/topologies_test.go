@@ -62,7 +62,10 @@ func TestButterflyPanics(t *testing.T) {
 func TestRandomRegular(t *testing.T) {
 	r := rand.New(rand.NewSource(12))
 	for _, tc := range []struct{ n, d int }{{6, 2}, {8, 3}, {10, 4}} {
-		g := RandomRegular(r, tc.n, tc.d)
+		g, err := RandomRegular(r, tc.n, tc.d)
+		if err != nil {
+			t.Fatalf("n=%d d=%d: %v", tc.n, tc.d, err)
+		}
 		if g.NumNodes() != tc.n {
 			t.Fatalf("n=%d d=%d: nodes = %d", tc.n, tc.d, g.NumNodes())
 		}
@@ -76,18 +79,20 @@ func TestRandomRegular(t *testing.T) {
 }
 
 func TestRandomRegularDeterministic(t *testing.T) {
-	a := RandomRegular(rand.New(rand.NewSource(5)), 8, 3)
-	b := RandomRegular(rand.New(rand.NewSource(5)), 8, 3)
+	a, errA := RandomRegular(rand.New(rand.NewSource(5)), 8, 3)
+	b, errB := RandomRegular(rand.New(rand.NewSource(5)), 8, 3)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	if !a.Equal(b) {
 		t.Fatal("same seed, different graphs")
 	}
 }
 
-func TestRandomRegularPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("odd n·d did not panic")
+func TestRandomRegularRejectsBadParameters(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{5, 3}, {4, 0}, {4, 4}, {1, 1}} {
+		if _, err := RandomRegular(rand.New(rand.NewSource(1)), tc.n, tc.d); err == nil {
+			t.Errorf("n=%d d=%d should be rejected", tc.n, tc.d)
 		}
-	}()
-	RandomRegular(rand.New(rand.NewSource(1)), 5, 3)
+	}
 }

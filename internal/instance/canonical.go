@@ -1,0 +1,95 @@
+package instance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"rmt/internal/graph"
+)
+
+// This file defines the canonical content identity of an instance: two
+// Instance values describing the same tuple 𝓘 = (G, 𝒵, γ, D, R) — however
+// their graphs, structures or views were assembled, and in whatever input
+// order — render the same CanonicalString and therefore hash to the same
+// CanonicalKey. The key is what the rmtd query daemon uses to cache
+// feasibility verdicts and run results across requests: a client phrasing
+// the same instance with permuted edge lists or structure sets hits the
+// same cache line.
+
+// canonical carries the lazily computed identity; it lives behind a
+// pointer so Instance stays copy-safe and the memo is shared by copies.
+type canonical struct {
+	once sync.Once
+	str  string
+	key  string
+}
+
+// CanonicalString renders the full instance tuple in a canonical textual
+// form: sorted node and edge lists for G, the sorted antichain of maximal
+// sets for 𝒵, each node's view graph in node order for γ, then the
+// terminals. It is injective on instance tuples (two instances render
+// equal strings iff graph, structure, views and terminals all coincide),
+// which makes the derived hash a sound cache key.
+func (in *Instance) CanonicalString() string {
+	in.canon.once.Do(in.renderCanonical)
+	return in.canon.str
+}
+
+// CanonicalKey returns the canonical content hash of the instance: the
+// hex-encoded SHA-256 of CanonicalString. Equal keys identify equal
+// instance tuples (up to hash collision); input order of edges, structure
+// sets and view edges never influences the key.
+func (in *Instance) CanonicalKey() string {
+	in.canon.once.Do(in.renderCanonical)
+	return in.canon.key
+}
+
+func (in *Instance) renderCanonical() {
+	var b strings.Builder
+	b.WriteString("rmt-instance-v1\n")
+	fmt.Fprintf(&b, "graph: %s\n", canonicalGraph(in.G))
+	fmt.Fprintf(&b, "structure: %s\n", canonicalStructureOf(in))
+	b.WriteString("gamma:\n")
+	in.Gamma.Domain().ForEach(func(v int) bool {
+		fmt.Fprintf(&b, "  %d: %s\n", v, canonicalGraph(in.Gamma.Of(v)))
+		return true
+	})
+	fmt.Fprintf(&b, "dealer: %d\nreceiver: %d\n", in.Dealer, in.Receiver)
+	in.canon.str = b.String()
+	sum := sha256.Sum256([]byte(in.canon.str))
+	in.canon.key = hex.EncodeToString(sum[:])
+}
+
+// canonicalGraph renders nodes and edges in sorted order. The node set is
+// included explicitly so isolated nodes are part of the identity.
+func canonicalGraph(g *graph.Graph) string {
+	var b strings.Builder
+	b.WriteString("V{")
+	b.WriteString(g.Nodes().Key())
+	b.WriteString("} E{")
+	for i, e := range g.Edges() { // Edges iterates sorted: u ascending, v>u ascending
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d-%d", e[0], e[1])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// canonicalStructureOf renders the antichain of maximal sets sorted by
+// their canonical set keys — the stored antichain order can depend on the
+// order sets were supplied in, so it is normalized here.
+func canonicalStructureOf(in *Instance) string {
+	maximal := in.Z.Maximal()
+	keys := make([]string, len(maximal))
+	for i, s := range maximal {
+		keys[i] = s.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}

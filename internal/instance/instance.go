@@ -26,6 +26,7 @@ type Instance struct {
 	local     adversary.LocalKnowledge // memoized Z_v per node
 	joints    *adversary.JoinCache     // memoized Z_B = ⊕_{v∈B} Z_v
 	viewNodes *nodeset.UnionCache      // memoized V(γ(B)) = ∪_{v∈B} V(γ(v))
+	canon     *canonical               // memoized canonical identity (see canonical.go)
 }
 
 // Validation errors returned by New.
@@ -75,6 +76,7 @@ func New(g *graph.Graph, z adversary.Structure, gamma view.Function, dealer, rec
 	}
 	in.joints = adversary.NewJoinCache(in.local)
 	in.viewNodes = nodeset.NewUnionCache(gamma.NodesOf)
+	in.canon = &canonical{}
 	return in, nil
 }
 

@@ -209,11 +209,33 @@ func (r *Result) DecisionOf(v int) (Value, bool) {
 // message and bit complexity.
 type Metrics struct {
 	MessagesSent      int   // accepted sends (along edges)
+	MessagesDelivered int   // messages handed to a live player's inbox
 	MessagesDropped   int   // sends along non-edges or to self (Byzantine noise)
 	MessagesDelayed   int   // sends the scheduler held past the synchronous round (async engine)
+	MessagesLost      int   // accepted sends never delivered: recipient halted, or the run ended first
 	BitsSent          int   // Σ payload BitSize over accepted sends
 	MessagesPerRound  []int // accepted sends indexed by round (0 = Init)
 	MaxInboxPerPlayer int   // largest single-round inbox observed
+}
+
+// Reconcile checks the conservation law every run obeys: each accepted
+// send is eventually delivered to a live player or lost (recipient halted,
+// or the run ended with the message still in the delivery calendar).
+// Rejected sends (Drop events) are counted separately and never enter
+// MessagesSent. It returns an error describing the first violated identity.
+func (m Metrics) Reconcile() error {
+	if m.MessagesSent != m.MessagesDelivered+m.MessagesLost {
+		return fmt.Errorf("network: sent %d != delivered %d + lost %d",
+			m.MessagesSent, m.MessagesDelivered, m.MessagesLost)
+	}
+	perRound := 0
+	for _, n := range m.MessagesPerRound {
+		perRound += n
+	}
+	if perRound != m.MessagesSent {
+		return fmt.Errorf("network: per-round sends %d != sent %d", perRound, m.MessagesSent)
+	}
+	return nil
 }
 
 // Run executes the configured protocol and returns the result.

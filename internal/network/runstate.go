@@ -1,5 +1,7 @@
 package network
 
+import "sort"
+
 // runState holds the bookkeeping shared by both engines. One engine round
 // proceeds as: takePending (messages sent last round) → per-player Round
 // calls writing into per-player send buffers → merge buffers in ID order →
@@ -133,8 +135,10 @@ func (st *runState) merge(round int, buf *sendBuf) {
 // round of a message sent in round, clamped into [round+1, maxRounds] so a
 // scheduler can neither deliver into the past nor starve a message past the
 // end of a bounded run — the engine-enforced eventual-delivery guarantee.
-// Sends in the final round are necessarily lost, as under synchronous
-// delivery.
+// Sends in the final round land past maxRounds (the clamp cannot apply to
+// them), as under synchronous delivery; they are swept out of the calendar
+// and recorded as losses when the run ends (see result), so MessagesSent
+// still reconciles with MessagesDelivered + MessagesLost.
 func (st *runState) deliveryRound(round int, m Message) int {
 	if st.sched == nil {
 		return round + 1
@@ -158,13 +162,73 @@ func (st *runState) collectSends(v, round int, fn func(out Outbox)) {
 }
 
 // takePending removes and returns the messages due for delivery in round.
+// Messages addressed to players that have already halted can never be
+// received; they are removed and recorded as losses so the send/delivery
+// accounting reconciles.
 func (st *runState) takePending(round int) map[int][]Message {
 	pending := st.future[round]
 	delete(st.future, round)
-	for _, msgs := range pending {
+	var halted []int
+	for to, msgs := range pending {
 		st.inFlight -= len(msgs)
+		if st.halted[to] {
+			halted = append(halted, to)
+		}
+	}
+	sort.Ints(halted) // deterministic Lose event order
+	for _, to := range halted {
+		for _, m := range pending[to] {
+			st.lose(round, m)
+		}
+		delete(pending, to)
 	}
 	return pending
+}
+
+// lose reports one accepted send that will never reach a live player.
+func (st *runState) lose(round int, m Message) {
+	st.mt.Lose(round, m)
+	if st.tt != nil {
+		st.tt.Lose(round, m)
+	}
+	for _, tr := range st.extra {
+		tr.Lose(round, m)
+	}
+}
+
+// drainCalendar sweeps the undelivered remainder of the delivery calendar
+// at run end — sends made in the final round (necessarily undeliverable,
+// as under synchronous delivery) and sends scheduled past an early stop —
+// recording each as a loss and zeroing the in-flight count. Without the
+// sweep these messages stayed in st.future/inFlight forever: counted as
+// MessagesSent but never delivered or dropped, so metrics did not
+// reconcile.
+func (st *runState) drainCalendar() {
+	if st.inFlight == 0 {
+		st.future = nil
+		return
+	}
+	rounds := make([]int, 0, len(st.future))
+	for at := range st.future {
+		rounds = append(rounds, at)
+	}
+	sort.Ints(rounds)
+	for _, at := range rounds {
+		byTo := st.future[at]
+		tos := make([]int, 0, len(byTo))
+		for to := range byTo {
+			tos = append(tos, to)
+		}
+		sort.Ints(tos)
+		for _, to := range tos {
+			for _, m := range byTo[to] {
+				st.lose(at, m)
+				st.inFlight--
+			}
+		}
+	}
+	st.future = nil
+	st.inFlight = 0
 }
 
 // futureLive counts the scheduled-but-undelivered messages addressed to
@@ -269,6 +333,7 @@ func (st *runState) refreshDecisions() {
 
 func (st *runState) result() *Result {
 	st.refreshDecisions()
+	st.drainCalendar()
 	st.mt.EndRun(st.rounds)
 	if st.tt != nil {
 		st.tt.EndRun(st.rounds)

@@ -43,7 +43,7 @@ const (
 	SchedSync      = "sync"      // synchronous: every send delivered next round (zero-fault schedule)
 	SchedRandom    = "random"    // seeded per-message delay in [1, 1+MaxSkew)
 	SchedFIFO      = "fifo"      // seeded per-message delay, but FIFO order per directed link
-	SchedLIFO      = "lifo"      // last-writer-first: per-link delay cycle 3,2,1 reorders each window
+	SchedLIFO      = "lifo"      // last-writer-first: per-link delay cycle 3,2,1, seed-phased per link
 	SchedPartition = "partition" // seed-chosen bipartition delays crossing messages until a heal round
 )
 
@@ -55,8 +55,11 @@ func SchedulerNames() []string {
 }
 
 // NewScheduler builds the named stock scheduler. The seed drives every
-// random choice through a private splitmix64 stream; equal (name, seed)
-// pairs yield identical schedules.
+// random choice through a private splitmix64 stream — message delays for
+// random/fifo, per-link cycle phases for lifo, the bipartition and heal
+// round for partition; sync has no random choices. Equal (name, seed)
+// pairs yield identical schedules, and distinct seeds yield decorrelated
+// ones, the property the sweep's per-trial seed derivation relies on.
 func NewScheduler(name string, seed int64) (Scheduler, error) {
 	switch name {
 	case SchedSync:
@@ -66,7 +69,7 @@ func NewScheduler(name string, seed int64) (Scheduler, error) {
 	case SchedFIFO:
 		return &fifoScheduler{rng: newSplitMix(uint64(seed)), last: make(map[[2]int]int)}, nil
 	case SchedLIFO:
-		return &lifoScheduler{seq: make(map[[2]int]int)}, nil
+		return &lifoScheduler{seed: uint64(seed), seq: make(map[[2]int]int)}, nil
 	case SchedPartition:
 		return newPartitionScheduler(uint64(seed)), nil
 	default:
@@ -146,16 +149,34 @@ func (s *fifoScheduler) DeliverAt(sent int, m Message) int {
 
 // lifoScheduler is the adversarial last-writer-first reordering: on each
 // directed link the delay cycles 3, 2, 1, so within every window of three
-// sends the latest arrives first. It is deterministic without a seed.
-type lifoScheduler struct{ seq map[[2]int]int }
+// sends the latest arrives first. The seed chooses each link's starting
+// phase within the cycle (so per-trial seeds explore different alignments
+// of the reorder windows against the protocol's send pattern), but never
+// the cycle itself — within every aligned window the reversal property is
+// preserved exactly.
+type lifoScheduler struct {
+	seed uint64
+	seq  map[[2]int]int
+}
 
 func (*lifoScheduler) Name() string { return SchedLIFO }
 
+// phase derives the seed-chosen starting offset of a link's delay cycle.
+func (s *lifoScheduler) phase(link [2]int) int {
+	h := newSplitMix(s.seed ^
+		(uint64(link[0])+1)*0xbf58476d1ce4e5b9 ^
+		(uint64(link[1])+1)*0x94d049bb133111eb)
+	return h.intn(MaxSkew)
+}
+
 func (s *lifoScheduler) DeliverAt(sent int, m Message) int {
 	link := [2]int{m.From, m.To}
-	n := s.seq[link]
+	n, seen := s.seq[link]
+	if !seen {
+		n = s.phase(link)
+	}
 	s.seq[link] = n + 1
-	return sent + MaxSkew - n%MaxSkew // delays 3, 2, 1, 3, 2, 1, ...
+	return sent + MaxSkew - n%MaxSkew // delays cycle 3, 2, 1, from the seeded phase
 }
 
 // partitionScheduler splits the players into two seed-chosen blocks and

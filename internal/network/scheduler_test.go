@@ -94,23 +94,55 @@ func TestFIFOSchedulerPreservesLinkOrder(t *testing.T) {
 }
 
 func TestLIFOSchedulerReordersWindows(t *testing.T) {
-	s := MustScheduler(SchedLIFO, 0)
-	// Three same-round sends on one link arrive in reverse order.
-	sent := 4
-	ats := []int{
-		s.DeliverAt(sent, msg(0, 1)),
-		s.DeliverAt(sent, msg(0, 1)),
-		s.DeliverAt(sent, msg(0, 1)),
+	for seed := int64(0); seed < 8; seed++ {
+		s := MustScheduler(SchedLIFO, seed)
+		// Same-round sends on one link: within every aligned window of the
+		// 3,2,1 cycle, later sends arrive strictly earlier, and delays stay
+		// in [1, MaxSkew]. The seeded phase only shifts where the first
+		// window boundary falls.
+		sent := 4
+		var ats []int
+		for i := 0; i < 3*MaxSkew; i++ {
+			at := s.DeliverAt(sent, msg(0, 1))
+			if at < sent+1 || at > sent+MaxSkew {
+				t.Fatalf("seed %d: lifo delay %d outside [1, MaxSkew]", seed, at-sent)
+			}
+			ats = append(ats, at)
+		}
+		for i := 1; i < len(ats); i++ {
+			// A later send either arrives strictly earlier (inside a window)
+			// or a new window starts at the full MaxSkew delay.
+			if ats[i] >= ats[i-1] && ats[i] != sent+MaxSkew {
+				t.Fatalf("seed %d: lifo not last-writer-first: %v", seed, ats)
+			}
+		}
 	}
-	if !(ats[0] > ats[1] && ats[1] > ats[2]) {
-		t.Fatalf("lifo window not reversed: %v", ats)
+}
+
+// TestLIFOSchedulerSeedDrivesPhase pins the seed contract NewScheduler
+// documents: equal (name, seed) pairs reproduce the schedule exactly, and
+// distinct seeds change at least one link's cycle phase — pre-fix, lifo
+// ignored its seed entirely, so every per-trial seed of the schedule
+// fuzzer ran the identical schedule.
+func TestLIFOSchedulerSeedDrivesPhase(t *testing.T) {
+	firstDelays := func(seed int64) []int {
+		s := MustScheduler(SchedLIFO, seed)
+		var out []int
+		for _, link := range [][2]int{{0, 1}, {1, 0}, {2, 3}, {3, 7}, {5, 2}} {
+			out = append(out, s.DeliverAt(0, msg(link[0], link[1])))
+		}
+		return out
 	}
-	if ats[2] != sent+1 || ats[0] != sent+MaxSkew {
-		t.Fatalf("lifo delays out of range: %v", ats)
+	base := firstDelays(1)
+	if again := firstDelays(1); !reflect.DeepEqual(base, again) {
+		t.Fatalf("same seed diverged: %v vs %v", base, again)
 	}
-	// An independent link has its own cycle.
-	if at := s.DeliverAt(sent, msg(2, 3)); at != sent+MaxSkew {
-		t.Fatalf("lifo fresh link first delay = %d, want %d", at-sent, MaxSkew)
+	differs := false
+	for seed := int64(2); seed <= 16 && !differs; seed++ {
+		differs = !reflect.DeepEqual(firstDelays(seed), base)
+	}
+	if !differs {
+		t.Fatal("seeds 2..16 all produced seed-1's lifo schedule — seed is ignored")
 	}
 }
 

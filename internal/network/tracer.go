@@ -30,6 +30,14 @@ type Tracer interface {
 	Delay(sent, deliver int, m Message)
 	// Drop is a rejected send (non-edge or self destination) in round.
 	Drop(round int, m Message)
+	// Lose is an accepted send that will never reach a live player: its
+	// recipient halted before the delivery round, or the run ended (final
+	// round, early stop, quiescence) with the message still in the
+	// delivery calendar. round is the delivery round the message was
+	// scheduled for. Every accepted send is eventually reported by exactly
+	// one of Deliver (as part of an inbox) or Lose, so
+	// MessagesSent == MessagesDelivered + MessagesLost reconciles.
+	Lose(round int, m Message)
 	// Deliver is the inbox handed to a live player at the start of round.
 	Deliver(round, player int, inbox []Message)
 	// Decide is a player's first observed decision (round 0 = during Init).
@@ -57,6 +65,9 @@ func (NopTracer) Delay(int, int, Message) {}
 
 // Drop implements Tracer.
 func (NopTracer) Drop(int, Message) {}
+
+// Lose implements Tracer.
+func (NopTracer) Lose(int, Message) {}
 
 // Deliver implements Tracer.
 func (NopTracer) Deliver(int, int, []Message) {}
@@ -95,8 +106,12 @@ func (t *MetricsTracer) Delay(int, int, Message) { t.m.MessagesDelayed++ }
 // Drop implements Tracer.
 func (t *MetricsTracer) Drop(int, Message) { t.m.MessagesDropped++ }
 
+// Lose implements Tracer.
+func (t *MetricsTracer) Lose(int, Message) { t.m.MessagesLost++ }
+
 // Deliver implements Tracer.
 func (t *MetricsTracer) Deliver(_, _ int, inbox []Message) {
+	t.m.MessagesDelivered += len(inbox)
 	if len(inbox) > t.m.MaxInboxPerPlayer {
 		t.m.MaxInboxPerPlayer = len(inbox)
 	}
@@ -206,6 +221,11 @@ func (t *JSONLTracer) Delay(sent, deliver int, m Message) {
 // Drop implements Tracer.
 func (t *JSONLTracer) Drop(round int, m Message) {
 	t.emit(jsonlEvent{Ev: "drop", Round: round, From: id(m.From), To: id(m.To)})
+}
+
+// Lose implements Tracer.
+func (t *JSONLTracer) Lose(round int, m Message) {
+	t.emit(jsonlEvent{Ev: "lose", Round: round, From: id(m.From), To: id(m.To)})
 }
 
 // Deliver implements Tracer.

@@ -160,6 +160,9 @@ func (c *countTracer) Send(round int, m network.Message) {
 // tell the same story.
 func (c *countTracer) reconcile(t *testing.T, label string, res *network.Result) {
 	t.Helper()
+	if err := res.Metrics.Reconcile(); err != nil {
+		t.Errorf("%s: %v", label, err)
+	}
 	totalSends, totalBits := 0, 0
 	for r, n := range c.sends {
 		totalSends += n

@@ -1,0 +1,674 @@
+// Package server implements rmtd's long-lived HTTP/JSON query service:
+// feasibility verdicts (RMT-cut / 𝒵-pp-cut) and protocol executions for any
+// registered protocol × engine × schedule × seed, over the same internal
+// packages the CLI tools use.
+//
+// Two pieces make it a daemon rather than a CGI script:
+//
+//   - results are cached in a size-bounded LRU keyed by the instance's
+//     canonical content hash (instance.CanonicalKey) plus the normalized
+//     request parameters, so repeated queries — the common shape when a
+//     notebook or script sweeps seeds around one topology — are served from
+//     memory, byte-identically;
+//   - heavy work runs on a bounded worker pool (eval.Pool) with queue-depth
+//     backpressure: when the queue is full the daemon answers 429 instead of
+//     accumulating goroutines, and per-request deadlines turn stuck
+//     exponential searches into 504s instead of leaks.
+//
+// Endpoints: POST /v1/feasibility, POST /v1/run, GET /v1/protocols,
+// GET /healthz, GET /metrics (Prometheus text format).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"rmt/internal/byzantine"
+	"rmt/internal/cliutil"
+	"rmt/internal/core"
+	"rmt/internal/eval"
+	"rmt/internal/gen"
+	"rmt/internal/graph"
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
+	"rmt/internal/zcpa"
+)
+
+// Options configures a Server. The zero value is usable: every field has a
+// production default.
+type Options struct {
+	// Workers is the compute pool size (≤ 0 = one per logical CPU).
+	Workers int
+	// QueueDepth bounds admitted-but-unstarted requests; beyond it the
+	// daemon sheds load with 429. Default 256.
+	QueueDepth int
+	// CacheSize bounds the result LRU in entries. Default 1024.
+	CacheSize int
+	// RequestTimeout is the per-request compute deadline. Default 30s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies. Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxTrials bounds RunRequest.Trials. Default 1024.
+	MaxTrials int
+	// LogWriter receives one JSON object per request (structured access
+	// log). Default os.Stderr; use io.Discard to silence.
+	LogWriter io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 1024
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxTrials <= 0 {
+		o.MaxTrials = 1024
+	}
+	if o.LogWriter == nil {
+		o.LogWriter = os.Stderr
+	}
+	return o
+}
+
+// Server is the rmtd HTTP handler. Create with New, serve with any
+// http.Server, release the worker pool with Close.
+type Server struct {
+	opts    Options
+	pool    *eval.Pool
+	cache   *resultCache
+	metrics *serverMetrics
+	mux     *http.ServeMux
+
+	logMu sync.Mutex
+}
+
+// New builds a Server with started workers.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		pool:    eval.NewPool(opts.Workers, opts.QueueDepth),
+		cache:   newResultCache(opts.CacheSize),
+		metrics: newServerMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/protocols", s.instrument("/v1/protocols", s.handleProtocols))
+	s.mux.HandleFunc("POST /v1/feasibility", s.instrument("/v1/feasibility", s.handleFeasibility))
+	s.mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops admission and drains in-flight work — the SIGTERM half of
+// graceful shutdown (the HTTP listener is shut down by the caller first).
+func (s *Server) Close() { s.pool.Close() }
+
+// CacheHitRatio exposes hits/(hits+misses) for tests and the load driver.
+func (s *Server) CacheHitRatio() float64 { return s.metrics.hitRatio() }
+
+// instrument wraps a handler with latency/status accounting and the
+// structured access log.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		d := time.Since(start)
+		s.metrics.observe(endpoint, rec.code, d)
+		s.logRequest(r.Method, endpoint, rec.code, d, rec.cache)
+	}
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	cache string // "hit", "miss" or "" for uncacheable endpoints
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) logRequest(method, path string, status int, d time.Duration, cache string) {
+	entry := struct {
+		Time   string  `json:"time"`
+		Method string  `json:"method"`
+		Path   string  `json:"path"`
+		Status int     `json:"status"`
+		Ms     float64 `json:"ms"`
+		Cache  string  `json:"cache,omitempty"`
+	}{time.Now().UTC().Format(time.RFC3339Nano), method, path, status, float64(d.Microseconds()) / 1000, cache}
+	b, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	s.opts.LogWriter.Write(append(b, '\n'))
+}
+
+// ---------------------------------------------------------------- responses
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	b, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+	writeJSON(w, status, append(b, '\n'))
+}
+
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ----------------------------------------------------------- plain handlers
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, []byte("{\"status\":\"ok\"}\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w, s.pool.Depth(), s.pool.Workers(), s.cache.len())
+}
+
+// ProtocolInfo describes one registered protocol to clients.
+type ProtocolInfo struct {
+	Name               string `json:"name"`
+	NeedsFullKnowledge bool   `json:"needs_full_knowledge,omitempty"`
+	AllDecide          bool   `json:"all_decide,omitempty"`
+}
+
+// ProtocolsResponse is the GET /v1/protocols body: everything a client can
+// name in a RunRequest.
+type ProtocolsResponse struct {
+	Protocols []ProtocolInfo `json:"protocols"`
+	Engines   []string       `json:"engines"`
+	Schedules []string       `json:"schedules"`
+	Attacks   []string       `json:"attacks"`
+	Knowledge []string       `json:"knowledge"`
+}
+
+func (s *Server) handleProtocols(w http.ResponseWriter, _ *http.Request) {
+	resp := ProtocolsResponse{
+		Engines:   []string{"lockstep", "goroutine", "async"},
+		Schedules: network.SchedulerNames(),
+		Attacks:   byzantine.Names(),
+	}
+	for _, name := range protocol.Names() {
+		p, _ := protocol.Get(name)
+		caps := p.Caps()
+		resp.Protocols = append(resp.Protocols, ProtocolInfo{
+			Name:               name,
+			NeedsFullKnowledge: caps.NeedsFullKnowledge,
+			AllDecide:          caps.AllDecide,
+		})
+	}
+	for _, k := range gen.Levels() {
+		resp.Knowledge = append(resp.Knowledge, k.String())
+	}
+	body, err := marshalBody(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// --------------------------------------------------------- instance parsing
+
+// InstanceRequest is the textual instance tuple shared by both POST
+// endpoints — the same formats the CLI flags accept.
+type InstanceRequest struct {
+	// Graph is an edge list, e.g. "0-1 0-2 1-3 2-3".
+	Graph string `json:"graph"`
+	// Structure is the adversary structure, e.g. "1;2" ({1},{2}).
+	// Empty means no corruption.
+	Structure string `json:"structure,omitempty"`
+	// Knowledge is adhoc (default), radius1..radius3, or full.
+	Knowledge string `json:"knowledge,omitempty"`
+	Dealer    int    `json:"dealer"`
+	Receiver  int    `json:"receiver"`
+}
+
+func (q InstanceRequest) build() (*instance.Instance, gen.Knowledge, error) {
+	if strings.TrimSpace(q.Graph) == "" {
+		return nil, 0, fmt.Errorf("graph is required")
+	}
+	g, err := graph.ParseEdgeList(q.Graph)
+	if err != nil {
+		return nil, 0, err
+	}
+	z, err := cliutil.ParseStructure(q.Structure)
+	if err != nil {
+		return nil, 0, err
+	}
+	level := gen.AdHoc
+	if q.Knowledge != "" {
+		if level, err = cliutil.ParseKnowledge(q.Knowledge); err != nil {
+			return nil, 0, err
+		}
+	}
+	in, err := gen.Build(g, z, level, q.Dealer, q.Receiver)
+	if err != nil {
+		return nil, 0, err
+	}
+	return in, level, nil
+}
+
+// ------------------------------------------------------- pooled computation
+
+// compute runs fn on the worker pool under the request deadline and returns
+// the response body. It maps overload to 429 and deadline to 504, recording
+// the outcome in the metrics; a nil body means the reply was already sent.
+func (s *Server) compute(w http.ResponseWriter, r *http.Request, fn func() ([]byte, error)) []byte {
+	type outcome struct {
+		body []byte
+		err  error
+	}
+	done := make(chan outcome, 1)
+	job := func() {
+		defer func() {
+			// A panicking query must not take the daemon down with it:
+			// protocol and search code trusts its inputs more than a
+			// network service should.
+			if p := recover(); p != nil {
+				done <- outcome{nil, fmt.Errorf("panic: %v", p)}
+			}
+		}()
+		body, err := fn()
+		done <- outcome{body, err}
+	}
+	if !s.pool.TrySubmit(job) {
+		s.metrics.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "overloaded: %d requests in flight", s.pool.Depth())
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	select {
+	case out := <-done:
+		if out.err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", out.err)
+			return nil
+		}
+		return out.body
+	case <-ctx.Done():
+		s.metrics.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %v", s.opts.RequestTimeout)
+		return nil
+	}
+}
+
+// serveCached answers from the result cache or computes, caches and serves.
+// The incumbent body always wins (see resultCache.put), so equal cache keys
+// get byte-identical replies regardless of worker count or arrival order.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, fn func() ([]byte, error)) {
+	rec, _ := w.(*statusRecorder)
+	if body, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		if rec != nil {
+			rec.cache = "hit"
+		}
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+	if rec != nil {
+		rec.cache = "miss"
+	}
+	body := s.compute(w, r, fn)
+	if body == nil {
+		return
+	}
+	s.cache.put(key, body)
+	if cached, ok := s.cache.get(key); ok {
+		body = cached
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "body: %v", err)
+		return false
+	}
+	return true
+}
+
+// -------------------------------------------------------------- feasibility
+
+// CutWitness is an impossibility witness (C1, C2, B) in JSON form.
+type CutWitness struct {
+	C1 []int `json:"c1"`
+	C2 []int `json:"c2"`
+	B  []int `json:"b"`
+}
+
+// Verdict is one model's feasibility answer: solvable, or a cut witness.
+type Verdict struct {
+	Solvable bool        `json:"solvable"`
+	Witness  *CutWitness `json:"witness,omitempty"`
+}
+
+// FeasibilityResponse is the POST /v1/feasibility body. PKA is the partial
+// knowledge characterization (Definition 3 RMT-cut); ZCPA is the ad hoc one
+// (Definition 7 𝒵-pp cut), present only for adhoc-knowledge instances.
+type FeasibilityResponse struct {
+	// Key is the instance's canonical content hash — equal keys mean equal
+	// (G, 𝒵, γ, D, R) tuples, however the request spelled them.
+	Key       string   `json:"key"`
+	Knowledge string   `json:"knowledge"`
+	PKA       Verdict  `json:"pka"`
+	ZCPA      *Verdict `json:"zcpa,omitempty"`
+}
+
+func (s *Server) handleFeasibility(w http.ResponseWriter, r *http.Request) {
+	var req InstanceRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	in, level, err := req.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "instance: %v", err)
+		return
+	}
+	key := "feasibility-v1\n" + in.CanonicalKey()
+	s.serveCached(w, r, key, func() ([]byte, error) {
+		resp := FeasibilityResponse{Key: in.CanonicalKey(), Knowledge: level.String()}
+		if cut, found := core.FindRMTCut(in); found {
+			resp.PKA.Witness = witnessOf(cut.C1, cut.C2, cut.B)
+		} else {
+			resp.PKA.Solvable = true
+		}
+		if level == gen.AdHoc {
+			v := &Verdict{}
+			if cut, found := zcpa.FindRMTZppCut(in); found {
+				v.Witness = witnessOf(cut.C1, cut.C2, cut.B)
+			} else {
+				v.Solvable = true
+			}
+			resp.ZCPA = v
+		}
+		return marshalBody(resp)
+	})
+}
+
+func witnessOf(c1, c2, b nodeset.Set) *CutWitness {
+	return &CutWitness{C1: members(c1), C2: members(c2), B: members(b)}
+}
+
+// members is Members() with a non-nil result, so JSON renders [] not null.
+func members(s nodeset.Set) []int {
+	m := s.Members()
+	if m == nil {
+		m = []int{}
+	}
+	return m
+}
+
+// --------------------------------------------------------------------- runs
+
+// RunRequest asks for Trials executions of a registered protocol on the
+// instance, each with a deterministically derived schedule seed.
+type RunRequest struct {
+	InstanceRequest
+	// Protocol is a registry name (GET /v1/protocols); default "pka".
+	Protocol string `json:"protocol,omitempty"`
+	// Value is the dealer value x_D; default "1".
+	Value string `json:"value,omitempty"`
+	// Engine is lockstep (default), goroutine or async.
+	Engine string `json:"engine,omitempty"`
+	// Schedule names the async delivery policy; default "sync". Requires
+	// the async engine for any other value.
+	Schedule string `json:"schedule,omitempty"`
+	// Seed is the master seed; trial i runs with
+	// eval.TrialSeed(Seed, 0, i), reported per trial for reproduction.
+	Seed int64 `json:"seed,omitempty"`
+	// Trials is the number of executions; default 1.
+	Trials int `json:"trials,omitempty"`
+	// Corrupt lists the corrupted nodes (must be admissible under the
+	// structure); empty means an all-honest run.
+	Corrupt []int `json:"corrupt,omitempty"`
+	// Attack is the Byzantine strategy for the corrupted nodes; default
+	// "silent".
+	Attack string `json:"attack,omitempty"`
+	// Forged is the attacker's preferred wrong value; default
+	// "forged-by-<attack>".
+	Forged string `json:"forged,omitempty"`
+	// MaxRounds bounds each execution; 0 = engine default (2·|V|+2).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// Transcript embeds each trial's event stream (JSONL tracer events) in
+	// the response.
+	Transcript bool `json:"transcript,omitempty"`
+}
+
+// TrialResult is one execution's outcome.
+type TrialResult struct {
+	// Seed is the derived schedule seed; rmtsim -seed reproduces the trial.
+	Seed     int64  `json:"seed"`
+	Decided  bool   `json:"decided"`
+	Decision string `json:"decision,omitempty"`
+	// Correct reports Decision == the dealer value (safety).
+	Correct bool            `json:"correct"`
+	Rounds  int             `json:"rounds"`
+	Metrics network.Metrics `json:"metrics"`
+	// Transcript holds the run's event stream when requested.
+	Transcript []json.RawMessage `json:"transcript,omitempty"`
+}
+
+// RunResponse is the POST /v1/run body.
+type RunResponse struct {
+	Key      string        `json:"key"`
+	Protocol string        `json:"protocol"`
+	Engine   string        `json:"engine"`
+	Schedule string        `json:"schedule"`
+	Seed     int64         `json:"seed"`
+	Trials   []TrialResult `json:"trials"`
+}
+
+func (r *RunRequest) normalize() {
+	if r.Protocol == "" {
+		r.Protocol = protocol.PKA
+	}
+	if r.Value == "" {
+		r.Value = "1"
+	}
+	if r.Engine == "" {
+		r.Engine = "lockstep"
+	}
+	if r.Schedule == "" {
+		r.Schedule = "sync"
+	}
+	if r.Trials <= 0 {
+		r.Trials = 1
+	}
+	if r.Attack == "" {
+		r.Attack = "silent"
+	}
+	if r.Forged == "" {
+		r.Forged = "forged-by-" + r.Attack
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	req.normalize()
+	in, level, err := req.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "instance: %v", err)
+		return
+	}
+
+	// Validate everything on the request goroutine so bad requests are
+	// rejected in microseconds without consuming a pool slot.
+	p, ok := protocol.Get(req.Protocol)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown protocol %q (see /v1/protocols)", req.Protocol)
+		return
+	}
+	if p.Caps().NeedsFullKnowledge && level != gen.FullKnowledge {
+		writeError(w, http.StatusBadRequest, "protocol %q requires \"knowledge\": \"full\"", req.Protocol)
+		return
+	}
+	eng, err := network.ParseEngine(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := network.NewScheduler(req.Schedule, 0); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if eng != network.Async && req.Schedule != "sync" {
+		writeError(w, http.StatusBadRequest, "schedule %q requires \"engine\": \"async\"", req.Schedule)
+		return
+	}
+	if req.Trials > s.opts.MaxTrials {
+		writeError(w, http.StatusBadRequest, "trials %d exceeds the limit %d", req.Trials, s.opts.MaxTrials)
+		return
+	}
+	if req.MaxRounds < 0 {
+		writeError(w, http.StatusBadRequest, "max_rounds must be ≥ 0")
+		return
+	}
+	corrupt := nodeset.Of(req.Corrupt...)
+	if !in.Admissible(corrupt) {
+		writeError(w, http.StatusBadRequest, "corruption set %v is not admissible under %v", corrupt, in.Z)
+		return
+	}
+	strategy, ok := byzantine.Get(req.Attack)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "%v", byzantine.UnknownError(req.Attack))
+		return
+	}
+
+	key := runCacheKey(in, &req)
+	s.serveCached(w, r, key, func() ([]byte, error) {
+		resp, err := s.runTrials(in, &req, eng, corrupt, strategy)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(resp)
+	})
+}
+
+// runCacheKey derives the result-cache key from the canonical instance hash
+// and the normalized run parameters — everything the response depends on.
+func runCacheKey(in *instance.Instance, req *RunRequest) string {
+	var b strings.Builder
+	b.WriteString("run-v1\n")
+	b.WriteString(in.CanonicalKey())
+	fmt.Fprintf(&b, "\nprotocol: %s\nvalue: %s\nengine: %s\nschedule: %s\nseed: %d\ntrials: %d\ncorrupt: %s\nattack: %s\nforged: %s\nmaxrounds: %d\ntranscript: %v\n",
+		req.Protocol, req.Value, req.Engine, req.Schedule, req.Seed, req.Trials,
+		nodeset.Of(req.Corrupt...).Key(), req.Attack, req.Forged, req.MaxRounds, req.Transcript)
+	return b.String()
+}
+
+// runTrialWorkers bounds one request's internal fan-out so a large Trials
+// value cannot monopolize the host on top of the pool's own parallelism.
+const runTrialWorkers = 4
+
+func (s *Server) runTrials(in *instance.Instance, req *RunRequest, eng network.Engine, corrupt nodeset.Set, strategy byzantine.Strategy) (*RunResponse, error) {
+	xD := network.Value(req.Value)
+	var firstErr error
+	var errMu sync.Mutex
+	workers := 1
+	if req.Trials > 1 {
+		workers = runTrialWorkers
+	}
+	trials := eval.ParallelMap(req.Trials, workers, func(i int) TrialResult {
+		schedSeed := eval.TrialSeed(req.Seed, 0, i)
+		opts := protocol.Options{Engine: eng, MaxRounds: req.MaxRounds}
+		if eng == network.Async {
+			sched, err := network.NewScheduler(req.Schedule, schedSeed)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return TrialResult{}
+			}
+			opts.Scheduler = sched
+		}
+		if !corrupt.IsEmpty() {
+			opts.Corrupt = strategy.Build(in, corrupt, network.Value(req.Forged))
+		}
+		var transcript bytes.Buffer
+		var jt *network.JSONLTracer
+		if req.Transcript {
+			jt = network.NewJSONLTracer(&transcript)
+			opts.Tracers = []network.Tracer{jt}
+		}
+		res, err := protocol.RunByName(req.Protocol, in, xD, opts)
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			return TrialResult{}
+		}
+		tr := TrialResult{Seed: schedSeed, Rounds: res.Rounds, Metrics: res.Metrics}
+		if v, decided := res.DecisionOf(in.Receiver); decided {
+			tr.Decided = true
+			tr.Decision = string(v)
+			tr.Correct = v == xD
+		}
+		if jt != nil && jt.Err() == nil {
+			for _, line := range bytes.Split(bytes.TrimSpace(transcript.Bytes()), []byte("\n")) {
+				if len(line) > 0 {
+					tr.Transcript = append(tr.Transcript, json.RawMessage(line))
+				}
+			}
+		}
+		return tr
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &RunResponse{
+		Key:      in.CanonicalKey(),
+		Protocol: req.Protocol,
+		Engine:   req.Engine,
+		Schedule: req.Schedule,
+		Seed:     req.Seed,
+		Trials:   trials,
+	}, nil
+}

@@ -1,0 +1,442 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// solvableButterfly is the paper's quick-start instance: three disjoint
+// dealer→receiver paths against the structure {{1},{2},{3}} — solvable in
+// both the partial-knowledge and ad hoc characterizations.
+const solvableButterfly = `{"graph":"0-1 0-2 0-3 1-4 2-4 3-4","structure":"1;2;3","dealer":0,"receiver":4}`
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.LogWriter == nil {
+		opts.LogWriter = io.Discard
+	}
+	s := New(opts)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, body := get(t, ts, "/healthz")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+}
+
+func TestProtocolsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, body := get(t, ts, "/v1/protocols")
+	if code != http.StatusOK {
+		t.Fatalf("protocols: %d %s", code, body)
+	}
+	var resp ProtocolsResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]ProtocolInfo)
+	for _, p := range resp.Protocols {
+		names[p.Name] = p
+	}
+	for _, want := range []string{"pka", "zcpa", "ppa", "broadcast"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("protocol %q missing from %v", want, resp.Protocols)
+		}
+	}
+	if !names["ppa"].NeedsFullKnowledge {
+		t.Error("ppa should declare needs_full_knowledge")
+	}
+	if !names["broadcast"].AllDecide {
+		t.Error("broadcast should declare all_decide")
+	}
+	if len(resp.Engines) != 3 || len(resp.Schedules) == 0 || len(resp.Attacks) == 0 || len(resp.Knowledge) == 0 {
+		t.Fatalf("incomplete inventory: %+v", resp)
+	}
+}
+
+func TestFeasibilityVerdicts(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	code, body := post(t, ts, "/v1/feasibility", solvableButterfly)
+	if code != http.StatusOK {
+		t.Fatalf("feasibility: %d %s", code, body)
+	}
+	var resp FeasibilityResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Key) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", resp.Key)
+	}
+	if !resp.PKA.Solvable || resp.PKA.Witness != nil {
+		t.Fatalf("butterfly should be PKA-solvable: %+v", resp.PKA)
+	}
+	if resp.ZCPA == nil || !resp.ZCPA.Solvable {
+		t.Fatalf("butterfly should be ZCPA-solvable: %+v", resp.ZCPA)
+	}
+
+	// A single path through one corruptible node is cut by {1} twice.
+	code, body = post(t, ts, "/v1/feasibility", `{"graph":"0-1 1-2","structure":"1","dealer":0,"receiver":2}`)
+	if code != http.StatusOK {
+		t.Fatalf("feasibility: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.PKA.Solvable || resp.PKA.Witness == nil {
+		t.Fatalf("path instance should have an RMT-cut: %+v", resp.PKA)
+	}
+	if resp.ZCPA == nil || resp.ZCPA.Solvable || resp.ZCPA.Witness == nil {
+		t.Fatalf("path instance should have a 𝒵-pp cut: %+v", resp.ZCPA)
+	}
+
+	// Full knowledge: no ZCPA verdict (the ad hoc condition doesn't apply).
+	code, body = post(t, ts, "/v1/feasibility", `{"graph":"0-1 1-2","structure":"1","knowledge":"full","dealer":0,"receiver":2}`)
+	if code != http.StatusOK {
+		t.Fatalf("feasibility: %d %s", code, body)
+	}
+	resp = FeasibilityResponse{}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ZCPA != nil {
+		t.Fatalf("full-knowledge verdict should omit zcpa: %+v", resp.ZCPA)
+	}
+	if resp.Knowledge != "full" {
+		t.Fatalf("knowledge = %q", resp.Knowledge)
+	}
+}
+
+// TestFeasibilityCanonicalCaching: permuted spellings of the same instance
+// share one cache entry — the second spelling is a hit with an identical
+// body, and the hit-ratio metric records it.
+func TestFeasibilityCanonicalCaching(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	code, first := post(t, ts, "/v1/feasibility", solvableButterfly)
+	if code != http.StatusOK {
+		t.Fatalf("first: %d %s", code, first)
+	}
+	// Same instance: edges reordered and flipped, structure reordered.
+	permuted := `{"graph":"4-3 2-0 1-0 3-0 4-1 2-4","structure":"3;2;1","dealer":0,"receiver":4}`
+	code, second := post(t, ts, "/v1/feasibility", permuted)
+	if code != http.StatusOK {
+		t.Fatalf("second: %d %s", code, second)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("permuted spelling produced a different body:\n%s\nvs\n%s", first, second)
+	}
+	if ratio := s.CacheHitRatio(); ratio != 0.5 {
+		t.Fatalf("hit ratio after 1 miss + 1 hit = %v, want 0.5", ratio)
+	}
+}
+
+func TestRunEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := `{"graph":"0-1 0-2 0-3 1-4 2-4 3-4","structure":"1;2;3","dealer":0,"receiver":4,
+		"protocol":"pka","value":"attack at dawn","corrupt":[2],"attack":"value-flip"}`
+	code, body := post(t, ts, "/v1/run", req)
+	if code != http.StatusOK {
+		t.Fatalf("run: %d %s", code, body)
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Trials) != 1 {
+		t.Fatalf("trials = %d", len(resp.Trials))
+	}
+	tr := resp.Trials[0]
+	if !tr.Decided || tr.Decision != "attack at dawn" || !tr.Correct {
+		t.Fatalf("receiver outcome: %+v", tr)
+	}
+	if err := tr.Metrics.Reconcile(); err != nil {
+		t.Fatalf("metrics do not reconcile: %v", err)
+	}
+}
+
+func TestRunAsyncTrials(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := `{"graph":"0-1 0-2 0-3 1-4 2-4 3-4","structure":"1;2;3","dealer":0,"receiver":4,
+		"engine":"async","schedule":"random","seed":7,"trials":5}`
+	code, body := post(t, ts, "/v1/run", req)
+	if code != http.StatusOK {
+		t.Fatalf("run: %d %s", code, body)
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Trials) != 5 {
+		t.Fatalf("trials = %d", len(resp.Trials))
+	}
+	seeds := make(map[int64]bool)
+	for i, tr := range resp.Trials {
+		if !tr.Decided || tr.Decision != "1" {
+			t.Fatalf("trial %d undecided or wrong: %+v", i, tr)
+		}
+		if err := tr.Metrics.Reconcile(); err != nil {
+			t.Fatalf("trial %d metrics: %v", i, err)
+		}
+		seeds[tr.Seed] = true
+	}
+	if len(seeds) != 5 {
+		t.Fatalf("derived seeds collide: %v", seeds)
+	}
+}
+
+func TestRunTranscript(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := `{"graph":"0-1 1-2","dealer":0,"receiver":2,"protocol":"zcpa","transcript":true}`
+	code, body := post(t, ts, "/v1/run", req)
+	if code != http.StatusOK {
+		t.Fatalf("run: %d %s", code, body)
+	}
+	var resp RunResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	events := resp.Trials[0].Transcript
+	if len(events) == 0 {
+		t.Fatal("transcript requested but empty")
+	}
+	for _, ev := range events {
+		var e struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal(ev, &e); err != nil || e.Ev == "" {
+			t.Fatalf("malformed event %s: %v", ev, err)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxTrials: 8})
+	base := `"graph":"0-1 0-2 1-3 2-3","structure":"1;2","dealer":0,"receiver":3`
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty graph", `{"structure":"1"}`},
+		{"bad graph", `{"graph":"0--","dealer":0,"receiver":1}`},
+		{"bad structure", `{"graph":"0-1","structure":"x","dealer":0,"receiver":1}`},
+		{"bad knowledge", fmt.Sprintf(`{%s,"knowledge":"psychic"}`, base)},
+		{"unknown protocol", fmt.Sprintf(`{%s,"protocol":"nope"}`, base)},
+		{"unknown engine", fmt.Sprintf(`{%s,"engine":"nope"}`, base)},
+		{"unknown schedule", fmt.Sprintf(`{%s,"engine":"async","schedule":"nope"}`, base)},
+		{"schedule without async", fmt.Sprintf(`{%s,"schedule":"random"}`, base)},
+		{"inadmissible corruption", fmt.Sprintf(`{%s,"corrupt":[1,2]}`, base)},
+		{"unknown attack", fmt.Sprintf(`{%s,"corrupt":[1],"attack":"nope"}`, base)},
+		{"too many trials", fmt.Sprintf(`{%s,"trials":9}`, base)},
+		{"negative max_rounds", fmt.Sprintf(`{%s,"max_rounds":-1}`, base)},
+		{"ppa without full knowledge", fmt.Sprintf(`{%s,"protocol":"ppa"}`, base)},
+		{"unknown field", fmt.Sprintf(`{%s,"bogus":1}`, base)},
+	}
+	for _, tc := range cases {
+		code, body := post(t, ts, "/v1/run", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: got %d %s, want 400", tc.name, code, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %s", tc.name, body)
+		}
+	}
+}
+
+// TestRunBytesIdenticalAcrossWorkerCounts: the same request served by a
+// single-worker and a many-worker daemon produces byte-identical JSON — the
+// determinism guarantee the cache's first-body-wins rule builds on.
+func TestRunBytesIdenticalAcrossWorkerCounts(t *testing.T) {
+	req := `{"graph":"0-1 0-2 0-3 1-4 2-4 3-4","structure":"1;2;3","dealer":0,"receiver":4,
+		"engine":"async","schedule":"lifo","seed":3,"trials":6,"corrupt":[1],"attack":"silent"}`
+	var bodies [][]byte
+	for _, workers := range []int{1, 8} {
+		_, ts := newTestServer(t, Options{Workers: workers})
+		code, body := post(t, ts, "/v1/run", req)
+		if code != http.StatusOK {
+			t.Fatalf("workers=%d: %d %s", workers, code, body)
+		}
+		bodies = append(bodies, body)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatalf("bodies differ across worker counts:\n%s\nvs\n%s", bodies[0], bodies[1])
+	}
+}
+
+// TestOverloadSheds: with the single worker blocked and the queue full, an
+// uncached request is answered 429 instead of queuing unboundedly.
+func TestOverloadSheds(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	defer close(release)
+	blocked := make(chan struct{})
+	if !s.pool.TrySubmit(func() { close(blocked); <-release }) {
+		t.Fatal("could not occupy the worker")
+	}
+	<-blocked
+	if !s.pool.TrySubmit(func() {}) {
+		t.Fatal("could not fill the queue slot")
+	}
+	code, body := post(t, ts, "/v1/feasibility", solvableButterfly)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated daemon answered %d %s, want 429", code, body)
+	}
+	if got := s.metrics.rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d", got)
+	}
+}
+
+// TestDeadlineAnswers504: a request stuck behind a blocked worker is
+// answered 504 when its deadline passes; the job itself still completes
+// later and warms the cache.
+func TestDeadlineAnswers504(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4, RequestTimeout: 50 * time.Millisecond})
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	if !s.pool.TrySubmit(func() { close(blocked); <-release }) {
+		t.Fatal("could not occupy the worker")
+	}
+	<-blocked
+	code, body := post(t, ts, "/v1/feasibility", solvableButterfly)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("stuck request answered %d %s, want 504", code, body)
+	}
+	if got := s.metrics.timeouts.Load(); got != 1 {
+		t.Fatalf("timeouts counter = %d", got)
+	}
+	close(release)
+	// The abandoned job still runs and caches; the retry is a fast hit.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if code, _ := post(t, ts, "/v1/feasibility", solvableButterfly); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("retry after drain never succeeded")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	post(t, ts, "/v1/feasibility", solvableButterfly)
+	post(t, ts, "/v1/feasibility", solvableButterfly)
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		`rmtd_requests_total{endpoint="/v1/feasibility",code="200"} 2`,
+		"rmtd_cache_hits_total 1",
+		"rmtd_cache_misses_total 1",
+		"rmtd_cache_hit_ratio 0.5",
+		"rmtd_workers",
+		"rmtd_queue_depth",
+		`rmtd_request_seconds_count{endpoint="/v1/feasibility"} 2`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestRequestLog: each request produces one JSON log line with the cache
+// disposition.
+func TestRequestLog(t *testing.T) {
+	var buf syncBuffer
+	s := New(Options{LogWriter: &buf})
+	ts := httptest.NewServer(s)
+	defer func() { ts.Close(); s.Close() }()
+	post(t, ts, "/v1/feasibility", solvableButterfly)
+	post(t, ts, "/v1/feasibility", solvableButterfly)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 log lines, got %d:\n%s", len(lines), buf.String())
+	}
+	var entries []struct {
+		Path   string `json:"path"`
+		Status int    `json:"status"`
+		Cache  string `json:"cache"`
+	}
+	for _, line := range lines {
+		var e struct {
+			Path   string `json:"path"`
+			Status int    `json:"status"`
+			Cache  string `json:"cache"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("log line %q: %v", line, err)
+		}
+		entries = append(entries, e)
+	}
+	if entries[0].Cache != "miss" || entries[1].Cache != "hit" {
+		t.Fatalf("cache dispositions: %+v", entries)
+	}
+	if entries[0].Status != 200 || entries[0].Path != "/v1/feasibility" {
+		t.Fatalf("log entry: %+v", entries[0])
+	}
+}
+
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
