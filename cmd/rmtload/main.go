@@ -151,15 +151,20 @@ func driveLoad(out io.Writer, base string, concurrency, requests int) error {
 				t0 := time.Now()
 				resp, err := client.Post(base+item.path, "application/json", strings.NewReader(item.body))
 				d := time.Since(t0)
-				mu.Lock()
 				if err != nil {
+					mu.Lock()
 					dropped++
-				} else {
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					statuses[resp.StatusCode]++
-					latencies = append(latencies, d)
+					mu.Unlock()
+					continue
 				}
+				// Drain outside the lock: holding it across the body read
+				// would serialize response consumption and the driver would
+				// no longer sustain -concurrency requests truly in flight.
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				mu.Lock()
+				statuses[resp.StatusCode]++
+				latencies = append(latencies, d)
 				mu.Unlock()
 			}
 		}()

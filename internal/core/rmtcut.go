@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"rmt/internal/instance"
@@ -45,16 +46,35 @@ func FindRMTCut(in *instance.Instance) (RMTCut, bool) {
 // graphs can use this as an anytime check. A found witness is always
 // genuine regardless of completeness (VerifyRMTCut accepts it).
 func FindRMTCutBounded(in *instance.Instance, maxCandidates int) (witness RMTCut, found, complete bool) {
+	witness, found, complete, _ = findRMTCut(context.Background(), in, maxCandidates)
+	return witness, found, complete
+}
+
+// FindRMTCutCtx is FindRMTCut under a context: the enumeration polls
+// ctx.Err() once per receiver-side candidate and aborts with the context's
+// error, so a caller-imposed deadline or cancellation stops the
+// (worst-case exponential) search promptly instead of letting it run to
+// completion. A found witness is always genuine.
+func FindRMTCutCtx(ctx context.Context, in *instance.Instance) (RMTCut, bool, error) {
+	witness, found, _, err := findRMTCut(ctx, in, 0)
+	return witness, found, err
+}
+
+func findRMTCut(ctx context.Context, in *instance.Instance, maxCandidates int) (witness RMTCut, found, complete bool, err error) {
 	if !in.G.Connected(in.Dealer, in.Receiver) {
 		return RMTCut{
 			C1: nodeset.Empty(),
 			C2: nodeset.Empty(),
 			B:  in.G.ComponentOf(in.Receiver),
-		}, true, true
+		}, true, true, nil
 	}
 	inspected := 0
 	complete = true
 	in.G.ReceiverSideCandidates(in.Dealer, in.Receiver, func(b, cut nodeset.Set) bool {
+		if err = ctx.Err(); err != nil {
+			complete = false
+			return false
+		}
 		if maxCandidates > 0 && inspected >= maxCandidates {
 			complete = false
 			return false
@@ -72,7 +92,7 @@ func FindRMTCutBounded(in *instance.Instance, maxCandidates int) (witness RMTCut
 		}
 		return true
 	})
-	return witness, found, complete
+	return witness, found, complete, err
 }
 
 // Solvable reports whether RMT is solvable on the instance, by the tight

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// TestFindRMTCutCtxAgreesWhenLive: under a live context the ctx-aware
+// search is the plain search — same verdict on both a solvable and an
+// unsolvable fixture, and a verified witness when one exists.
+func TestFindRMTCutCtxAgreesWhenLive(t *testing.T) {
+	solvable := triplePath(t)
+	if _, found, err := FindRMTCutCtx(context.Background(), solvable); err != nil || found {
+		t.Fatalf("triplePath: found=%v err=%v, want no cut", found, err)
+	}
+	unsolvable := weakDiamond(t)
+	cut, found, err := FindRMTCutCtx(context.Background(), unsolvable)
+	if err != nil || !found {
+		t.Fatalf("weakDiamond: found=%v err=%v, want a cut", found, err)
+	}
+	if verr := VerifyRMTCut(unsolvable, cut); verr != nil {
+		t.Fatalf("witness does not verify: %v", verr)
+	}
+}
+
+// TestFindRMTCutCtxCanceled: a canceled context aborts the enumeration
+// with the context's error instead of running the search to completion —
+// the property rmtd relies on to free a worker slot after a 504.
+func TestFindRMTCutCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, found, err := FindRMTCutCtx(ctx, weakDiamond(t))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if found {
+		t.Fatal("canceled search reported a witness")
+	}
+}

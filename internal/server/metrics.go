@@ -23,7 +23,8 @@ type serverMetrics struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	rejected    atomic.Int64 // 429s: queue-full backpressure
-	timeouts    atomic.Int64 // deadline-exceeded replies
+	timeouts    atomic.Int64 // 504s: compute-deadline expiries
+	cancels     atomic.Int64 // 499s: client disconnected mid-compute
 
 	latency map[string]*histogram // endpoint → latency histogram
 }
@@ -102,6 +103,7 @@ func (m *serverMetrics) render(w io.Writer, queueDepth, workers, cacheEntries in
 	fmt.Fprintf(w, "# TYPE rmtd_cache_hit_ratio gauge\nrmtd_cache_hit_ratio %.6f\n", m.hitRatio())
 	fmt.Fprintf(w, "# TYPE rmtd_rejected_total counter\nrmtd_rejected_total %d\n", m.rejected.Load())
 	fmt.Fprintf(w, "# TYPE rmtd_timeouts_total counter\nrmtd_timeouts_total %d\n", m.timeouts.Load())
+	fmt.Fprintf(w, "# TYPE rmtd_client_cancels_total counter\nrmtd_client_cancels_total %d\n", m.cancels.Load())
 
 	// Counter cells are never removed, so a snapshot of the pointers under
 	// the lock is enough; the atomic loads happen outside it.

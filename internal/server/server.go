@@ -12,8 +12,13 @@
 //     memory, byte-identically;
 //   - heavy work runs on a bounded worker pool (eval.Pool) with queue-depth
 //     backpressure: when the queue is full the daemon answers 429 instead of
-//     accumulating goroutines, and per-request deadlines turn stuck
-//     exponential searches into 504s instead of leaks.
+//     accumulating goroutines. The per-request deadline context is plumbed
+//     into the compute itself — the cut searches poll it once per candidate
+//     and multi-trial runs poll it between trials — so a timed-out request
+//     answers 504 *and* frees its worker slot promptly rather than leaking
+//     it to a stuck exponential search. A client that disconnects early
+//     cancels its compute the same way, logged as 499 and counted
+//     separately from deadline expiries.
 //
 // Endpoints: POST /v1/feasibility, POST /v1/run, GET /v1/protocols,
 // GET /healthz, GET /metrics (Prometheus text format).
@@ -23,6 +28,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -288,14 +294,23 @@ func (q InstanceRequest) build() (*instance.Instance, gen.Knowledge, error) {
 
 // ------------------------------------------------------- pooled computation
 
+// statusClientClosedRequest is nginx's convention for "the client went away
+// before we could answer" — there is no official HTTP code for it.
+const statusClientClosedRequest = 499
+
 // compute runs fn on the worker pool under the request deadline and returns
-// the response body. It maps overload to 429 and deadline to 504, recording
-// the outcome in the metrics; a nil body means the reply was already sent.
-func (s *Server) compute(w http.ResponseWriter, r *http.Request, fn func() ([]byte, error)) []byte {
+// the response body. fn receives the deadline context, which is also
+// canceled when the client disconnects; fn must poll it during long work so
+// an abandoned request frees its worker slot. compute maps overload to 429,
+// deadline expiry to 504 and client disconnect to 499, recording each
+// outcome in the metrics; a nil body means the reply was already sent.
+func (s *Server) compute(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) ([]byte, error)) []byte {
 	type outcome struct {
 		body []byte
 		err  error
 	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
 	done := make(chan outcome, 1)
 	job := func() {
 		defer func() {
@@ -306,7 +321,7 @@ func (s *Server) compute(w http.ResponseWriter, r *http.Request, fn func() ([]by
 				done <- outcome{nil, fmt.Errorf("panic: %v", p)}
 			}
 		}()
-		body, err := fn()
+		body, err := fn(ctx)
 		done <- outcome{body, err}
 	}
 	if !s.pool.TrySubmit(job) {
@@ -314,26 +329,42 @@ func (s *Server) compute(w http.ResponseWriter, r *http.Request, fn func() ([]by
 		writeError(w, http.StatusTooManyRequests, "overloaded: %d requests in flight", s.pool.Depth())
 		return nil
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
-	defer cancel()
 	select {
 	case out := <-done:
 		if out.err != nil {
+			if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) {
+				s.interrupted(w, r)
+				return nil
+			}
 			writeError(w, http.StatusInternalServerError, "%v", out.err)
 			return nil
 		}
 		return out.body
 	case <-ctx.Done():
-		s.metrics.timeouts.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %v", s.opts.RequestTimeout)
+		s.interrupted(w, r)
 		return nil
 	}
+}
+
+// interrupted answers a request whose compute context ended before a result:
+// a client disconnect (the parent request context is done) is logged as 499
+// and counted in rmtd_client_cancels_total — it is not a compute timeout and
+// must not skew that metric — while a genuine deadline expiry is a 504
+// counted in rmtd_timeouts_total.
+func (s *Server) interrupted(w http.ResponseWriter, r *http.Request) {
+	if r.Context().Err() != nil {
+		s.metrics.cancels.Add(1)
+		writeError(w, statusClientClosedRequest, "client closed the request")
+		return
+	}
+	s.metrics.timeouts.Add(1)
+	writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %v", s.opts.RequestTimeout)
 }
 
 // serveCached answers from the result cache or computes, caches and serves.
 // The incumbent body always wins (see resultCache.put), so equal cache keys
 // get byte-identical replies regardless of worker count or arrival order.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, fn func() ([]byte, error)) {
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, fn func(ctx context.Context) ([]byte, error)) {
 	rec, _ := w.(*statusRecorder)
 	if body, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
@@ -405,18 +436,32 @@ func (s *Server) handleFeasibility(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "instance: %v", err)
 		return
 	}
-	key := "feasibility-v1\n" + in.CanonicalKey()
-	s.serveCached(w, r, key, func() ([]byte, error) {
+	// The key carries the knowledge level alongside the canonical hash:
+	// the response depends on both (the "knowledge" field, and the
+	// adhoc-only ZCPA verdict), and distinct levels can share a canonical
+	// hash — on triangle-free graphs the radius-1 view γ coincides with the
+	// ad hoc one, so radius1 and adhoc requests describe the same instance
+	// tuple yet need different bodies.
+	key := "feasibility-v1\n" + level.String() + "\n" + in.CanonicalKey()
+	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
 		resp := FeasibilityResponse{Key: in.CanonicalKey(), Knowledge: level.String()}
-		if cut, found := core.FindRMTCut(in); found {
+		cut, found, err := core.FindRMTCutCtx(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		if found {
 			resp.PKA.Witness = witnessOf(cut.C1, cut.C2, cut.B)
 		} else {
 			resp.PKA.Solvable = true
 		}
 		if level == gen.AdHoc {
 			v := &Verdict{}
-			if cut, found := zcpa.FindRMTZppCut(in); found {
-				v.Witness = witnessOf(cut.C1, cut.C2, cut.B)
+			zcut, zfound, err := zcpa.FindRMTZppCutCtx(ctx, in)
+			if err != nil {
+				return nil, err
+			}
+			if zfound {
+				v.Witness = witnessOf(zcut.C1, zcut.C2, zcut.B)
 			} else {
 				v.Solvable = true
 			}
@@ -579,8 +624,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := runCacheKey(in, &req)
-	s.serveCached(w, r, key, func() ([]byte, error) {
-		resp, err := s.runTrials(in, &req, eng, corrupt, strategy)
+	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
+		resp, err := s.runTrials(ctx, in, &req, eng, corrupt, strategy)
 		if err != nil {
 			return nil, err
 		}
@@ -604,7 +649,7 @@ func runCacheKey(in *instance.Instance, req *RunRequest) string {
 // value cannot monopolize the host on top of the pool's own parallelism.
 const runTrialWorkers = 4
 
-func (s *Server) runTrials(in *instance.Instance, req *RunRequest, eng network.Engine, corrupt nodeset.Set, strategy byzantine.Strategy) (*RunResponse, error) {
+func (s *Server) runTrials(ctx context.Context, in *instance.Instance, req *RunRequest, eng network.Engine, corrupt nodeset.Set, strategy byzantine.Strategy) (*RunResponse, error) {
 	xD := network.Value(req.Value)
 	var firstErr error
 	var errMu sync.Mutex
@@ -613,6 +658,17 @@ func (s *Server) runTrials(in *instance.Instance, req *RunRequest, eng network.E
 		workers = runTrialWorkers
 	}
 	trials := eval.ParallelMap(req.Trials, workers, func(i int) TrialResult {
+		// Each trial is bounded by MaxRounds, so polling the deadline
+		// between trials is enough to keep abandoned requests from holding
+		// a worker through a long multi-trial sweep.
+		if err := ctx.Err(); err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			return TrialResult{}
+		}
 		schedSeed := eval.TrialSeed(req.Seed, 0, i)
 		opts := protocol.Options{Engine: eng, MaxRounds: req.MaxRounds}
 		if eng == network.Async {

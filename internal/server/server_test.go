@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -174,6 +175,45 @@ func TestFeasibilityCanonicalCaching(t *testing.T) {
 	}
 }
 
+// TestFeasibilityCacheSeparatesKnowledgeLevels: on a triangle-free graph
+// the radius-1 view coincides with the ad hoc one, so the two levels share
+// one canonical instance hash — but their feasibility bodies differ (the
+// "knowledge" label and the adhoc-only ZCPA verdict). A radius1 request
+// priming the cache must not cause the adhoc request to be served the
+// radius1 body.
+func TestFeasibilityCacheSeparatesKnowledgeLevels(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	// The 4-cycle 0-1-3-2-0 is triangle-free.
+	const square = `"graph":"0-1 0-2 1-3 2-3","structure":"1;2","dealer":0,"receiver":3`
+	code, radius1 := post(t, ts, "/v1/feasibility", fmt.Sprintf(`{%s,"knowledge":"radius1"}`, square))
+	if code != http.StatusOK {
+		t.Fatalf("radius1: %d %s", code, radius1)
+	}
+	code, adhoc := post(t, ts, "/v1/feasibility", fmt.Sprintf(`{%s}`, square))
+	if code != http.StatusOK {
+		t.Fatalf("adhoc: %d %s", code, adhoc)
+	}
+	var r1, ah FeasibilityResponse
+	if err := json.Unmarshal(radius1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(adhoc, &ah); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Key != ah.Key {
+		t.Fatalf("fixture no longer exercises the collision: canonical keys differ (%s vs %s)", r1.Key, ah.Key)
+	}
+	if r1.Knowledge != "radius1" || r1.ZCPA != nil {
+		t.Fatalf("radius1 body mislabeled: %s", radius1)
+	}
+	if ah.Knowledge != "adhoc" {
+		t.Fatalf("adhoc request served knowledge %q (cache key collision across levels)", ah.Knowledge)
+	}
+	if ah.ZCPA == nil {
+		t.Fatalf("adhoc body is missing the ZCPA verdict: %s", adhoc)
+	}
+}
+
 func TestRunEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	req := `{"graph":"0-1 0-2 0-3 1-4 2-4 3-4","structure":"1;2;3","dealer":0,"receiver":4,
@@ -333,8 +373,9 @@ func TestOverloadSheds(t *testing.T) {
 }
 
 // TestDeadlineAnswers504: a request stuck behind a blocked worker is
-// answered 504 when its deadline passes; the job itself still completes
-// later and warms the cache.
+// answered 504 when its deadline passes; the abandoned job sees its
+// canceled context and aborts instead of occupying the freed worker, so
+// the retry recomputes and succeeds.
 func TestDeadlineAnswers504(t *testing.T) {
 	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4, RequestTimeout: 50 * time.Millisecond})
 	release := make(chan struct{})
@@ -351,7 +392,7 @@ func TestDeadlineAnswers504(t *testing.T) {
 		t.Fatalf("timeouts counter = %d", got)
 	}
 	close(release)
-	// The abandoned job still runs and caches; the retry is a fast hit.
+	// The abandoned job aborts on its dead context; the retry recomputes.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		if code, _ := post(t, ts, "/v1/feasibility", solvableButterfly); code == http.StatusOK {
@@ -361,6 +402,51 @@ func TestDeadlineAnswers504(t *testing.T) {
 			t.Fatal("retry after drain never succeeded")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClientCancelNotCountedAsTimeout: a client that disconnects while its
+// request waits on the pool is recorded in rmtd_client_cancels_total (and
+// logged as 499), not in rmtd_timeouts_total — the timeout metric must only
+// count genuine compute-deadline expiries.
+func TestClientCancelNotCountedAsTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	defer close(release)
+	blocked := make(chan struct{})
+	if !s.pool.TrySubmit(func() { close(blocked); <-release }) {
+		t.Fatal("could not occupy the worker")
+	}
+	<-blocked
+	cctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequestWithContext(cctx, http.MethodPost, ts.URL+"/v1/feasibility", strings.NewReader(solvableButterfly))
+		if err != nil {
+			errc <- err
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request queue behind the blocked worker
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request did not error on the client side")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.metrics.cancels.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("client cancel was never recorded in rmtd_client_cancels_total")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.metrics.timeouts.Load(); got != 0 {
+		t.Fatalf("timeouts counter = %d, want 0 — a client cancel is not a compute timeout", got)
 	}
 }
 
@@ -377,6 +463,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		"rmtd_cache_hits_total 1",
 		"rmtd_cache_misses_total 1",
 		"rmtd_cache_hit_ratio 0.5",
+		"rmtd_client_cancels_total 0",
 		"rmtd_workers",
 		"rmtd_queue_depth",
 		`rmtd_request_seconds_count{endpoint="/v1/feasibility"} 2`,

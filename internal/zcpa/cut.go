@@ -1,6 +1,7 @@
 package zcpa
 
 import (
+	"context"
 	"fmt"
 
 	"rmt/internal/instance"
@@ -46,18 +47,37 @@ func FindRMTZppCut(in *instance.Instance) (ZppCut, bool) {
 // complete reports full coverage of the search space; a found witness is
 // always genuine (VerifyZppCut accepts it).
 func FindRMTZppCutBounded(in *instance.Instance, maxCandidates int) (witness ZppCut, found, complete bool) {
+	witness, found, complete, _ = findRMTZppCut(context.Background(), in, maxCandidates)
+	return witness, found, complete
+}
+
+// FindRMTZppCutCtx is FindRMTZppCut under a context: the enumeration polls
+// ctx.Err() once per receiver-side candidate and aborts with the context's
+// error, so a caller-imposed deadline or cancellation stops the
+// (worst-case exponential) search promptly instead of letting it run to
+// completion. A found witness is always genuine.
+func FindRMTZppCutCtx(ctx context.Context, in *instance.Instance) (ZppCut, bool, error) {
+	witness, found, _, err := findRMTZppCut(ctx, in, 0)
+	return witness, found, err
+}
+
+func findRMTZppCut(ctx context.Context, in *instance.Instance, maxCandidates int) (witness ZppCut, found, complete bool, err error) {
 	// Disconnected dealer/receiver: the empty cut is an RMT 𝒵-pp cut.
 	if !in.G.Connected(in.Dealer, in.Receiver) {
 		return ZppCut{
 			C1: nodeset.Empty(),
 			C2: nodeset.Empty(),
 			B:  in.G.ComponentOf(in.Receiver),
-		}, true, true
+		}, true, true, nil
 	}
 	inspected := 0
 	complete = true
 	memo := make(map[int]map[string]bool)
 	in.G.ReceiverSideCandidates(in.Dealer, in.Receiver, func(b, cut nodeset.Set) bool {
+		if err = ctx.Err(); err != nil {
+			complete = false
+			return false
+		}
 		if maxCandidates > 0 && inspected >= maxCandidates {
 			complete = false
 			return false
@@ -73,7 +93,7 @@ func FindRMTZppCutBounded(in *instance.Instance, maxCandidates int) (witness Zpp
 		}
 		return true
 	})
-	return witness, found, complete
+	return witness, found, complete, err
 }
 
 // holdsForAll checks ∀u ∈ B: N(u) ∩ C2 ∈ Z_u. Candidates share most of
