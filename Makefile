@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 test race bench benchjson benchguard benchsnap vet attacksweep schedfuzz fuzzsmoke cover loadtest daemonsmoke
+.PHONY: tier1 test race bench benchjson benchguard benchsnap allocguard vet attacksweep schedfuzz fuzzsmoke cover loadtest daemonsmoke
 
 # tier1 is the gate every PR must keep green: build + full test suite +
 # vet + race detector on the packages that spawn goroutines or share state
@@ -37,6 +37,13 @@ benchjson:
 # tier1 — benchmark numbers are too machine-sensitive to gate every PR.
 benchguard:
 	$(GO) run ./cmd/rmtbench -compare BENCH.json
+
+# Allocation-only hot-path guard. Unlike wall-clock numbers, allocation
+# counts are deterministic, so this one DOES gate every PR — it runs as an
+# ordinary test inside `go test ./...` (and therefore inside tier1); the
+# named target exists for running it alone.
+allocguard:
+	$(GO) test -run TestPKARunAllocBudget -count=1 .
 
 # Per-PR benchmark snapshot: BENCH_<pr>.json next to the rolling BENCH.json
 # baseline, so the perf trajectory accumulates one point per PR (CI archives

@@ -1,0 +1,53 @@
+package rmt
+
+// Tier-1 allocation guard for the PKA receiver hot path. The full
+// benchguard (make benchguard) is opt-in because wall-clock numbers are too
+// machine-sensitive to gate every PR — but allocation counts are not: they
+// are deterministic modulo GC-driven pool evictions, so a cheap
+// AllocsPerRun check can run in the ordinary test suite and catch the
+// packed-receiver rewrite regressing to per-run heap churn.
+
+import (
+	"testing"
+
+	"rmt/internal/benchdef"
+	"rmt/internal/gen"
+)
+
+// pkaRunAllocBudget is deliberately looser than the steady-state figure
+// (~35 allocs/op in BENCH.json, guarded exactly by benchguard): the tier-1
+// budget only has to catch the hot path falling off a cliff — a map
+// rebuilt per run, a transcript recorded unconditionally — not one stray
+// allocation, and the slack absorbs an unluckily timed GC emptying the
+// run-state pool mid-measurement.
+const pkaRunAllocBudget = 100
+
+func TestPKARunAllocBudget(t *testing.T) {
+	if raceEnabled {
+		// sync.Pool randomly bypasses caching under the race detector, so
+		// pooled run states look freshly allocated and the count is noise.
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	in, err := benchdef.ChainInstance(3, 2, gen.Radius2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		res, err := RunPKA(in, "x", nil, PKAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := res.DecisionOf(in.Receiver); !ok {
+			t.Fatal("undecided")
+		}
+	}
+	// Warm the run-state pool and the instance's memo caches so the
+	// measurement sees the steady state a long-running caller sees.
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	avg := testing.AllocsPerRun(20, run)
+	if avg > pkaRunAllocBudget {
+		t.Errorf("RunPKA allocates %.1f allocs/op, budget %d — the packed receiver hot path regressed", avg, pkaRunAllocBudget)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"testing"
 
+	"rmt/internal/benchdef"
 	"rmt/internal/eval"
 	"rmt/internal/gen"
 	"rmt/internal/nodeset"
@@ -116,11 +117,41 @@ func BenchmarkF2IndistinguishableRuns(b *testing.B) {
 
 // --- protocol micro-benchmarks -------------------------------------------
 
+// BenchmarkProtocols runs the shared protocol hot-path table of
+// internal/benchdef — the same table cmd/rmtbench snapshots into BENCH.json
+// — as sub-benchmarks, so `go test -bench` and the committed baseline
+// cannot drift apart. Run one entry with e.g.
+// go test -bench 'Protocols/PKARun$' .
+func BenchmarkProtocols(b *testing.B) {
+	for _, pb := range benchdef.ProtoBenches {
+		b.Run(pb.Name, func(b *testing.B) {
+			in, err := pb.Instance()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := RunProtocol(pb.Protocol, in, "x", nil, pb.Opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pb.MustDecide {
+					if _, ok := res.DecisionOf(in.Receiver); !ok {
+						b.Fatal("undecided")
+					}
+				}
+			}
+		})
+	}
+}
+
 // benchInstance builds 3 disjoint relay chains with singleton corruption.
 // With hops = 2 the instance is ad hoc-UNSOLVABLE (chimera sets survive the
 // neighborhood-only ⊕) but solvable at radius-2 knowledge; with hops = 1 it
-// is solvable even ad hoc. Benchmarks pick the level that lets their
-// protocol decide.
+// is solvable even ad hoc. The engine/attack/decider variants below pick
+// the level that lets their protocol decide; the plain protocol runs live
+// in BenchmarkProtocols via the shared table.
 func benchInstance(b *testing.B, hops int, level gen.Knowledge) *Instance {
 	b.Helper()
 	g, d, r := gen.DisjointPaths(3, hops)
@@ -130,21 +161,6 @@ func benchInstance(b *testing.B, hops int, level gen.Knowledge) *Instance {
 		b.Fatal(err)
 	}
 	return in
-}
-
-func BenchmarkPKARun(b *testing.B) {
-	in := benchInstance(b, 2, gen.Radius2)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := RunPKA(in, "x", nil, PKAOptions{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, ok := res.DecisionOf(in.Receiver); !ok {
-			b.Fatal("undecided")
-		}
-	}
 }
 
 func BenchmarkPKARunGoroutineEngine(b *testing.B) {
@@ -169,34 +185,12 @@ func BenchmarkPKAUnderSilentAttack(b *testing.B) {
 	}
 }
 
-func BenchmarkZCPARun(b *testing.B) {
-	in := benchInstance(b, 1, gen.AdHoc)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := RunZCPA(in, "x", nil, ZCPAOptions{}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 func BenchmarkZCPAWithPiDecider(b *testing.B) {
 	in := benchInstance(b, 1, gen.AdHoc)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunZCPA(in, "x", nil, ZCPAOptions{Decider: NewPiDecider(in)}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkPPARun(b *testing.B) {
-	in := benchInstance(b, 1, gen.FullKnowledge)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := RunPPA(in, "x", nil, Lockstep); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,8 +8,8 @@ import (
 	"testing"
 
 	"rmt"
+	"rmt/internal/benchdef"
 	"rmt/internal/gen"
-	"rmt/internal/nodeset"
 )
 
 // benchResult is one line of BENCH.json — the machine-readable counterpart
@@ -21,67 +21,38 @@ type benchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// chainInstance mirrors bench_test.go's benchInstance: 3 disjoint relay
-// chains with singleton corruption, solvability depending on hops/knowledge.
-func chainInstance(hops int, level gen.Knowledge) (*rmt.Instance, error) {
-	g, d, r := gen.DisjointPaths(3, hops)
-	z := gen.Singletons(g.Nodes().Minus(nodeset.Of(d, r)))
-	return gen.Build(g, z, level, d, r)
-}
-
 func chimeraInstance(scale int) (*rmt.Instance, error) {
 	g, z, d, r := gen.ChimeraScaled(scale)
 	return gen.Build(g, z, gen.AdHoc, d, r)
 }
 
-// protoBench declares one registry-resolved protocol run benchmark.
-type protoBench struct {
-	name     string
-	protocol string
-	instance func() (*rmt.Instance, error)
-	opts     rmt.RunOptions
-}
-
-// protoBenches is the protocol hot-path benchmark table. Every entry runs
-// through the registry, so a new protocol variant becomes a table row, not
-// a new code path. The PKARun/PKARunNoMemo/ZCPARun names predate the
-// registry and stay stable for BENCH.json comparability.
-var protoBenches = []protoBench{
-	{"PKARun", rmt.ProtocolPKA,
-		func() (*rmt.Instance, error) { return chainInstance(2, gen.Radius2) },
-		rmt.RunOptions{}},
-	{"PKARunNoMemo", rmt.ProtocolPKA,
-		func() (*rmt.Instance, error) { return chainInstance(2, gen.Radius2) },
-		rmt.RunOptions{DisableMemo: true}},
-	{"ZCPARun", rmt.ProtocolZCPA,
-		func() (*rmt.Instance, error) { return chainInstance(1, gen.AdHoc) },
-		rmt.RunOptions{}},
-	{"PPARun", rmt.ProtocolPPA,
-		func() (*rmt.Instance, error) { return chainInstance(2, gen.FullKnowledge) },
-		rmt.RunOptions{}},
-	{"BroadcastRun", rmt.ProtocolBroadcast,
-		func() (*rmt.Instance, error) { return chainInstance(1, gen.AdHoc) },
-		rmt.RunOptions{}},
-}
-
 // runBenches runs the micro-benchmark suite via testing.Benchmark, printing
-// one line per benchmark as it completes.
+// one line per benchmark as it completes. The protocol hot-path entries come
+// from internal/benchdef — the same table bench_test.go runs as
+// sub-benchmarks — so BENCH.json and `go test -bench` measure identical
+// workloads by construction.
 func runBenches(out io.Writer) ([]benchResult, error) {
 	type namedBench struct {
 		name string
 		fn   func(b *testing.B)
 	}
-	benches := make([]namedBench, 0, len(protoBenches)+2)
-	for _, pb := range protoBenches {
-		in, err := pb.instance()
+	benches := make([]namedBench, 0, len(benchdef.ProtoBenches)+2)
+	for _, pb := range benchdef.ProtoBenches {
+		in, err := pb.Instance()
 		if err != nil {
 			return nil, err
 		}
-		name, opts := pb.protocol, pb.opts
-		benches = append(benches, namedBench{pb.name, func(b *testing.B) {
+		name, opts, mustDecide := pb.Protocol, pb.Opts, pb.MustDecide
+		benches = append(benches, namedBench{pb.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := rmt.RunProtocol(name, in, "x", nil, opts); err != nil {
+				res, err := rmt.RunProtocol(name, in, "x", nil, opts)
+				if err != nil {
 					b.Fatal(err)
+				}
+				if mustDecide {
+					if _, ok := res.DecisionOf(in.Receiver); !ok {
+						b.Fatal("undecided")
+					}
 				}
 			}
 		}})

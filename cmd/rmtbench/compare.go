@@ -9,11 +9,16 @@ import (
 	"strings"
 )
 
-// regressionThreshold is the maximum tolerated ns/op growth over the
-// committed baseline before compareBenchJSON fails: generous enough to ride
-// out scheduler noise on shared machines, tight enough to catch a protocol
-// hot path accidentally gaining an order of work.
+// regressionThreshold is the maximum tolerated ns/op (and B/op) growth over
+// the committed baseline before compareBenchJSON fails: generous enough to
+// ride out scheduler noise on shared machines, tight enough to catch a
+// protocol hot path accidentally gaining an order of work.
 const regressionThreshold = 0.25
+
+// Allocation counts, unlike wall time, are deterministic modulo GC-driven
+// pool evictions, so they get no ratio slack: any allocs/op increase over
+// the baseline is a regression. This is what keeps the receiver hot path's
+// sub-100-allocs property from silently eroding one alloc at a time.
 
 // compareBenchJSON re-runs the micro-benchmark suite and compares it
 // against the baseline BENCH.json at path, returning an error (→ non-zero
@@ -36,13 +41,19 @@ func compareBenchJSON(path string, out io.Writer) error {
 	return compareResults(baseline, current, path, out)
 }
 
-// compareResults applies the regression rule to a baseline/current pair.
+// compareResults applies the regression rules to a baseline/current pair:
+// ns/op and B/op may grow by at most regressionThreshold, allocs/op not at
+// all (see above). Allocation improvements are flagged so the baseline gets
+// refreshed — otherwise the next real regression hides inside the slack the
+// improvement left behind.
 //
 // Every entry on both sides must have a finite, positive ns/op. A zero, NaN
 // or Inf baseline would make every ratio comparison vacuously false (NaN
 // compares false with everything; x/0 is +Inf only on one side), turning the
 // guard into a silent pass — so degenerate measurements are a hard error,
-// not a skip.
+// not a skip. Allocs/B per op have no such trap: they are non-negative
+// integers straight from the runtime, and a zero baseline (an allocation-free
+// benchmark) is legitimate — any current allocation is then an increase.
 func compareResults(baseline, current []benchResult, path string, out io.Writer) error {
 	base := make(map[string]benchResult, len(baseline))
 	for _, r := range baseline {
@@ -66,13 +77,29 @@ func compareResults(baseline, current []benchResult, path string, out io.Writer)
 		ratio := cur.NsPerOp / b.NsPerOp
 		verdict := "ok"
 		if ratio > 1+regressionThreshold {
-			verdict = "REGRESSION"
+			verdict = "REGRESSION(ns)"
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%+.0f%%)",
 					cur.Name, cur.NsPerOp, b.NsPerOp, 100*(ratio-1)))
 		}
-		fmt.Fprintf(out, "%-16s %12.0f ns/op  baseline %12.0f  (%+6.1f%%)  %s\n",
-			cur.Name, cur.NsPerOp, b.NsPerOp, 100*(ratio-1), verdict)
+		if cur.AllocsPerOp > b.AllocsPerOp {
+			verdict = "REGRESSION(allocs)"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d allocs/op vs baseline %d allocs/op",
+					cur.Name, cur.AllocsPerOp, b.AllocsPerOp))
+		} else if cur.AllocsPerOp < b.AllocsPerOp {
+			fmt.Fprintf(out, "%-16s improved to %d allocs/op (baseline %d) — refresh %s to lock it in\n",
+				cur.Name, cur.AllocsPerOp, b.AllocsPerOp, path)
+		}
+		if b.BytesPerOp > 0 && float64(cur.BytesPerOp)/float64(b.BytesPerOp) > 1+regressionThreshold {
+			verdict = "REGRESSION(bytes)"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d B/op vs baseline %d B/op",
+					cur.Name, cur.BytesPerOp, b.BytesPerOp))
+		}
+		fmt.Fprintf(out, "%-16s %12.0f ns/op %8d B/op %6d allocs/op  baseline %12.0f/%d/%d  (%+6.1f%% ns)  %s\n",
+			cur.Name, cur.NsPerOp, cur.BytesPerOp, cur.AllocsPerOp,
+			b.NsPerOp, b.BytesPerOp, b.AllocsPerOp, 100*(ratio-1), verdict)
 	}
 	for _, r := range baseline {
 		if !seen[r.Name] {
@@ -80,10 +107,10 @@ func compareResults(baseline, current []benchResult, path string, out io.Writer)
 		}
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed > %.0f%%:\n  %s",
+		return fmt.Errorf("%d benchmark(s) regressed (ns/B > %.0f%% growth, or any allocs/op increase):\n  %s",
 			len(regressions), 100*regressionThreshold, strings.Join(regressions, "\n  "))
 	}
-	fmt.Fprintf(out, "benchguard: all benchmarks within %.0f%% of %s\n", 100*regressionThreshold, path)
+	fmt.Fprintf(out, "benchguard: all benchmarks within %.0f%% ns/B and ≤ baseline allocs of %s\n", 100*regressionThreshold, path)
 	return nil
 }
 

@@ -40,6 +40,64 @@ func TestCompareResults(t *testing.T) {
 	})
 }
 
+// Allocation counts get no ratio slack: one extra alloc/op over the baseline
+// fails the guard, while bytes ride the same 25% tolerance as wall time.
+func TestCompareResultsGatesAllocsAndBytes(t *testing.T) {
+	baseline := []benchResult{
+		{Name: "PKARun", NsPerOp: 1000, AllocsPerOp: 35, BytesPerOp: 5000},
+	}
+	cases := []struct {
+		name    string
+		current benchResult
+		wantErr string // "" → must pass
+	}{
+		{"identical", benchResult{Name: "PKARun", NsPerOp: 1000, AllocsPerOp: 35, BytesPerOp: 5000}, ""},
+		{"one-extra-alloc", benchResult{Name: "PKARun", NsPerOp: 1000, AllocsPerOp: 36, BytesPerOp: 5000}, "allocs/op"},
+		{"alloc-improvement", benchResult{Name: "PKARun", NsPerOp: 1000, AllocsPerOp: 20, BytesPerOp: 5000}, ""},
+		{"bytes-within-slack", benchResult{Name: "PKARun", NsPerOp: 1000, AllocsPerOp: 35, BytesPerOp: 6000}, ""},
+		{"bytes-over-slack", benchResult{Name: "PKARun", NsPerOp: 1000, AllocsPerOp: 35, BytesPerOp: 6500}, "B/op"},
+		{"allocs-and-ns", benchResult{Name: "PKARun", NsPerOp: 2000, AllocsPerOp: 99, BytesPerOp: 5000}, "allocs/op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			err := compareResults(baseline, []benchResult{tc.current}, "BENCH.json", &sb)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected failure: %v\n%s", err, sb.String())
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want error mentioning %q", err, tc.wantErr)
+			}
+		})
+	}
+	t.Run("improvement-notes-refresh", func(t *testing.T) {
+		var sb strings.Builder
+		current := []benchResult{{Name: "PKARun", NsPerOp: 1000, AllocsPerOp: 20, BytesPerOp: 5000}}
+		if err := compareResults(baseline, current, "BENCH.json", &sb); err != nil {
+			t.Fatalf("unexpected failure: %v", err)
+		}
+		if !strings.Contains(sb.String(), "refresh BENCH.json") {
+			t.Fatalf("alloc improvement not flagged for baseline refresh:\n%s", sb.String())
+		}
+	})
+	// A zero-alloc baseline is legitimate, not degenerate: the guard then
+	// rejects any current allocation.
+	t.Run("zero-alloc-baseline", func(t *testing.T) {
+		var sb strings.Builder
+		zb := []benchResult{{Name: "Free", NsPerOp: 100}}
+		if err := compareResults(zb, []benchResult{{Name: "Free", NsPerOp: 100}}, "BENCH.json", &sb); err != nil {
+			t.Fatalf("zero-alloc identical pair failed: %v", err)
+		}
+		err := compareResults(zb, []benchResult{{Name: "Free", NsPerOp: 100, AllocsPerOp: 1}}, "BENCH.json", &sb)
+		if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+			t.Fatalf("err = %v, want allocs/op regression from zero baseline", err)
+		}
+	})
+}
+
 // A zero/NaN/Inf baseline used to slide through silently: NaN compares
 // false against the threshold and a zero baseline makes every current
 // figure +Inf, which still isn't > 1.25 when the baseline is NaN too. All

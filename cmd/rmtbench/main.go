@@ -9,7 +9,11 @@
 //	rmtbench -workers 1            # sequential trials (tables are identical)
 //	rmtbench -benchjson BENCH.json # protocol micro-benchmarks → JSON, no tables
 //	rmtbench -compare BENCH.json   # regression guard: non-zero exit when any
-//	                               # benchmark is > 25% slower than the baseline
+//	                               # benchmark is slower/bigger than the baseline
+//
+// The -cpuprofile and -memprofile flags write pprof profiles covering
+// whatever the invocation ran (tables, -benchjson, or -compare); inspect
+// them with `go tool pprof`.
 package main
 
 import (
@@ -17,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"rmt/internal/eval"
@@ -32,15 +38,42 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rmtbench", flag.ContinueOnError)
 	var (
-		seed      = fs.Int64("seed", 2016, "RNG seed for the randomized sweeps")
-		trials    = fs.Int("trials", 60, "random trials per configuration")
-		only      = fs.String("only", "", "comma-separated table IDs to run (default: all)")
-		workers   = fs.Int("workers", 0, "worker-pool size for randomized trials (0 = one per CPU)")
-		benchjson = fs.String("benchjson", "", "run the protocol micro-benchmarks and write JSON results to this path instead of tables")
-		compare   = fs.String("compare", "", "run the micro-benchmarks and fail when any regresses > 25% vs this baseline BENCH.json")
+		seed       = fs.Int64("seed", 2016, "RNG seed for the randomized sweeps")
+		trials     = fs.Int("trials", 60, "random trials per configuration")
+		only       = fs.String("only", "", "comma-separated table IDs to run (default: all)")
+		workers    = fs.Int("workers", 0, "worker-pool size for randomized trials (0 = one per CPU)")
+		benchjson  = fs.String("benchjson", "", "run the protocol micro-benchmarks and write JSON results to this path instead of tables")
+		compare    = fs.String("compare", "", "run the micro-benchmarks and fail when any regresses > 25% vs this baseline BENCH.json")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU pprof profile of the run to this path")
+		memprofile = fs.String("memprofile", "", "write an end-of-run heap pprof profile to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rmtbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so live objects, not garbage, dominate
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rmtbench: memprofile:", err)
+			}
+		}()
 	}
 	if *benchjson != "" {
 		return writeBenchJSON(*benchjson, out)

@@ -21,6 +21,7 @@ type JoinCache struct {
 	mu    sync.Mutex
 	local func(v int) (Restricted, bool)
 	memo  map[string]Restricted
+	kbuf  []byte // scratch for allocation-free memo probes (guarded by mu)
 }
 
 // NewJoinCache returns a cache over a LocalKnowledge map. Nodes without an
@@ -52,8 +53,12 @@ func (c *JoinCache) jointOf(b nodeset.Set) Restricted {
 	if b.IsEmpty() {
 		return Identity()
 	}
-	k := b.Key()
-	if r, ok := c.memo[k]; ok {
+	// Probe with a reused byte buffer: map lookups with string(bytes) do not
+	// allocate, so cache hits — the common case for candidate enumerations —
+	// cost one hash and no garbage. The key string is materialized only when
+	// a new fold is inserted.
+	c.kbuf = b.AppendKey(c.kbuf[:0])
+	if r, ok := c.memo[string(c.kbuf)]; ok {
 		return r
 	}
 	v := b.Max()
@@ -61,7 +66,8 @@ func (c *JoinCache) jointOf(b nodeset.Set) Restricted {
 	if r, ok := c.local(v); ok {
 		acc = Join(acc, r)
 	}
-	c.memo[k] = acc
+	// jointOf invalidated kbuf; rebuild the key for the insert.
+	c.memo[b.Key()] = acc
 	return acc
 }
 

@@ -1,0 +1,83 @@
+// Package benchdef declares the protocol hot-path benchmark table shared
+// by the repo-root bench_test.go and cmd/rmtbench. Both suites iterate the
+// same slice, so a new entry — a protocol variant or a new instance family
+// — appears in `go test -bench` and in BENCH.json automatically, and the
+// two cannot drift apart. The package deliberately depends only on
+// internal packages: bench_test.go lives in package rmt, so importing the
+// root package here would cycle.
+package benchdef
+
+import (
+	"rmt/internal/gen"
+	"rmt/internal/instance"
+	"rmt/internal/nodeset"
+	"rmt/internal/protocol"
+)
+
+// ProtoBench declares one registry-resolved protocol run benchmark.
+type ProtoBench struct {
+	// Name is the stable benchmark name used in BENCH.json; renaming an
+	// entry breaks comparability with committed baselines.
+	Name string
+	// Protocol is the registry name passed to protocol.RunByName.
+	Protocol string
+	// Instance builds the benchmark instance. Called once per suite run,
+	// outside the timed loop.
+	Instance func() (*instance.Instance, error)
+	// Opts are the run options (engine, memo escape hatch, ...).
+	Opts protocol.Options
+	// MustDecide asserts the receiver decided after every run: a bench
+	// that silently stopped deciding would be measuring a useless run.
+	MustDecide bool
+}
+
+// ChainInstance builds `paths` disjoint relay chains of `hops`
+// intermediate nodes each with singleton corruption on every relay — the
+// classic RMT benchmark topology. With hops = 1 the instance is solvable
+// even ad hoc; with hops = 2 it needs radius-2 knowledge (chimera sets
+// survive the neighborhood-only join).
+func ChainInstance(paths, hops int, level gen.Knowledge) (*instance.Instance, error) {
+	g, d, r := gen.DisjointPaths(paths, hops)
+	z := gen.Singletons(g.Nodes().Minus(nodeset.Of(d, r)))
+	return gen.Build(g, z, level, d, r)
+}
+
+// LopsidedChainInstance builds disjoint relay chains with per-chain
+// lengths and singleton corruption. A length mix like {1, 1, 196} scales
+// the node count into the hundreds while the two short chains still carry
+// the decision, exercising the receiver's packed bookkeeping at size
+// without exploding the search space.
+func LopsidedChainInstance(lens []int, level gen.Knowledge) (*instance.Instance, error) {
+	g, d, r := gen.DisjointPathsVar(lens)
+	z := gen.Singletons(g.Nodes().Minus(nodeset.Of(d, r)))
+	return gen.Build(g, z, level, d, r)
+}
+
+// ProtoBenches is the protocol hot-path benchmark table. Every entry runs
+// through the registry, so a new protocol variant becomes a table row, not
+// a new code path. The PKARun/PKARunNoMemo/ZCPARun names predate the
+// registry and stay stable for BENCH.json comparability. The *Large
+// entries are the ≥200-node family: they separate asymptotic wins from
+// constant-factor ones.
+var ProtoBenches = []ProtoBench{
+	{Name: "PKARun", Protocol: protocol.PKA,
+		Instance:   func() (*instance.Instance, error) { return ChainInstance(3, 2, gen.Radius2) },
+		MustDecide: true},
+	{Name: "PKARunNoMemo", Protocol: protocol.PKA,
+		Instance:   func() (*instance.Instance, error) { return ChainInstance(3, 2, gen.Radius2) },
+		Opts:       protocol.Options{DisableMemo: true},
+		MustDecide: true},
+	{Name: "PKARunLarge", Protocol: protocol.PKA,
+		Instance: func() (*instance.Instance, error) {
+			return LopsidedChainInstance([]int{1, 1, 196}, gen.AdHoc)
+		},
+		MustDecide: true},
+	{Name: "ZCPARun", Protocol: protocol.ZCPA,
+		Instance: func() (*instance.Instance, error) { return ChainInstance(3, 1, gen.AdHoc) }},
+	{Name: "ZCPARunLarge", Protocol: protocol.ZCPA,
+		Instance: func() (*instance.Instance, error) { return ChainInstance(198, 1, gen.AdHoc) }},
+	{Name: "PPARun", Protocol: protocol.PPA,
+		Instance: func() (*instance.Instance, error) { return ChainInstance(3, 2, gen.FullKnowledge) }},
+	{Name: "BroadcastRun", Protocol: protocol.Broadcast,
+		Instance: func() (*instance.Instance, error) { return ChainInstance(3, 1, gen.AdHoc) }},
+}

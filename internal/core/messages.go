@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 
@@ -24,6 +23,9 @@ type NodeInfo struct {
 	// from every later VersionKey call along the message's whole journey.
 	// Unsealed literals (e.g. forged claims in tests) fall back to rendering.
 	key string
+	// bits memoizes bitSize alongside the key (0 = not yet computed); the
+	// metrics tracer calls BitSize once per send of the same sealed claim.
+	bits int
 }
 
 // VersionKey canonically encodes the claim's content, so that two claims
@@ -37,13 +39,22 @@ func (ni NodeInfo) VersionKey() string {
 }
 
 func (ni NodeInfo) renderVersionKey() string {
-	return fmt.Sprintf("%d|%s|%s", ni.Node, ni.View.String(), ni.Z.String())
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(ni.Node))
+	b.WriteByte('|')
+	b.WriteString(ni.View.String())
+	b.WriteByte('|')
+	b.WriteString(ni.Z.String())
+	return b.String()
 }
 
-// Sealed returns a copy of ni with its VersionKey precomputed.
+// Sealed returns a copy of ni with its VersionKey and bit size precomputed.
 func (ni NodeInfo) Sealed() NodeInfo {
 	if ni.key == "" {
 		ni.key = ni.renderVersionKey()
+	}
+	if ni.bits == 0 {
+		ni.bits = ni.renderBitSize()
 	}
 	return ni
 }
@@ -51,6 +62,13 @@ func (ni NodeInfo) Sealed() NodeInfo {
 // bitSize estimates the encoded size: node IDs at 16 bits, edges at 32,
 // antichain entries at 16 bits per element.
 func (ni NodeInfo) bitSize() int {
+	if ni.bits != 0 {
+		return ni.bits
+	}
+	return ni.renderBitSize()
+}
+
+func (ni NodeInfo) renderBitSize() int {
 	bits := 16
 	bits += 16*ni.View.NumNodes() + 32*ni.View.NumEdges()
 	bits += 16 * ni.Z.Domain.Len()
@@ -71,38 +89,148 @@ func pathKey(p graph.Path) string {
 	return b.String()
 }
 
+// appendPathKey is pathKey into a reused byte buffer, for allocation-free
+// intern-table probes.
+func appendPathKey(dst []byte, p graph.Path) []byte {
+	for i, v := range p {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(v), 10)
+	}
+	return dst
+}
+
 // ValueMsg is a type-1 message: a claimed dealer value with its trail.
 type ValueMsg struct {
 	X network.Value
 	P graph.Path
+
+	// key memoizes Key. Honest processes seal it at construction and extend
+	// it incrementally when relaying; unsealed literals (forged payloads in
+	// tests and attack strategies) fall back to rendering per call.
+	key string
+}
+
+// NewValueMsg builds a type-1 message with its payload key sealed.
+func NewValueMsg(x network.Value, p graph.Path) ValueMsg {
+	m := ValueMsg{X: x, P: p}
+	m.key = m.render()
+	return m
 }
 
 // BitSize implements network.Payload.
 func (m ValueMsg) BitSize() int { return 8*len(m.X) + 16*len(m.P) }
 
 // Key implements network.Payload.
-func (m ValueMsg) Key() string { return fmt.Sprintf("t1[%s](%s)", m.X, pathKey(m.P)) }
+func (m ValueMsg) Key() string {
+	if m.key != "" {
+		return m.key
+	}
+	return m.render()
+}
+
+func (m ValueMsg) render() string {
+	var b strings.Builder
+	b.Grow(8 + len(m.X) + 4*len(m.P))
+	b.WriteString("t1[")
+	b.WriteString(string(m.X))
+	b.WriteString("](")
+	writePathKey(&b, m.P)
+	b.WriteByte(')')
+	return b.String()
+}
 
 // InfoMsg is a type-2 message: a node's initial knowledge with its trail.
 type InfoMsg struct {
 	Info NodeInfo
 	P    graph.Path
+
+	key string // memoized Key; see ValueMsg.key
+}
+
+// NewInfoMsg builds a type-2 message with its payload key sealed.
+func NewInfoMsg(info NodeInfo, p graph.Path) InfoMsg {
+	m := InfoMsg{Info: info, P: p}
+	m.key = m.render()
+	return m
 }
 
 // BitSize implements network.Payload.
 func (m InfoMsg) BitSize() int { return m.Info.bitSize() + 16*len(m.P) }
 
 // Key implements network.Payload.
-func (m InfoMsg) Key() string { return fmt.Sprintf("t2[%s](%s)", m.Info.VersionKey(), pathKey(m.P)) }
+func (m InfoMsg) Key() string {
+	if m.key != "" {
+		return m.key
+	}
+	return m.render()
+}
+
+func (m InfoMsg) render() string {
+	vk := m.Info.VersionKey()
+	var b strings.Builder
+	b.Grow(8 + len(vk) + 4*len(m.P))
+	b.WriteString("t2[")
+	b.WriteString(vk)
+	b.WriteString("](")
+	writePathKey(&b, m.P)
+	b.WriteByte(')')
+	return b.String()
+}
+
+func writePathKey(b *strings.Builder, p graph.Path) {
+	for i, v := range p {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+}
+
+// extendKey derives the payload key of a one-hop trail extension from the
+// parent's sealed key by rewriting the trailing "(…)" trail segment in
+// place of a full re-render — the claim/value portion of the key is
+// unchanged by relaying. It returns "" (render required) when the parent
+// key is absent or np is not old extended by exactly one node.
+func extendKey(parent string, old, np graph.Path) string {
+	if parent == "" || len(old) == 0 || len(np) != len(old)+1 {
+		return ""
+	}
+	for i, v := range old {
+		if np[i] != v {
+			return ""
+		}
+	}
+	var b strings.Builder
+	b.Grow(len(parent) + 8)
+	b.WriteString(parent[:len(parent)-1])
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(np[len(np)-1]))
+	b.WriteByte(')')
+	return b.String()
+}
 
 // relayable extracts the trail of either message type and rebuilds the
 // message with an extended trail. It returns false for foreign payloads.
 func relayable(p network.Payload) (graph.Path, func(newPath graph.Path) network.Payload, bool) {
 	switch m := p.(type) {
 	case ValueMsg:
-		return m.P, func(np graph.Path) network.Payload { return ValueMsg{X: m.X, P: np} }, true
+		return m.P, func(np graph.Path) network.Payload {
+			nm := ValueMsg{X: m.X, P: np, key: extendKey(m.key, m.P, np)}
+			if nm.key == "" {
+				nm.key = nm.render()
+			}
+			return nm
+		}, true
 	case InfoMsg:
-		return m.P, func(np graph.Path) network.Payload { return InfoMsg{Info: m.Info, P: np} }, true
+		return m.P, func(np graph.Path) network.Payload {
+			nm := InfoMsg{Info: m.Info, P: np, key: extendKey(m.key, m.P, np)}
+			if nm.key == "" {
+				nm.key = nm.render()
+			}
+			return nm
+		}, true
 	default:
 		return nil, nil, false
 	}

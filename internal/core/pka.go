@@ -9,31 +9,50 @@ import (
 )
 
 // Dealer is RMT-PKA's dealer process: it sends (x_D, {D}) and
-// ((D, γ(D), Z_D), {D}) to all neighbors and terminates.
+// ((D, γ(D), Z_D), {D}) to all neighbors and terminates. Its two Init
+// payloads are prebuilt with sealed keys — per run on the cold path, once
+// per instance through pkaShared.
 type Dealer struct {
 	Value     network.Value
 	id        int
 	neighbors nodeset.Set
 	info      NodeInfo
+	valueMsg  network.Payload
+	infoMsg   network.Payload
 }
 
 // NewDealer builds the dealer process for the instance.
 func NewDealer(in *instance.Instance, xD network.Value) *Dealer {
 	d := in.Dealer
+	info := trueInfo(in, d)
 	return &Dealer{
 		Value:     xD,
 		id:        d,
 		neighbors: in.G.Neighbors(d),
-		info:      NodeInfo{Node: d, View: in.Gamma.Of(d), Z: in.LocalStructure(d)}.Sealed(),
+		info:      info,
+		valueMsg:  NewValueMsg(xD, graph.Path{d}),
+		infoMsg:   NewInfoMsg(info, graph.Path{d}),
+	}
+}
+
+// newDealerShared is NewDealer against the instance's warm store.
+func newDealerShared(in *instance.Instance, xD network.Value, sh *pkaShared) *Dealer {
+	d := in.Dealer
+	return &Dealer{
+		Value:     xD,
+		id:        d,
+		neighbors: in.G.Neighbors(d),
+		info:      sh.infos[d],
+		valueMsg:  sh.dealerValueMsg(d, xD),
+		infoMsg:   sh.dealerInfoMsg,
 	}
 }
 
 // Init implements network.Process.
 func (d *Dealer) Init(out network.Outbox) {
-	trail := graph.Path{d.id}
 	d.neighbors.ForEach(func(u int) bool {
-		out(u, ValueMsg{X: d.Value, P: trail})
-		out(u, InfoMsg{Info: d.info, P: trail})
+		out(u, d.valueMsg)
+		out(u, d.infoMsg)
 		return true
 	})
 }
@@ -49,11 +68,17 @@ func (d *Dealer) Decision() (network.Value, bool) { return d.Value, true }
 // extended, exactly as in Protocol 1. With a non-zero horizon it
 // additionally drops trails that could no longer reach the receiver within
 // the horizon (the Horizon-PKA ablation, experiment E10).
+//
+// A relay holds no per-run state — its only fields are the instance-derived
+// identity and an optional locked rebuild cache — so pkaShared hands one
+// relay instance to every run on the instance, including concurrent ones.
 type Relay struct {
 	id        int
 	neighbors nodeset.Set
 	info      NodeInfo
-	horizon   int // max D–R path length in nodes; 0 = unlimited
+	horizon   int             // max D–R path length in nodes; 0 = unlimited
+	initMsg   network.Payload // prebuilt Init announcement
+	cache     *relayCache     // rebuilt payloads by incoming key; nil = cold
 }
 
 // NewRelay builds the relay process for node id.
@@ -65,12 +90,18 @@ func NewRelay(in *instance.Instance, id int) *Relay {
 // NewRelayAt builds a relay from explicit parameters, for reuse outside
 // full RMT instances (e.g. Byzantine topology discovery).
 func NewRelayAt(id int, neighbors nodeset.Set, info NodeInfo) *Relay {
-	return &Relay{id: id, neighbors: neighbors, info: info.Sealed()}
+	sealed := info.Sealed()
+	return &Relay{
+		id:        id,
+		neighbors: neighbors,
+		info:      sealed,
+		initMsg:   NewInfoMsg(sealed, graph.Path{id}),
+	}
 }
 
 // Init implements network.Process.
 func (r *Relay) Init(out network.Outbox) {
-	r.broadcast(out, InfoMsg{Info: r.info, P: graph.Path{r.id}})
+	r.broadcast(out, r.initMsg)
 }
 
 // Round implements network.Process.
@@ -89,7 +120,21 @@ func (r *Relay) Round(_ int, inbox []network.Message, out network.Outbox) bool {
 		if r.horizon > 0 && len(trail)+1 > r.horizon-1 {
 			continue // the extended trail plus the receiver would exceed the horizon
 		}
-		r.broadcast(out, rebuild(trail.Append(r.id)))
+		var np network.Payload
+		if r.cache != nil {
+			// The rebuilt message is a pure function of the incoming
+			// payload (whose key is canonical per the Payload contract) and
+			// this relay's identity, so the cache replays the exact payload
+			// the cold path would construct.
+			k := m.Payload.Key()
+			if np = r.cache.get(k); np == nil {
+				np = rebuild(trail.Append(r.id))
+				r.cache.put(k, np)
+			}
+		} else {
+			np = rebuild(trail.Append(r.id))
+		}
+		r.broadcast(out, np)
 	}
 	return true
 }
@@ -106,18 +151,28 @@ func (r *Relay) Decision() (network.Value, bool) { return "", false }
 
 // NewProcesses assembles the full process map for an RMT-PKA run, replacing
 // the nodes of corrupt with the supplied Byzantine processes (the dealer
-// and receiver cannot be corrupted).
+// and receiver cannot be corrupted). Unless opts.DisableMemo is set, the
+// honest processes draw on the instance's warm store (pkaShared): sealed
+// claims, prebuilt payloads, shared relays, and the receiver's interned
+// candidate records all persist across runs.
 func NewProcesses(in *instance.Instance, xD network.Value, corrupt map[int]network.Process, opts Options) map[int]network.Process {
+	var sh *pkaShared
+	if !opts.DisableMemo {
+		sh = sharedOf(in)
+	}
 	return protocol.Build(in.G, nodeset.Of(in.Dealer, in.Receiver), corrupt, func(v int) network.Process {
 		switch v {
 		case in.Dealer:
+			if sh != nil {
+				return newDealerShared(in, xD, sh)
+			}
 			return NewDealer(in, xD)
 		case in.Receiver:
-			rcv := NewReceiver(in)
-			rcv.horizon = opts.Horizon
-			rcv.nomemo = opts.DisableMemo
-			return rcv
+			return newReceiver(in, sh, opts)
 		default:
+			if sh != nil {
+				return sh.relay(in, v, opts.Horizon)
+			}
 			rel := NewRelay(in, v)
 			rel.horizon = opts.Horizon
 			return rel

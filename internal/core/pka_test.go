@@ -355,7 +355,7 @@ func TestReceiverDiscardsForgedTails(t *testing.T) {
 	if _, ok := r.Decision(); ok {
 		t.Fatal("receiver accepted a forged dealer-rule message")
 	}
-	if len(r.type1) != 0 {
+	if len(r.vals) != 0 {
 		t.Fatal("forged trail was ingested")
 	}
 }

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"sort"
 	"strconv"
-	"strings"
 
 	"rmt/internal/adversary"
 	"rmt/internal/graph"
@@ -27,22 +27,42 @@ const maxSearchIDs = 22
 const (
 	// maxMemoEntries caps the number of memoized candidate message sets.
 	maxMemoEntries = 1 << 14
-	// maxMemoPaths caps the stored D–R path keys per candidate; candidates
+	// maxMemoPaths caps the interned D–R paths per candidate; candidates
 	// with more paths keep their decision graph but re-stream enumeration.
 	maxMemoPaths = 2048
 )
 
-// candidateMemo caches the claim-version-determined parts of the full
-// message set rule for one candidate M: the decision graph G_M, its D–R
-// path set, and the adversary-cover verdict. Only fullness — membership of
-// each path in the growing type-1 store — depends on later messages, so it
-// is the only part re-evaluated per call.
-type candidateMemo struct {
-	gm       *graph.Graph // decision graph; nil if D or R missing from G_M
-	pathKeys []string     // keys of all D–R paths, unless overflowed
-	hasPath  bool
-	overflow bool // more than maxMemoPaths paths: re-stream instead
-	cover    int8 // 0 = not yet checked, 1 = has cover, 2 = no cover
+// claimVer is one stored version of a type-2 claim: the sealed claim plus
+// its interned version ID (-1 when the intern table was full, in which case
+// candidates naming this version are evaluated fresh, uncached).
+type claimVer struct {
+	info NodeInfo
+	vid  int32
+}
+
+// valState is the packed type-1 store for one claimed value x: the set of
+// interned IDs of received D–R paths, plus an unpacked overflow list for
+// paths that could not be interned (table at capacity, or node IDs outside
+// the dense range).
+type valState struct {
+	x    network.Value
+	recv nodeset.Set
+	over []overPath
+}
+
+// overPath is one un-interned received path. fits records whether nodes is
+// meaningful (false for paths naming IDs outside the dense range, which the
+// candidate pre-filter must then pass conservatively).
+type overPath struct {
+	key   string
+	nodes nodeset.Set
+	fits  bool
+}
+
+// vpair is a (node, version) pair of a candidate memo key.
+type vpair struct {
+	id  int
+	vid int32
 }
 
 // Receiver is RMT-PKA's receiver process. It accumulates both message
@@ -52,58 +72,117 @@ type candidateMemo struct {
 //	(* full message set rule *)      decide x if some valid, full message
 //	                                 set M with value(M) = x has no
 //	                                 adversary cover.
+//
+// All hot-path state is packed: received D–R paths and claim versions are
+// interned into small ints at ingest, so per-round fullness checks are
+// bitset subset tests and candidate memo probes are byte-key map lookups
+// instead of rendered-string comparisons. When built through NewProcesses
+// without Options.DisableMemo, the intern tables and candidate records live
+// on the instance (pkaShared) and stay warm across runs.
 type Receiver struct {
 	id     int
 	dealer int
 
-	// type1[x][pathKey] records a received type-1 message (x, p).
-	type1 map[network.Value]map[string]graph.Path
-	// type2[node][versionKey] records a received type-2 claim about node.
-	type2 map[int]map[string]NodeInfo
 	// own is R's own initial knowledge, implicitly part of every M.
-	own NodeInfo
+	own      NodeInfo
+	ownClaim claimVer
 
 	decided bool
 	value   network.Value
 	dirty   bool // new messages since the last search
 	horizon int  // Horizon-PKA bound on D–R path length in nodes; 0 = off
+	nomemo  bool // Options.DisableMemo: evaluate everything fresh
 
-	// Incrementally maintained search inputs (hoisted out of searchDecision).
-	values   []network.Value // distinct type-1 values, sorted
-	knownIDs []int           // claimed nodes plus r.id, sorted
+	// Interners and the candidate-record store. Instance-scoped when the
+	// receiver was built with a pkaShared, run-scoped otherwise; store is
+	// nil under DisableMemo (every candidate evaluated fresh).
+	paths *pathInterner
+	vers  *verInterner
+	store *candStore
 
-	// Decision-subroutine memoization (see candidateMemo).
-	verIdx     map[string]int // claim version key → dense intern index
-	memo       map[string]*candidateMemo
-	scratchIDs []int
-	nomemo     bool // Options.DisableMemo
+	// vals[i] packs the received type-1 messages for one value, ascending.
+	vals []*valState
+	// claims maps a claimed node to its received versions, sorted by
+	// version key — the canonical enumeration order of the claim-combo
+	// search. Claims about R itself are dropped at ingest: every candidate
+	// substitutes R's own knowledge for its member slot, so they can never
+	// influence a decision.
+	claims map[int][]claimVer
+
+	// Incrementally maintained search inputs.
+	knownIDs    []int       // claimed nodes plus r.id, sorted
+	knownSet    nodeset.Set // same, as a bitset (dense IDs only)
+	knownSparse bool        // some claimed node fell outside the dense range
+	contested   int         // claimed nodes with ≥ 2 versions
+
+	// verSlab backs the single-version common case of claims: first
+	// versions are appended here and each node's slice points into it, so a
+	// run allocates one arena instead of one slice per claimed node.
+	// Contested nodes grow past their capacity-1 sub-slice and migrate to
+	// their own backing automatically.
+	verSlab []claimVer
+
+	// Run-level cover-search caches, valid for candidates whose members all
+	// have a single claim version (then Z_v and γ(v) per member are stable
+	// for the rest of the run: a second version would make the node
+	// contested and exclude it from every all-unique candidate, so stale
+	// folds are never re-queried). Contested combos get fresh caches.
+	joints *adversary.JoinCache
+	views  *nodeset.UnionCache
+
+	// Reused scratch buffers (per-run; grown once, then allocation-free).
+	keyBuf         []byte
+	candKey        []byte
+	memberSet      nodeset.Set
+	membersScratch []int
+	optScratch     []int
+	comboScratch   []claimVer
+	pairScratch    []vpair
+	passVals       []*valState
+	pnodes         []nodeset.Set // interner node-set snapshot per search
 }
 
-// NewReceiver builds the receiver process for the instance.
+// NewReceiver builds a cold receiver process for the instance: run-scoped
+// intern tables, default options. NewProcesses builds warm receivers that
+// share state across runs via the instance.
 func NewReceiver(in *instance.Instance) *Receiver {
+	return newReceiver(in, nil, Options{})
+}
+
+func newReceiver(in *instance.Instance, sh *pkaShared, opts Options) *Receiver {
+	n := in.N()
 	r := &Receiver{
 		id:       in.Receiver,
 		dealer:   in.Dealer,
-		type1:    make(map[network.Value]map[string]graph.Path),
-		type2:    make(map[int]map[string]NodeInfo),
-		own:      trueInfo(in, in.Receiver),
-		knownIDs: []int{in.Receiver},
-		verIdx:   make(map[string]int),
-		memo:     make(map[string]*candidateMemo),
+		claims:   make(map[int][]claimVer, n),
+		knownIDs: make([]int, 1, n+1),
+		verSlab:  make([]claimVer, 0, n),
+		horizon:  opts.Horizon,
+		nomemo:   opts.DisableMemo,
 	}
-	r.internVersion(r.own.VersionKey())
+	r.knownIDs[0] = in.Receiver
+	if sh != nil {
+		r.own = sh.infos[in.Receiver]
+		r.paths = &sh.paths
+		r.vers = &sh.vers
+		r.store = sh.storeFor(opts.Horizon)
+	} else {
+		r.own = trueInfo(in, in.Receiver)
+		r.paths = &pathInterner{}
+		if !r.nomemo {
+			r.vers = &verInterner{}
+			r.store = &candStore{}
+		}
+	}
+	ownVid := int32(-1)
+	if r.vers != nil {
+		if v, ok := r.vers.intern(r.own.VersionKey()); ok {
+			ownVid = v
+		}
+	}
+	r.ownClaim = claimVer{info: r.own, vid: ownVid}
+	r.knownSet.MutateAdd(r.id)
 	return r
-}
-
-// internVersion assigns a dense index to a claim version key, for compact
-// candidate memo keys.
-func (r *Receiver) internVersion(k string) int {
-	if idx, ok := r.verIdx[k]; ok {
-		return idx
-	}
-	idx := len(r.verIdx)
-	r.verIdx[k] = idx
-	return idx
 }
 
 // Init implements network.Process: R announces nothing (Protocol 1 gives R
@@ -153,40 +232,120 @@ func (r *Receiver) ingest(m network.Message) {
 			r.decided, r.value = true, msg.X
 			return
 		}
-		byPath, ok := r.type1[msg.X]
-		if !ok {
-			byPath = make(map[string]graph.Path)
-			r.type1[msg.X] = byPath
-			r.values = insertSortedValue(r.values, msg.X)
-		}
-		// The trail ends at the sender; the D–R path it witnesses is the
-		// trail extended by R itself, which is what fullness matches on.
-		full := msg.P.Append(r.id)
-		k := pathKey(full)
-		if _, dup := byPath[k]; !dup {
-			byPath[k] = full
-			r.dirty = true
-		}
+		r.ingestValue(msg)
 	case InfoMsg:
-		byVersion, ok := r.type2[msg.Info.Node]
-		if !ok {
-			byVersion = make(map[string]NodeInfo)
-			r.type2[msg.Info.Node] = byVersion
-			if msg.Info.Node != r.id {
-				r.knownIDs = insertSortedInt(r.knownIDs, msg.Info.Node)
-			}
-		}
-		k := msg.Info.VersionKey()
-		if _, dup := byVersion[k]; !dup {
-			// Seal the stored copy so every later VersionKey call — claim
-			// combos, candidate memo keys — reuses the rendered string.
-			ni := msg.Info
-			ni.key = k
-			byVersion[k] = ni
-			r.internVersion(k)
+		r.ingestInfo(msg.Info)
+	}
+}
+
+// ingestValue records a type-1 message. The D–R path it witnesses is the
+// trail extended by R itself, which is what fullness matches on; the path
+// is interned so the hot store is a bitset of path IDs. The full path is
+// only materialized on an intern-table miss.
+func (r *Receiver) ingestValue(msg ValueMsg) {
+	vs := r.valOf(msg.X)
+	r.keyBuf = appendPathKey(r.keyBuf[:0], msg.P)
+	r.keyBuf = append(r.keyBuf, ',')
+	r.keyBuf = strconv.AppendInt(r.keyBuf, int64(r.id), 10)
+	if pid, ok := r.paths.lookup(r.keyBuf); ok {
+		if !vs.recv.Contains(int(pid)) {
+			vs.recv.MutateAdd(int(pid))
 			r.dirty = true
+		}
+		return
+	}
+	full := msg.P.Append(r.id)
+	if pid, ok := r.paths.intern(r.keyBuf, full); ok {
+		// Not a duplicate: the key was absent from the intern table, and a
+		// path this run already received would be either interned or on the
+		// overflow list — and the table never loses entries once full.
+		vs.recv.MutateAdd(int(pid))
+		r.dirty = true
+		return
+	}
+	// Interner at capacity, or the path names IDs outside the dense range:
+	// unpacked fallback keyed by the rendered path.
+	if overHas(vs.over, r.keyBuf) {
+		return
+	}
+	ns, fits := pathNodeSet(full)
+	vs.over = append(vs.over, overPath{key: string(r.keyBuf), nodes: ns, fits: fits})
+	r.dirty = true
+}
+
+// ingestInfo records a type-2 claim version and maintains the incremental
+// search inputs: the known-ID set and the contested count.
+func (r *Receiver) ingestInfo(info NodeInfo) {
+	node := info.Node
+	if node == r.id {
+		// Every candidate substitutes R's own knowledge for its member
+		// slot, so claims about R are inert; drop them instead of storing.
+		return
+	}
+	vers, seen := r.claims[node]
+	if !seen {
+		r.knownIDs = insertSortedInt(r.knownIDs, node)
+		if node >= 0 && node < maxDenseID {
+			r.knownSet.MutateAdd(node)
+		} else {
+			r.knownSparse = true
 		}
 	}
+	k := info.VersionKey()
+	i := sort.Search(len(vers), func(i int) bool { return vers[i].info.VersionKey() >= k })
+	if i < len(vers) && vers[i].info.VersionKey() == k {
+		return // duplicate version
+	}
+	// Seal the stored copy so every later VersionKey call — claim combos,
+	// candidate memo keys — reuses the rendered string.
+	ni := info
+	ni.key = k
+	vid := int32(-1)
+	if r.vers != nil {
+		if v, ok := r.vers.intern(k); ok {
+			vid = v
+		}
+	}
+	cv := claimVer{info: ni, vid: vid}
+	if !seen && len(r.verSlab) < cap(r.verSlab) {
+		// Common case: first (and usually only) version of a node goes into
+		// the shared arena; the capped sub-slice keeps later appends for
+		// other nodes from clobbering it.
+		r.verSlab = append(r.verSlab, cv)
+		vers = r.verSlab[len(r.verSlab)-1 : len(r.verSlab) : len(r.verSlab)]
+	} else {
+		vers = append(vers, claimVer{})
+		copy(vers[i+1:], vers[i:])
+		vers[i] = cv
+	}
+	r.claims[node] = vers
+	if len(vers) == 2 {
+		r.contested++
+	}
+	r.dirty = true
+}
+
+// valOf returns the packed store for value x, inserting it in sorted
+// position on first sight.
+func (r *Receiver) valOf(x network.Value) *valState {
+	i := sort.Search(len(r.vals), func(i int) bool { return r.vals[i].x >= x })
+	if i < len(r.vals) && r.vals[i].x == x {
+		return r.vals[i]
+	}
+	vs := &valState{x: x}
+	r.vals = append(r.vals, nil)
+	copy(r.vals[i+1:], r.vals[i:])
+	r.vals[i] = vs
+	return vs
+}
+
+// claimOf returns the claim version the canonical candidate uses for id.
+// Only valid while no claim is contested.
+func (r *Receiver) claimOf(id int) claimVer {
+	if id == r.id {
+		return r.ownClaim
+	}
+	return r.claims[id][0]
 }
 
 // searchDecision implements the full message set propagation rule: it
@@ -196,20 +355,25 @@ func (r *Receiver) ingest(m network.Message) {
 // sufficiency proof), then falls back to an exhaustive search over node
 // subsets and claim versions.
 func (r *Receiver) searchDecision() (network.Value, bool) {
-	if _, haveDealer := r.type2[r.dealer]; !haveDealer {
+	if r.claims[r.dealer] == nil {
 		return "", false // G_M cannot contain D–R paths without D's info
 	}
-	values := r.values
-	if len(values) == 0 {
+	if len(r.vals) == 0 {
 		return "", false
 	}
+	_, r.pnodes = r.paths.snapshot()
 
 	ids := r.knownIDs
 	// Canonical candidate: all known nodes, when every claim is
 	// uncontested (one version per node).
-	if claims, ok := r.uncontestedClaims(ids); ok {
-		for _, x := range values {
-			if r.fullAndUncovered(claims, x) {
+	if r.contested == 0 {
+		combo := r.comboScratch[:0]
+		for _, id := range ids {
+			combo = append(combo, r.claimOf(id))
+		}
+		r.comboScratch = combo
+		if pass := r.passingValues(ids); len(pass) > 0 {
+			if x, ok := r.evalCandidate(ids, combo, pass, true); ok {
 				return x, true
 			}
 		}
@@ -220,24 +384,35 @@ func (r *Receiver) searchDecision() (network.Value, bool) {
 
 	// Exhaustive fallback: subsets S ∋ D, R of the known IDs, larger sets
 	// first, with every combination of claim versions for contested nodes.
-	optional := make([]int, 0, len(ids))
+	optional := r.optScratch[:0]
 	for _, id := range ids {
 		if id != r.dealer && id != r.id {
 			optional = append(optional, id)
 		}
 	}
+	r.optScratch = optional
 	for size := len(optional); size >= 0; size-- {
 		var found network.Value
 		ok := false
 		forEachSubsetOfSize(optional, size, func(subset []int) bool {
-			members := append([]int{r.dealer, r.id}, subset...)
-			claimsSet := r.claimVersions(members)
-			forEachClaimCombo(members, claimsSet, func(claims map[int]NodeInfo) bool {
-				for _, x := range values {
-					if r.fullAndUncovered(claims, x) {
-						found, ok = x, true
-						return false
-					}
+			members := append(r.membersScratch[:0], r.dealer, r.id)
+			members = append(members, subset...)
+			r.membersScratch = members
+			pass := r.passingValues(members)
+			if len(pass) == 0 {
+				return true // no value can be full on these members
+			}
+			allUnique := len(r.claims[r.dealer]) == 1
+			for _, id := range subset {
+				if len(r.claims[id]) != 1 {
+					allUnique = false
+					break
+				}
+			}
+			r.forEachCombo(members, func(combo []claimVer) bool {
+				if x, got := r.evalCandidate(members, combo, pass, allUnique); got {
+					found, ok = x, true
+					return false
 				}
 				return true
 			})
@@ -250,156 +425,178 @@ func (r *Receiver) searchDecision() (network.Value, bool) {
 	return "", false
 }
 
-// insertSortedValue inserts x into sorted vals if absent (callers only call
-// it for new values, but the guard keeps it idempotent).
-func insertSortedValue(vals []network.Value, x network.Value) []network.Value {
-	i := sort.Search(len(vals), func(i int) bool { return vals[i] >= x })
-	if i < len(vals) && vals[i] == x {
-		return vals
-	}
-	vals = append(vals, "")
-	copy(vals[i+1:], vals[i:])
-	vals[i] = x
-	return vals
-}
-
-// insertSortedInt inserts id into sorted ids if absent.
-func insertSortedInt(ids []int, id int) []int {
-	i := sort.SearchInts(ids, id)
-	if i < len(ids) && ids[i] == id {
-		return ids
-	}
-	ids = append(ids, 0)
-	copy(ids[i+1:], ids[i:])
-	ids[i] = id
-	return ids
-}
-
-// uncontestedClaims assembles one claim per node if no node is contested.
-func (r *Receiver) uncontestedClaims(ids []int) (map[int]NodeInfo, bool) {
-	claims := make(map[int]NodeInfo, len(ids))
-	for _, id := range ids {
-		if id == r.id {
-			claims[id] = r.own
-			continue
-		}
-		versions := r.type2[id]
-		if len(versions) != 1 {
-			return nil, false
-		}
-		for _, ni := range versions {
-			claims[id] = ni
-		}
-	}
-	return claims, true
-}
-
-// claimVersions lists the available versions per member, in a canonical
-// order.
-func (r *Receiver) claimVersions(members []int) map[int][]NodeInfo {
-	out := make(map[int][]NodeInfo, len(members))
+// passingValues returns the type-1 values that could still certify a
+// candidate on the given members, ascending. A candidate (M, x) is full
+// only if every D–R path of G_M was received with x, and those paths run
+// inside V(G_M) ⊆ members — so at least one received-x path must fit
+// within the member set. Values with no fitting received path are filtered
+// exactly (a candidate the unpacked search would have accepted is never
+// skipped); when the member set cannot be packed (sparse IDs) or a received
+// path is unpacked, the filter passes conservatively.
+func (r *Receiver) passingValues(members []int) []*valState {
+	pass := r.passVals[:0]
+	dense := true
+	r.memberSet.MutateClear()
 	for _, id := range members {
-		if id == r.id {
-			out[id] = []NodeInfo{r.own}
-			continue
+		if id < 0 || id >= maxDenseID {
+			dense = false
+			break
 		}
-		versions := r.type2[id]
-		keys := make([]string, 0, len(versions))
-		for k := range versions {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		list := make([]NodeInfo, 0, len(keys))
-		for _, k := range keys {
-			list = append(list, versions[k])
-		}
-		out[id] = list
+		r.memberSet.MutateAdd(id)
 	}
-	return out
-}
-
-// fullAndUncovered checks Definitions 5 and 6 for the candidate M given by
-// the claims and the value x: every D–R path of G_M must have been received
-// as a type-1 message carrying x, and no adversary cover may exist.
-//
-// G_M, its D–R path set, and the cover verdict are functions of the exact
-// claim versions alone, so they are memoized per candidate (candidateMemo)
-// and shared across rounds and values of x; only fullness — a membership
-// test against the growing type-1 store — is re-evaluated each call.
-func (r *Receiver) fullAndUncovered(claims map[int]NodeInfo, x network.Value) bool {
-	if r.nomemo {
-		return r.fullAndUncoveredFresh(claims, x)
+	if !dense {
+		pass = append(pass, r.vals...)
+		r.passVals = pass
+		return pass
 	}
-	e := r.candidate(claims)
-	if e == nil { // memo at capacity: compute without caching
-		return r.fullAndUncoveredFresh(claims, x)
-	}
-	if e.gm == nil || !e.hasPath {
-		// With no D–R path the empty set is an adversary cover, so a
-		// pathless M never certifies.
-		return false
-	}
-	received := r.type1[x]
-	if e.overflow {
-		full := true
-		e.gm.AllPaths(r.dealer, r.id, nodeset.Empty(), func(p graph.Path) bool {
-			if _, ok := received[pathKey(p)]; !ok {
-				full = false
+	for _, vs := range r.vals {
+		fits := false
+		vs.recv.ForEach(func(pid int) bool {
+			if r.pnodes[pid].SubsetOf(r.memberSet) {
+				fits = true
 				return false
 			}
 			return true
 		})
-		if !full {
-			return false
+		if !fits {
+			for i := range vs.over {
+				if !vs.over[i].fits || vs.over[i].nodes.SubsetOf(r.memberSet) {
+					fits = true
+					break
+				}
+			}
 		}
-	} else {
-		for _, k := range e.pathKeys {
-			if _, ok := received[k]; !ok {
+		if fits {
+			pass = append(pass, vs)
+		}
+	}
+	r.passVals = pass
+	return pass
+}
+
+// forEachCombo enumerates every combination of claim versions for the
+// members, in the canonical order: versions ascending by key, the last
+// member varying fastest. The combo slice is reused across calls; fn must
+// not retain it.
+func (r *Receiver) forEachCombo(members []int, fn func(combo []claimVer) bool) {
+	combo := r.comboScratch[:0]
+	for range members {
+		combo = append(combo, claimVer{})
+	}
+	r.comboScratch = combo
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(members) {
+			return fn(combo)
+		}
+		if members[i] == r.id {
+			combo[i] = r.ownClaim
+			return rec(i + 1)
+		}
+		for _, cv := range r.claims[members[i]] {
+			combo[i] = cv
+			if !rec(i + 1) {
 				return false
 			}
 		}
-	}
-	if e.cover == 0 {
-		if hasAdversaryCover(e.gm, claims, r.dealer, r.id) {
-			e.cover = 1
-		} else {
-			e.cover = 2
-		}
-	}
-	return e.cover == 2
-}
-
-// fullAndUncoveredFresh is the memo-free evaluation (DisableMemo, or memo
-// at capacity).
-func (r *Receiver) fullAndUncoveredFresh(claims map[int]NodeInfo, x network.Value) bool {
-	gm := r.decisionGraph(claims)
-	if gm == nil {
-		return false
-	}
-	received := r.type1[x]
-	full := true
-	hasPath := false
-	gm.AllPaths(r.dealer, r.id, nodeset.Empty(), func(p graph.Path) bool {
-		hasPath = true
-		if _, ok := received[pathKey(p)]; !ok {
-			full = false
-			return false
-		}
 		return true
-	})
-	if !full || !hasPath {
-		return false
 	}
-	return !hasAdversaryCover(gm, claims, r.dealer, r.id)
+	rec(0)
 }
 
-// decisionGraph builds the graph the full-set rule is evaluated on: G_M,
-// restricted to the horizon span under Horizon-PKA. It returns nil when D
-// or R is missing (no candidate can certify).
-func (r *Receiver) decisionGraph(claims map[int]NodeInfo) *graph.Graph {
-	gm := graphOfClaims(claims)
+// evalCandidate checks Definitions 5 and 6 for the candidate M given by
+// (members, combo) against each value in pass: every D–R path of G_M must
+// have been received as a type-1 message carrying x, and no adversary cover
+// may exist.
+//
+// G_M, its interned D–R path set, and the cover verdict are functions of
+// the exact claim versions alone, so they live in a content-keyed candidate
+// record shared across rounds — and, through pkaShared, across runs; only
+// fullness (a bitset subset test against the growing type-1 store) is
+// re-evaluated per call.
+func (r *Receiver) evalCandidate(members []int, combo []claimVer, pass []*valState, allUnique bool) (network.Value, bool) {
+	if r.nomemo || r.store == nil {
+		return r.freshEval(members, combo, pass)
+	}
+	key, keyable := r.encodeCandKey(members, combo)
+	if !keyable {
+		return r.freshEval(members, combo, pass)
+	}
+	rec := r.store.get(key)
+	if rec == nil {
+		rec = r.buildRecord(members, combo)
+		if stored := r.store.put(key, rec); stored != nil {
+			rec = stored
+		}
+	}
+	if rec.gm == nil || !rec.hasPath {
+		// With no D–R path the empty set is an adversary cover, so a
+		// pathless M never certifies.
+		return "", false
+	}
+	for _, vs := range pass {
+		if !r.recFull(rec, vs) {
+			continue
+		}
+		c := rec.cover.Load()
+		if c == 0 {
+			if r.coverFor(rec.gm, members, combo, allUnique) {
+				c = 1
+			} else {
+				c = 2
+			}
+			rec.cover.Store(c)
+		}
+		if c == 2 {
+			return vs.x, true
+		}
+		break // covered: no value can certify this candidate
+	}
+	return "", false
+}
+
+// encodeCandKey packs the candidate's exact claim versions as
+// (node, version) varint pairs in ascending node order. It reports false
+// when any version is uninterned (table at capacity): such candidates are
+// evaluated fresh, uncached.
+func (r *Receiver) encodeCandKey(members []int, combo []claimVer) ([]byte, bool) {
+	pairs := r.pairScratch[:0]
+	for i, id := range members {
+		if combo[i].vid < 0 {
+			r.pairScratch = pairs
+			return nil, false
+		}
+		pairs = append(pairs, vpair{id: id, vid: combo[i].vid})
+	}
+	for i := 1; i < len(pairs); i++ {
+		p := pairs[i]
+		j := i
+		for j > 0 && pairs[j-1].id > p.id {
+			pairs[j] = pairs[j-1]
+			j--
+		}
+		pairs[j] = p
+	}
+	r.pairScratch = pairs
+	k := r.candKey[:0]
+	for _, p := range pairs {
+		k = binary.AppendVarint(k, int64(p.id))
+		k = binary.AppendUvarint(k, uint64(p.vid))
+	}
+	r.candKey = k
+	return k, true
+}
+
+// buildRecord computes the claim-version-determined parts of the full-set
+// rule for one candidate: G_M (restricted to the horizon span under
+// Horizon-PKA), and its D–R paths interned into a bitset. Records are
+// content-keyed and instance-scoped, so each distinct candidate is built
+// once per instance, not per run or per round.
+func (r *Receiver) buildRecord(members []int, combo []claimVer) *candRec {
+	rec := &candRec{}
+	gm := r.graphOfCombo(members, combo)
 	if !gm.HasNode(r.dealer) || !gm.HasNode(r.id) {
-		return nil
+		return rec
 	}
 	if r.horizon > 0 {
 		// Horizon-PKA: evaluate the rule on the subgraph of G_M spanned by
@@ -411,94 +608,203 @@ func (r *Receiver) decisionGraph(claims map[int]NodeInfo) *graph.Graph {
 		span := gm.BoundedPathSpan(r.dealer, r.id, r.horizon)
 		gm = gm.InducedSubgraph(span)
 		if !gm.HasNode(r.dealer) || !gm.HasNode(r.id) {
-			return nil
+			return rec
 		}
 	}
-	return gm
+	rec.gm = gm
+	count := 0
+	gm.AllPaths(r.dealer, r.id, nodeset.Empty(), func(p graph.Path) bool {
+		rec.hasPath = true
+		count++
+		if count > maxMemoPaths {
+			rec.overflow = true
+			return false
+		}
+		r.keyBuf = appendPathKey(r.keyBuf[:0], p)
+		pid, ok := r.paths.lookup(r.keyBuf)
+		if !ok {
+			pid, ok = r.paths.intern(r.keyBuf, p)
+		}
+		if !ok {
+			rec.overflow = true
+			return false
+		}
+		rec.pathSet.MutateAdd(int(pid))
+		return true
+	})
+	if rec.overflow {
+		rec.pathSet = nodeset.Set{}
+	}
+	return rec
 }
 
-// claimsKey canonically encodes a candidate's exact claim versions using the
-// interned version indices: "node:version;" per member in increasing node
-// order.
-func (r *Receiver) claimsKey(claims map[int]NodeInfo) string {
-	ids := r.scratchIDs[:0]
-	for id := range claims {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	r.scratchIDs = ids
-	var b strings.Builder
-	b.Grow(len(ids) * 8)
-	for _, id := range ids {
-		b.WriteString(strconv.Itoa(id))
-		b.WriteByte(':')
-		b.WriteString(strconv.Itoa(r.internVersion(claims[id].VersionKey())))
-		b.WriteByte(';')
-	}
-	return b.String()
-}
-
-// candidate returns the memo entry for the claims, building it on first
-// encounter. It returns nil when the memo is at capacity and the candidate
-// is unknown.
-func (r *Receiver) candidate(claims map[int]NodeInfo) *candidateMemo {
-	k := r.claimsKey(claims)
-	if e, ok := r.memo[k]; ok {
-		return e
-	}
-	if len(r.memo) >= maxMemoEntries {
-		return nil
-	}
-	e := &candidateMemo{gm: r.decisionGraph(claims)}
-	if e.gm != nil {
-		e.gm.AllPaths(r.dealer, r.id, nodeset.Empty(), func(p graph.Path) bool {
-			e.hasPath = true
-			if len(e.pathKeys) >= maxMemoPaths {
-				e.overflow = true
-				e.pathKeys = nil
-				return false
-			}
-			e.pathKeys = append(e.pathKeys, pathKey(p))
-			return true
-		})
-	}
-	r.memo[k] = e
-	return e
-}
-
-// graphOfClaims builds G_M: the union of the claimed views γ(V_M), induced
+// graphOfCombo builds G_M: the union of the claimed views γ(V_M), induced
 // on the claimed node set V_M.
-func graphOfClaims(claims map[int]NodeInfo) *graph.Graph {
-	vm := nodeset.Empty()
-	for id := range claims {
-		vm = vm.Add(id)
+func (r *Receiver) graphOfCombo(members []int, combo []claimVer) *graph.Graph {
+	var vm nodeset.Set
+	for _, id := range members {
+		vm.MutateAdd(id)
 	}
 	joint := graph.New()
-	// Deterministic union order.
-	ids := vm.Members()
-	for _, id := range ids {
-		joint = joint.Union(claims[id].View)
-	}
+	// Deterministic union order (ascending by node ID).
+	vm.ForEach(func(id int) bool {
+		joint.UnionInPlace(r.comboView(members, combo, id))
+		return true
+	})
 	return joint.InducedSubgraph(vm)
 }
 
-// hasAdversaryCover checks Definition 6: some cut C of G_M between D and R
-// with C ∩ V(γ(B)) ∈ Z_B, where B is the receiver-side component and both
-// γ(B) and Z_B are computed from the claims in M. Minimal cuts C = N(B)
-// per receiver-side candidate B are sufficient (the membership condition is
+func (r *Receiver) comboView(members []int, combo []claimVer, id int) *graph.Graph {
+	for i, m := range members {
+		if m == id {
+			return combo[i].info.View
+		}
+	}
+	return graph.New()
+}
+
+// recFull checks fullness against the packed type-1 store: every D–R path
+// of the candidate's decision graph must have been received with this
+// value. The hot path is one bitset subset test; un-interned paths on
+// either side fall back to key comparisons.
+func (r *Receiver) recFull(rec *candRec, vs *valState) bool {
+	if rec.overflow {
+		full := true
+		rec.gm.AllPaths(r.dealer, r.id, nodeset.Empty(), func(p graph.Path) bool {
+			if !r.pathReceived(vs, p) {
+				full = false
+				return false
+			}
+			return true
+		})
+		return full
+	}
+	if rec.pathSet.SubsetOf(vs.recv) {
+		return true
+	}
+	if len(vs.over) == 0 {
+		return false
+	}
+	// Rare: a required interned path is missing from the packed store, but
+	// may have been received while the intern table was already full and be
+	// sitting on the overflow list under its rendered key.
+	keys, _ := r.paths.snapshot()
+	full := true
+	rec.pathSet.ForEach(func(pid int) bool {
+		if vs.recv.Contains(pid) {
+			return true
+		}
+		if !overHasStr(vs.over, keys[pid]) {
+			full = false
+			return false
+		}
+		return true
+	})
+	return full
+}
+
+// pathReceived reports whether the exact path p was received with vs's
+// value, checking both the interned store and the overflow list (a path may
+// predate its interning, or never intern at all).
+func (r *Receiver) pathReceived(vs *valState, p graph.Path) bool {
+	r.keyBuf = appendPathKey(r.keyBuf[:0], p)
+	if pid, ok := r.paths.lookup(r.keyBuf); ok && vs.recv.Contains(int(pid)) {
+		return true
+	}
+	return overHas(vs.over, r.keyBuf)
+}
+
+func overHas(over []overPath, key []byte) bool {
+	for i := range over {
+		if over[i].key == string(key) {
+			return true
+		}
+	}
+	return false
+}
+
+func overHasStr(over []overPath, key string) bool {
+	for i := range over {
+		if over[i].key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// coverFor checks Definition 6: some cut C of G_M between D and R with
+// C ∩ V(γ(B)) ∈ Z_B, where B is the receiver-side component and both γ(B)
+// and Z_B are computed from the claims in M. Minimal cuts C = N(B) per
+// receiver-side candidate B are sufficient (the membership condition is
 // monotone-decreasing in C).
 //
-// The enumeration grows candidates B one node at a time, so both ⊕-folds
-// Z_B and view-node unions V(γ(B)) are computed through semilattice caches:
-// each candidate pays one ⊕ and one union on top of its parent's fold.
-func hasAdversaryCover(gm *graph.Graph, claims map[int]NodeInfo, dealer, receiver int) bool {
+// All-unique candidates share one JoinCache/UnionCache pair for the whole
+// run (see the Receiver field docs for why that is sound); contested combos
+// build fresh caches per call, like the unpacked search did.
+func (r *Receiver) coverFor(gm *graph.Graph, members []int, combo []claimVer, allUnique bool) bool {
+	if !allUnique {
+		return coverFresh(gm, r.dealer, r.id, members, combo)
+	}
+	if r.joints == nil {
+		r.joints = adversary.NewJoinCacheFunc(r.uniqueZ)
+		r.views = nodeset.NewUnionCache(r.uniqueViewNodes)
+	}
+	covered := false
+	gm.ReceiverSideCandidates(r.dealer, r.id, func(b, cut nodeset.Set) bool {
+		zb := r.joints.JointOf(b)
+		if zb.Contains(cut.Intersect(r.views.Of(b))) {
+			covered = true
+			return false
+		}
+		return true
+	})
+	return covered
+}
+
+// uniqueZ is the run-level cover cache's claim lookup: defined exactly for
+// R itself and nodes with a single claim version. Cover candidates B are
+// subsets of V(G_M) ⊆ members, which for all-unique candidates are exactly
+// such nodes.
+func (r *Receiver) uniqueZ(v int) (adversary.Restricted, bool) {
+	if v == r.id {
+		return r.own.Z, true
+	}
+	if vers := r.claims[v]; len(vers) == 1 {
+		return vers[0].info.Z, true
+	}
+	return adversary.Restricted{}, false
+}
+
+func (r *Receiver) uniqueViewNodes(v int) nodeset.Set {
+	if v == r.id {
+		return r.own.View.Nodes()
+	}
+	if vers := r.claims[v]; len(vers) == 1 {
+		return vers[0].info.View.Nodes()
+	}
+	return nodeset.Empty()
+}
+
+// coverFresh is the cache-free cover check, used for contested combos and
+// under DisableMemo. The semilattice caches are per-call: the enumeration
+// grows candidates B one node at a time, so each candidate still pays one
+// ⊕ and one union on top of its parent's fold.
+func coverFresh(gm *graph.Graph, dealer, receiver int, members []int, combo []claimVer) bool {
+	claimAt := func(v int) (claimVer, bool) {
+		for i, id := range members {
+			if id == v {
+				return combo[i], true
+			}
+		}
+		return claimVer{}, false
+	}
 	joints := adversary.NewJoinCacheFunc(func(v int) (adversary.Restricted, bool) {
-		ni, ok := claims[v]
-		return ni.Z, ok
+		cv, ok := claimAt(v)
+		return cv.info.Z, ok
 	})
 	views := nodeset.NewUnionCache(func(v int) nodeset.Set {
-		if ni, ok := claims[v]; ok {
-			return ni.View.Nodes()
+		if cv, ok := claimAt(v); ok {
+			return cv.info.View.Nodes()
 		}
 		return nodeset.Empty()
 	})
@@ -512,6 +818,62 @@ func hasAdversaryCover(gm *graph.Graph, claims map[int]NodeInfo, dealer, receive
 		return true
 	})
 	return covered
+}
+
+// freshEval is the record-free candidate evaluation (DisableMemo, record
+// store at capacity, or uninterned claim versions): G_M is rebuilt, its
+// paths re-streamed, and the cover re-checked, with nothing retained.
+func (r *Receiver) freshEval(members []int, combo []claimVer, pass []*valState) (network.Value, bool) {
+	gm := r.graphOfCombo(members, combo)
+	if !gm.HasNode(r.dealer) || !gm.HasNode(r.id) {
+		return "", false
+	}
+	if r.horizon > 0 {
+		span := gm.BoundedPathSpan(r.dealer, r.id, r.horizon)
+		gm = gm.InducedSubgraph(span)
+		if !gm.HasNode(r.dealer) || !gm.HasNode(r.id) {
+			return "", false
+		}
+	}
+	for _, vs := range pass {
+		full, hasPath := r.streamFull(gm, vs)
+		if !hasPath {
+			return "", false // pathless for every value
+		}
+		if !full {
+			continue
+		}
+		if !coverFresh(gm, r.dealer, r.id, members, combo) {
+			return vs.x, true
+		}
+		break // covered: no value can certify this candidate
+	}
+	return "", false
+}
+
+func (r *Receiver) streamFull(gm *graph.Graph, vs *valState) (full, hasPath bool) {
+	full = true
+	gm.AllPaths(r.dealer, r.id, nodeset.Empty(), func(p graph.Path) bool {
+		hasPath = true
+		if !r.pathReceived(vs, p) {
+			full = false
+			return false
+		}
+		return true
+	})
+	return full && hasPath, hasPath
+}
+
+// insertSortedInt inserts id into sorted ids if absent.
+func insertSortedInt(ids []int, id int) []int {
+	i := sort.SearchInts(ids, id)
+	if i < len(ids) && ids[i] == id {
+		return ids
+	}
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
 }
 
 // forEachSubsetOfSize enumerates size-k subsets of items in a stable order.
@@ -535,28 +897,6 @@ func forEachSubsetOfSize(items []int, k int, fn func(subset []int) bool) {
 				return false
 			}
 		}
-		return true
-	}
-	rec(0)
-}
-
-// forEachClaimCombo enumerates every combination of claim versions for the
-// given members.
-func forEachClaimCombo(members []int, versions map[int][]NodeInfo, fn func(claims map[int]NodeInfo) bool) {
-	claims := make(map[int]NodeInfo, len(members))
-	var rec func(i int) bool
-	rec = func(i int) bool {
-		if i == len(members) {
-			return fn(claims)
-		}
-		id := members[i]
-		for _, ni := range versions[id] {
-			claims[id] = ni
-			if !rec(i + 1) {
-				return false
-			}
-		}
-		delete(claims, id)
 		return true
 	}
 	rec(0)

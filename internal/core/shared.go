@@ -1,0 +1,325 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rmt/internal/graph"
+	"rmt/internal/instance"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+)
+
+// Capacity caps for the per-instance warm stores. All of them only bound
+// memory against adversaries that spray fresh claim versions or trails;
+// overflow never changes decisions, it only degrades to uncached (fresh)
+// evaluation, which the differential tests pin.
+const (
+	// maxInternPaths caps the path intern table (received trails plus
+	// enumerated G_M paths). Paths beyond the cap fall back to per-run
+	// string-keyed overflow lists.
+	maxInternPaths = 1 << 15
+	// maxInternVers caps the claim-version intern table. Candidates naming
+	// uninterned versions are evaluated fresh, uncached.
+	maxInternVers = 1 << 12
+	// maxRelayCache caps each relay's rebuilt-payload cache.
+	maxRelayCache = 1 << 14
+	// maxDealerVals caps the dealer's prebuilt Init payloads (one per
+	// distinct dealer value the instance has been run with).
+	maxDealerVals = 64
+	// maxDenseID bounds the node IDs eligible for bitset-packed bookkeeping;
+	// forged claims or trails naming IDs at or beyond it (or negative ones)
+	// take the unpacked fallback paths so a single hostile message cannot
+	// force a gigantic bitset allocation.
+	maxDenseID = 1 << 16
+)
+
+// pathInterner assigns dense int32 IDs to D–R path keys, so fullness checks
+// compare bitsets instead of probing string maps. It is instance-scoped and
+// append-only: an ID, once assigned, always denotes the same path, which is
+// what lets candidate records carry interned path sets across runs.
+type pathInterner struct {
+	mu    sync.RWMutex
+	ids   map[string]int32
+	keys  []string      // ID → rendered path key
+	nodes []nodeset.Set // ID → node set of the path
+}
+
+// lookup resolves a rendered path key without interning it. The byte-slice
+// key makes hit probes allocation-free.
+func (pi *pathInterner) lookup(k []byte) (int32, bool) {
+	pi.mu.RLock()
+	id, ok := pi.ids[string(k)]
+	pi.mu.RUnlock()
+	return id, ok
+}
+
+// intern assigns an ID to the path with rendered key k, or reports false
+// when the table is at capacity or the path names IDs outside the dense
+// range.
+func (pi *pathInterner) intern(k []byte, p graph.Path) (int32, bool) {
+	ns, ok := pathNodeSet(p)
+	if !ok {
+		return 0, false
+	}
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	if id, ok := pi.ids[string(k)]; ok {
+		return id, true
+	}
+	if len(pi.keys) >= maxInternPaths {
+		return 0, false
+	}
+	if pi.ids == nil {
+		pi.ids = make(map[string]int32)
+	}
+	key := string(k)
+	id := int32(len(pi.keys))
+	pi.ids[key] = id
+	pi.keys = append(pi.keys, key)
+	pi.nodes = append(pi.nodes, ns)
+	return id, true
+}
+
+// snapshot returns stable views of the keys and node-set tables. Existing
+// entries are never rewritten, so reads through a snapshot are safe while
+// other runs keep interning.
+func (pi *pathInterner) snapshot() (keys []string, nodes []nodeset.Set) {
+	pi.mu.RLock()
+	keys, nodes = pi.keys, pi.nodes
+	pi.mu.RUnlock()
+	return keys, nodes
+}
+
+// pathNodeSet returns the node set of p, or false when p names IDs outside
+// the dense range (see maxDenseID).
+func pathNodeSet(p graph.Path) (nodeset.Set, bool) {
+	var s nodeset.Set
+	for _, v := range p {
+		if v < 0 || v >= maxDenseID {
+			return nodeset.Set{}, false
+		}
+	}
+	for _, v := range p {
+		s.MutateAdd(v)
+	}
+	return s, true
+}
+
+// verInterner assigns stable int32 IDs to claim version keys. IDs are
+// instance-scoped, so candidate memo keys built from them mean the same
+// claim content in every run.
+type verInterner struct {
+	mu  sync.RWMutex
+	ids map[string]int32
+}
+
+// intern returns the ID for version key k, assigning one if the table has
+// room; ok=false means the table is at capacity and candidates naming this
+// version must be evaluated uncached.
+func (vi *verInterner) intern(k string) (int32, bool) {
+	vi.mu.RLock()
+	id, ok := vi.ids[k]
+	vi.mu.RUnlock()
+	if ok {
+		return id, true
+	}
+	vi.mu.Lock()
+	defer vi.mu.Unlock()
+	if id, ok := vi.ids[k]; ok {
+		return id, true
+	}
+	if len(vi.ids) >= maxInternVers {
+		return 0, false
+	}
+	if vi.ids == nil {
+		vi.ids = make(map[string]int32)
+	}
+	id = int32(len(vi.ids))
+	vi.ids[k] = id
+	return id, true
+}
+
+// candRec is one memoized candidate message set: the parts of the full-set
+// rule determined by the exact claim versions alone. Fullness — membership
+// of each G_M path in the growing type-1 store — is the only per-call part.
+// Records live on the instance and are shared across runs; the claim-version
+// memo key guarantees any run probing the record evaluated the same G_M.
+type candRec struct {
+	gm       *graph.Graph // decision graph; nil if D or R missing
+	pathSet  nodeset.Set  // interned IDs of all D–R paths of gm
+	hasPath  bool
+	overflow bool         // paths exceeded caps: re-stream enumeration
+	cover    atomic.Int32 // 0 = unknown, 1 = has cover, 2 = no cover
+}
+
+// candStore maps packed claim-version keys to candidate records.
+type candStore struct {
+	mu   sync.RWMutex
+	recs map[string]*candRec
+}
+
+func (cs *candStore) get(k []byte) *candRec {
+	cs.mu.RLock()
+	rec := cs.recs[string(k)]
+	cs.mu.RUnlock()
+	return rec
+}
+
+// put inserts rec under k and returns the record now stored there (an
+// earlier concurrent insert wins, so all runs share one record). It returns
+// nil when the store is at capacity and the key is new.
+func (cs *candStore) put(k []byte, rec *candRec) *candRec {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if old, ok := cs.recs[string(k)]; ok {
+		return old
+	}
+	if len(cs.recs) >= maxMemoEntries {
+		return nil
+	}
+	if cs.recs == nil {
+		cs.recs = make(map[string]*candRec)
+	}
+	cs.recs[string(k)] = rec
+	return rec
+}
+
+func (cs *candStore) len() int {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return len(cs.recs)
+}
+
+// pkaShared is the per-instance warm store for RMT-PKA runs: every quantity
+// that is a pure function of the instance — sealed claims, prebuilt Init
+// payloads, relay processes with their rebuild caches, the receiver's intern
+// tables and candidate records — is built once here and shared by all runs
+// on the instance (including concurrent ones; everything is lock-protected
+// or append-only). Options.DisableMemo bypasses the store entirely, keeping
+// the cold path alive as the differential-testing reference.
+type pkaShared struct {
+	infos []NodeInfo // sealed honest claims, indexed by node ID
+
+	dealerInfoMsg network.Payload // dealer's sealed Init type-2 payload
+	dealerMu      sync.RWMutex
+	dealerVals    map[network.Value]network.Payload // Init type-1 payload per x_D
+
+	relayMu sync.Mutex
+	relays  map[int]map[int]*Relay // horizon → node → shared relay process
+
+	paths pathInterner
+	vers  verInterner
+
+	storeMu sync.Mutex
+	stores  map[int]*candStore // horizon → candidate records
+}
+
+// sharedKeyT keys the pkaShared singleton in instance.Derived.
+type sharedKeyT struct{}
+
+// sharedOf returns the instance's warm store, building it on first use.
+func sharedOf(in *instance.Instance) *pkaShared {
+	return in.Derived(sharedKeyT{}, func() any { return newPKAShared(in) }).(*pkaShared)
+}
+
+func newPKAShared(in *instance.Instance) *pkaShared {
+	sh := &pkaShared{infos: make([]NodeInfo, in.G.MaxID()+1)}
+	in.G.Nodes().ForEach(func(v int) bool {
+		sh.infos[v] = NodeInfo{Node: v, View: in.Gamma.Of(v), Z: in.LocalStructure(v)}.Sealed()
+		return true
+	})
+	sh.dealerInfoMsg = NewInfoMsg(sh.infos[in.Dealer], graph.Path{in.Dealer})
+	return sh
+}
+
+// dealerValueMsg returns the dealer's prebuilt Init type-1 payload for xD.
+func (sh *pkaShared) dealerValueMsg(dealer int, xD network.Value) network.Payload {
+	sh.dealerMu.RLock()
+	p, ok := sh.dealerVals[xD]
+	sh.dealerMu.RUnlock()
+	if ok {
+		return p
+	}
+	sh.dealerMu.Lock()
+	defer sh.dealerMu.Unlock()
+	if p, ok := sh.dealerVals[xD]; ok {
+		return p
+	}
+	p = NewValueMsg(xD, graph.Path{dealer})
+	if sh.dealerVals == nil {
+		sh.dealerVals = make(map[network.Value]network.Payload)
+	}
+	if len(sh.dealerVals) < maxDealerVals {
+		sh.dealerVals[xD] = p
+	}
+	return p
+}
+
+// relay returns the shared relay process for node v under the given
+// horizon. Relays are stateless per round (their rebuild cache is locked),
+// so one process instance serves every run on the instance.
+func (sh *pkaShared) relay(in *instance.Instance, v, horizon int) *Relay {
+	sh.relayMu.Lock()
+	defer sh.relayMu.Unlock()
+	byNode := sh.relays[horizon]
+	if byNode == nil {
+		byNode = make(map[int]*Relay)
+		if sh.relays == nil {
+			sh.relays = make(map[int]map[int]*Relay)
+		}
+		sh.relays[horizon] = byNode
+	}
+	if rel, ok := byNode[v]; ok {
+		return rel
+	}
+	rel := NewRelayAt(v, in.G.Neighbors(v), sh.infos[v])
+	rel.horizon = horizon
+	rel.cache = &relayCache{}
+	byNode[v] = rel
+	return rel
+}
+
+// storeFor returns the candidate-record store for the given horizon. The
+// horizon changes G_M (the decision graph is sliced to the bounded path
+// span), so records are segregated per horizon value.
+func (sh *pkaShared) storeFor(horizon int) *candStore {
+	sh.storeMu.Lock()
+	defer sh.storeMu.Unlock()
+	if cs, ok := sh.stores[horizon]; ok {
+		return cs
+	}
+	if sh.stores == nil {
+		sh.stores = make(map[int]*candStore)
+	}
+	cs := &candStore{}
+	sh.stores[horizon] = cs
+	return cs
+}
+
+// relayCache memoizes a relay's rebuilt payloads, keyed by the incoming
+// payload's key. The rebuilt message is a pure function of (relay, incoming
+// payload) — the trail extension and key surgery are deterministic — so a
+// cache hit replays the exact payload the cold path would construct.
+type relayCache struct {
+	mu sync.RWMutex
+	m  map[string]network.Payload
+}
+
+func (rc *relayCache) get(k string) network.Payload {
+	rc.mu.RLock()
+	p := rc.m[k]
+	rc.mu.RUnlock()
+	return p
+}
+
+func (rc *relayCache) put(k string, p network.Payload) {
+	rc.mu.Lock()
+	if rc.m == nil {
+		rc.m = make(map[string]network.Payload)
+	}
+	if len(rc.m) < maxRelayCache {
+		rc.m[k] = p
+	}
+	rc.mu.Unlock()
+}

@@ -91,6 +91,39 @@ func DisjointPaths(paths, hops int) (g *graph.Graph, dealer, receiver int) {
 	return g, dealer, receiver
 }
 
+// DisjointPathsVar generalizes DisjointPaths to chains of varying lengths:
+// one internally disjoint relay chain per entry of lens, with lens[p]
+// intermediate nodes on chain p, between dealer 0 and receiver
+// (sum(lens) + 1). Lopsided length mixes (e.g. two 1-hop chains plus one
+// very long one) scale the node count without changing which chains carry
+// the decision, which is what the large-instance benchmarks need.
+func DisjointPathsVar(lens []int) (g *graph.Graph, dealer, receiver int) {
+	if len(lens) == 0 {
+		panic("gen: DisjointPathsVar needs at least one chain")
+	}
+	total := 0
+	for _, h := range lens {
+		if h < 1 {
+			panic("gen: DisjointPathsVar needs every chain length ≥ 1")
+		}
+		total += h
+	}
+	g = graph.New()
+	dealer = 0
+	receiver = total + 1
+	id := 1
+	for _, hops := range lens {
+		prev := dealer
+		for h := 0; h < hops; h++ {
+			g.AddEdge(prev, id)
+			prev = id
+			id++
+		}
+		g.AddEdge(prev, receiver)
+	}
+	return g, dealer, receiver
+}
+
 // Layered returns a layered network: dealer 0, `layers` layers of `width`
 // relays with complete bipartite connections between consecutive layers,
 // and the receiver behind the last layer.

@@ -91,7 +91,7 @@ func (g *Graph) AllPaths(src, dst int, avoid nodeset.Set, fn func(p Path) bool) 
 		return
 	}
 	cur := Path{src}
-	onPath := nodeset.Of(src)
+	onPath := nodeset.Of(src) // exclusively owned: mutated in place below
 	var rec func(v int) bool
 	rec = func(v int) bool {
 		if v == dst {
@@ -103,9 +103,9 @@ func (g *Graph) AllPaths(src, dst int, avoid nodeset.Set, fn func(p Path) bool) 
 				return true
 			}
 			cur = append(cur, w)
-			onPath = onPath.Add(w)
+			onPath.MutateAdd(w)
 			cont = rec(w)
-			onPath = onPath.Remove(w)
+			onPath.MutateRemove(w)
 			cur = cur[:len(cur)-1]
 			return cont
 		})
@@ -126,7 +126,7 @@ func (g *Graph) AllPathsBounded(src, dst int, avoid nodeset.Set, maxNodes int, f
 		return
 	}
 	cur := Path{src}
-	onPath := nodeset.Of(src)
+	onPath := nodeset.Of(src) // exclusively owned: mutated in place below
 	var rec func(v int) bool
 	rec = func(v int) bool {
 		if v == dst {
@@ -141,9 +141,9 @@ func (g *Graph) AllPathsBounded(src, dst int, avoid nodeset.Set, maxNodes int, f
 				return true
 			}
 			cur = append(cur, w)
-			onPath = onPath.Add(w)
+			onPath.MutateAdd(w)
 			cont = rec(w)
-			onPath = onPath.Remove(w)
+			onPath.MutateRemove(w)
 			cur = cur[:len(cur)-1]
 			return cont
 		})

@@ -7,6 +7,7 @@ package instance
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"rmt/internal/adversary"
 	"rmt/internal/graph"
@@ -27,6 +28,9 @@ type Instance struct {
 	joints    *adversary.JoinCache     // memoized Z_B = ⊕_{v∈B} Z_v
 	viewNodes *nodeset.UnionCache      // memoized V(γ(B)) = ∪_{v∈B} V(γ(v))
 	canon     *canonical               // memoized canonical identity (see canonical.go)
+
+	derivedMu sync.Mutex
+	derived   map[any]any // protocol-attached derived caches (see Derived)
 }
 
 // Validation errors returned by New.
@@ -116,6 +120,27 @@ func (in *Instance) JointStructure(b nodeset.Set) adversary.Restricted {
 // the joint view graph, memoized the same way as JointStructure.
 func (in *Instance) JointViewNodes(b nodeset.Set) nodeset.Set {
 	return in.viewNodes.Of(b)
+}
+
+// Derived returns the instance-scoped singleton registered under key,
+// building it on first use. It lets protocol packages attach derived warm
+// state — sealed claims, prebuilt payloads, decision-subroutine memos — to
+// the instance they are derived from, without this package importing them.
+// build runs at most once per key; the result is retained for the lifetime
+// of the instance and must therefore be safe for concurrent use, like the
+// built-in caches.
+func (in *Instance) Derived(key any, build func() any) any {
+	in.derivedMu.Lock()
+	defer in.derivedMu.Unlock()
+	if v, ok := in.derived[key]; ok {
+		return v
+	}
+	if in.derived == nil {
+		in.derived = make(map[any]any)
+	}
+	v := build()
+	in.derived[key] = v
+	return v
 }
 
 // Admissible reports whether t is a corruption set the adversary may choose.

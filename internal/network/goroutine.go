@@ -12,14 +12,15 @@ import "sync"
 func runGoroutine(cfg Config) (*Result, error) {
 	st := newRunState(cfg)
 
+	// Per-player buffers and outboxes live for the whole run (recs are
+	// truncated, not reallocated, each round); each goroutine writes only
+	// its own buffer, so the concurrent phases stay data-race free.
+	bufs, outboxes := st.setupBufs()
+
 	// Round 0: Init, concurrently.
-	bufs := make(map[int]*sendBuf, len(st.ids))
 	var wg sync.WaitGroup
-	for _, v := range st.ids {
-		buf := &sendBuf{from: v}
-		bufs[v] = buf
-		out := st.newOutbox(v, buf)
-		proc := cfg.Processes[v]
+	for i := range st.ids {
+		proc, out := st.procs[i], outboxes[i]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -27,16 +28,15 @@ func runGoroutine(cfg Config) (*Result, error) {
 		}()
 	}
 	wg.Wait()
-	for _, v := range st.ids {
-		st.merge(0, bufs[v])
+	for i := range st.ids {
+		st.merge(0, &bufs[i])
 	}
 	st.sealRound(0)
 	st.refreshDecisions() // record Init-time decisions as round 0
 
 	haltedNow := make(map[int]bool, len(st.ids))
 	for round := 1; round <= st.maxRounds; round++ {
-		pending := st.takePending(round)
-		live := st.liveDeliveries(pending)
+		live := st.takePending(round)
 		if live == 0 && st.futureLive() == 0 && st.allHalted() {
 			break
 		}
@@ -46,17 +46,15 @@ func runGoroutine(cfg Config) (*Result, error) {
 		for k := range haltedNow {
 			delete(haltedNow, k)
 		}
-		for _, v := range st.ids {
-			if st.halted[v] {
+		for i, v := range st.ids {
+			if st.isHalted(v) {
 				continue
 			}
-			inbox := pending[v]
-			sortInbox(inbox)
+			inbox := st.inboxOf(v)
 			st.noteInbox(v, round, inbox)
-			buf := &sendBuf{from: v}
-			bufs[v] = buf
-			out := st.newOutbox(v, buf)
-			proc := cfg.Processes[v]
+			bufs[i].recs = bufs[i].recs[:0]
+			out := outboxes[i]
+			proc := st.procs[i]
 			node := v
 			wg.Add(1)
 			go func() {
@@ -69,17 +67,20 @@ func runGoroutine(cfg Config) (*Result, error) {
 			}()
 		}
 		wg.Wait()
-		for _, v := range st.ids {
-			if st.halted[v] {
+		for i, v := range st.ids {
+			if st.isHalted(v) {
 				continue
 			}
-			st.merge(round, bufs[v])
+			st.merge(round, &bufs[i])
 			if haltedNow[v] {
 				st.halt(round, v)
 			}
 		}
 		sent := st.sealRound(round)
 		st.rounds = round
+		// The round is fully processed: inboxes handed out this round are
+		// dead, so their buffer can back future deliveries.
+		st.recycle()
 		if st.stopEarly() {
 			break
 		}
@@ -87,5 +88,7 @@ func runGoroutine(cfg Config) (*Result, error) {
 			break
 		}
 	}
-	return st.result(), nil
+	res := st.result()
+	st.release()
+	return res, nil
 }

@@ -5,28 +5,25 @@ package network
 func runLockstep(cfg Config) (*Result, error) {
 	st := newRunState(cfg)
 
-	// Round 0: Init.
-	for _, v := range st.ids {
-		st.collectSends(v, 0, func(out Outbox) {
-			cfg.Processes[v].Init(out)
-		})
+	// Per-player buffers and outboxes live for the whole run, Init
+	// included (recs are truncated, not reallocated, each round): the
+	// round loop is the simulator's hot path and must not allocate per
+	// player per round.
+	bufs, outboxes := st.setupBufs()
+	haltedNow := make([]bool, len(st.ids))
+
+	// Round 0: Init. Each player's sends merge immediately, as one batch
+	// per player in ID order — the same event order the round loop emits.
+	for i := range st.ids {
+		bufs[i].recs = bufs[i].recs[:0]
+		st.procs[i].Init(outboxes[i])
+		st.merge(0, &bufs[i])
 	}
 	st.sealRound(0)
 	st.refreshDecisions() // record Init-time decisions as round 0
 
-	// Per-player buffers and outboxes live for the whole run (recs are
-	// truncated, not reallocated, each round): the round loop is the
-	// simulator's hot path and must not allocate per player per round.
-	bufs := make([]sendBuf, len(st.ids))
-	haltedNow := make([]bool, len(st.ids))
-	outboxes := make([]Outbox, len(st.ids))
-	for i, v := range st.ids {
-		bufs[i].from = v
-		outboxes[i] = st.newOutbox(v, &bufs[i])
-	}
 	for round := 1; round <= st.maxRounds; round++ {
-		pending := st.takePending(round)
-		live := st.liveDeliveries(pending)
+		live := st.takePending(round)
 		if live == 0 && st.futureLive() == 0 && st.allHalted() {
 			break
 		}
@@ -36,17 +33,16 @@ func runLockstep(cfg Config) (*Result, error) {
 		// sends. Merging afterwards in ID order mirrors the goroutine engine
 		// exactly, so the two emit identical tracer event sequences.
 		for i, v := range st.ids {
-			if st.halted[v] {
+			if st.isHalted(v) {
 				continue
 			}
-			inbox := pending[v]
-			sortInbox(inbox)
+			inbox := st.inboxOf(v)
 			st.noteInbox(v, round, inbox)
 			bufs[i].recs = bufs[i].recs[:0]
-			haltedNow[i] = !cfg.Processes[v].Round(round, inbox, outboxes[i])
+			haltedNow[i] = !st.procs[i].Round(round, inbox, outboxes[i])
 		}
 		for i, v := range st.ids {
-			if st.halted[v] {
+			if st.isHalted(v) {
 				continue
 			}
 			st.merge(round, &bufs[i])
@@ -56,6 +52,9 @@ func runLockstep(cfg Config) (*Result, error) {
 		}
 		sent := st.sealRound(round)
 		st.rounds = round
+		// The round is fully processed: inboxes handed out this round are
+		// dead, so their buffer can back future deliveries.
+		st.recycle()
 		if st.stopEarly() {
 			break
 		}
@@ -65,5 +64,7 @@ func runLockstep(cfg Config) (*Result, error) {
 			break
 		}
 	}
-	return st.result(), nil
+	res := st.result()
+	st.release()
+	return res, nil
 }

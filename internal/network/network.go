@@ -28,7 +28,6 @@ package network
 
 import (
 	"fmt"
-	"sort"
 
 	"rmt/internal/graph"
 )
@@ -74,8 +73,11 @@ type Process interface {
 	// Init is called before round 1. Sends are delivered in round 1.
 	Init(out Outbox)
 	// Round is called with the messages delivered this round, sorted by
-	// sender ID (ties broken by payload key). Returning false halts the
-	// player: it neither sends nor receives afterwards.
+	// sender ID (ties broken by payload key). The inbox slice is only
+	// valid for the duration of the call — engines reuse its backing
+	// storage across rounds — so implementations must retain copies of
+	// messages, never the slice itself. Returning false halts the player:
+	// it neither sends nor receives afterwards.
 	Round(round int, inbox []Message, out Outbox) bool
 	// Decision returns the player's decided value, if it has decided.
 	// Decisions are write-once: once decided, a process must keep
@@ -253,39 +255,4 @@ func Run(cfg Config) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("network: unknown engine %v", cfg.Engine)
 	}
-}
-
-// sortInbox orders an inbox by sender, then payload key, for determinism.
-// Payload keys are rendered once per message up front: the comparator runs
-// O(n log n) times and Key() may be expensive (e.g. type-2 claims render
-// their whole view graph).
-func sortInbox(msgs []Message) {
-	if len(msgs) < 2 {
-		return
-	}
-	keys := make([]string, len(msgs))
-	for i, m := range msgs {
-		keys[i] = m.Payload.Key()
-	}
-	sort.Stable(&inboxSorter{msgs: msgs, keys: keys})
-}
-
-// inboxSorter sorts an inbox and its precomputed payload keys in tandem.
-type inboxSorter struct {
-	msgs []Message
-	keys []string
-}
-
-func (s *inboxSorter) Len() int { return len(s.msgs) }
-
-func (s *inboxSorter) Less(i, j int) bool {
-	if s.msgs[i].From != s.msgs[j].From {
-		return s.msgs[i].From < s.msgs[j].From
-	}
-	return s.keys[i] < s.keys[j]
-}
-
-func (s *inboxSorter) Swap(i, j int) {
-	s.msgs[i], s.msgs[j] = s.msgs[j], s.msgs[i]
-	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }

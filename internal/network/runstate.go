@@ -1,6 +1,9 @@
 package network
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // runState holds the bookkeeping shared by both engines. One engine round
 // proceeds as: takePending (messages sent last round) → per-player Round
@@ -18,34 +21,110 @@ import "sort"
 // the extra-tracer slice: metrics accumulation sits on the engines' hot
 // path, and the usual case (no transcript, no user tracers) must stay as
 // cheap as the inline counters it replaced.
+// statePool recycles runState values — buffers, outbox closures and
+// bookkeeping included — across runs. A protocol run is short (tens of
+// microseconds) and experiment drivers execute thousands of them over the
+// same or similar topologies, so per-run engine scaffolding dominates the
+// allocation profile unless it is amortized here. Everything that escapes
+// into the caller's Result (decision maps, metrics slices, transcripts) is
+// allocated fresh per run and detached before the state is pooled.
+var statePool sync.Pool
+
 type runState struct {
-	cfg       Config
-	ids       []int
-	maxRounds int
-	halted    map[int]bool
-	future    map[int]map[int][]Message // delivery round → recipient → messages
-	inFlight  int                       // undelivered scheduled messages
-	sched     Scheduler                 // nil = synchronous delivery at sent+1
-	extra     []Tracer                  // user-installed observers (Config.Tracers)
-	mt        MetricsTracer
-	tt        *TranscriptTracer // nil unless Config.RecordTranscript
-	rounds    int
-	roundSend int
-	decisions map[int]Value
-	decidedAt map[int]int
+	cfg        Config
+	ids        []int
+	bufs       []sendBuf // per-player send buffers, reused across runs
+	outs       []Outbox  // outboxes bound to bufs (see setupBufs)
+	maxRounds  int
+	procs      []Process         // procs[i] = cfg.Processes[ids[i]]
+	haltedB    []bool            // dense-ID fast path: haltedB[v], nil when IDs are sparse
+	halted     map[int]bool      // sparse fallback, nil when haltedB is in use
+	haltedN    int               // number of halted players
+	decidedB   []bool            // dense-ID fast path mirroring the decisions map
+	future     map[int][]Message // delivery round → messages, in merge order
+	freeFlat   [][]Message       // consumed round buffers, ready for reuse
+	pending    map[int][]Message // sparse-ID inbox grouping (views into one round buffer)
+	pendingArr [][]Message       // dense-ID inbox grouping, indexed by player ID
+	counts     []int             // dense scatter offsets, reused every round
+	pendFlat   []Message         // round buffer currently backing the inboxes
+	keybuf     []string          // rendered payload keys, reused by sortDeliveries
+	sorter     deliverySorter    // reusable sort.Stable adapter for large rounds
+	inFlight   int               // undelivered scheduled messages
+	sched      Scheduler         // nil = synchronous delivery at sent+1
+	extra      []Tracer          // user-installed observers (Config.Tracers)
+	mt         MetricsTracer
+	tt         *TranscriptTracer // nil unless Config.RecordTranscript
+	rounds     int
+	roundSend  int
+	decisions  map[int]Value
+	decidedAt  map[int]int
 }
 
 func newRunState(cfg Config) *runState {
-	st := &runState{
-		cfg:       cfg,
-		ids:       cfg.Graph.SortedIDs(),
-		maxRounds: cfg.maxRounds(),
-		halted:    make(map[int]bool),
-		future:    make(map[int]map[int][]Message),
-		decisions: make(map[int]Value),
-		decidedAt: make(map[int]int),
-		extra:     cfg.Tracers,
+	st, _ := statePool.Get().(*runState)
+	if st == nil {
+		st = &runState{
+			future:   make(map[int][]Message, 2),
+			pending:  make(map[int][]Message, 8),
+			freeFlat: make([][]Message, 0, 2),
+		}
 	}
+	st.cfg = cfg
+	ids := st.ids[:0]
+	cfg.Graph.Nodes().ForEach(func(v int) bool {
+		ids = append(ids, v)
+		return true
+	})
+	sort.Ints(ids)
+	st.ids = ids
+	n := len(ids)
+	st.maxRounds = cfg.maxRounds()
+	st.extra = cfg.Tracers
+	st.sched = nil
+	st.tt = nil
+	st.haltedN = 0
+	st.inFlight = 0
+	st.rounds, st.roundSend = 0, 0
+	// The decision maps escape into the caller's Result, so they are the
+	// one piece of bookkeeping allocated fresh every run.
+	st.decisions = make(map[int]Value, n)
+	st.decidedAt = make(map[int]int, n)
+	if cap(st.procs) >= n {
+		st.procs = st.procs[:n]
+	} else {
+		st.procs = make([]Process, n)
+	}
+	for i, v := range ids {
+		st.procs[i] = cfg.Processes[v]
+	}
+	// The usual case — node IDs 0..n-1 (ids is sorted and distinct, so
+	// checking the endpoints suffices) — gets array-indexed halted/decided
+	// bookkeeping and inbox grouping; arbitrary IDs fall back to maps.
+	if n > 0 && ids[0] == 0 && ids[n-1] == n-1 {
+		st.halted = nil
+		if cap(st.haltedB) >= n {
+			st.haltedB = st.haltedB[:n]
+			clear(st.haltedB)
+			st.decidedB = st.decidedB[:n]
+			clear(st.decidedB)
+		} else {
+			st.haltedB = make([]bool, n)
+			st.decidedB = make([]bool, n)
+		}
+		if cap(st.pendingArr) >= n {
+			st.pendingArr = st.pendingArr[:n]
+			clear(st.pendingArr)
+		} else {
+			st.pendingArr = make([][]Message, n)
+		}
+	} else {
+		st.haltedB, st.decidedB, st.pendingArr = nil, nil, nil
+		st.halted = make(map[int]bool, n)
+	}
+	// MessagesPerRound escapes through Result.Metrics; the other counters
+	// are plain values, so resetting the tracer wholesale is enough.
+	st.mt = MetricsTracer{}
+	st.mt.m.MessagesPerRound = make([]int, 0, st.maxRounds+1)
 	if cfg.engine() == Async {
 		st.sched = cfg.Scheduler
 		if st.sched == nil {
@@ -86,12 +165,65 @@ func (st *runState) newOutbox(v int, buf *sendBuf) Outbox {
 	}
 }
 
+// setupBufs builds the per-player send buffers and outboxes both engines
+// use. Buffers live for the whole run (recs are truncated, not reallocated,
+// each round) and their initial capacity is carved from one shared slab
+// sized by the average degree; a player that outgrows its slice reallocates
+// privately, so concurrent appends under the goroutine engine stay safe.
+//
+// A pooled runState that is re-run over a topology with the same player
+// IDs reuses the previous buffers and closures outright: the closures read
+// the graph through st.cfg, which newRunState has already repointed.
+func (st *runState) setupBufs() ([]sendBuf, []Outbox) {
+	n := len(st.ids)
+	if len(st.bufs) == n {
+		same := true
+		for i, v := range st.ids {
+			if st.bufs[i].from != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			for i := range st.bufs {
+				st.bufs[i].recs = st.bufs[i].recs[:0]
+			}
+			return st.bufs, st.outs
+		}
+	}
+	per := 8
+	if n > 0 {
+		if d := 4 * st.cfg.Graph.NumEdges() / n; d > per {
+			per = d
+		}
+	}
+	slab := make([]sendRec, n*per)
+	bufs := make([]sendBuf, n)
+	outs := make([]Outbox, n)
+	for i, v := range st.ids {
+		bufs[i].from = v
+		bufs[i].recs = slab[i*per : i*per : (i+1)*per]
+		outs[i] = st.newOutbox(v, &bufs[i])
+	}
+	st.bufs, st.outs = bufs, outs
+	return bufs, outs
+}
+
 // merge folds one player's send buffer into the delivery calendar, emitting
 // Send/Drop (and, for scheduler-delayed messages, Delay) events. Must be
 // called serially, in player-ID order, with the round in which the sends
 // happened — that order is also the order in which the scheduler sees the
 // messages, which is what makes a seeded schedule reproducible.
+//
+// Each calendar slot is one flat slice in merge order; recipient grouping
+// and inbox ordering happen once, at delivery time (takePending), so the
+// per-message path here is a bounds check and an append. Synchronous
+// delivery lands every message of the batch in round+1, so the slot lookup
+// is hoisted out of the loop; only a scheduler that scatters delivery
+// rounds pays for repeated lookups.
 func (st *runState) merge(round int, buf *sendBuf) {
+	lastAt := -1
+	var flat []Message
 	for _, r := range buf.recs {
 		if !r.ok {
 			st.mt.Drop(round, r.msg)
@@ -105,12 +237,20 @@ func (st *runState) merge(round int, buf *sendBuf) {
 		}
 		st.roundSend++
 		at := st.deliveryRound(round, r.msg)
-		byTo := st.future[at]
-		if byTo == nil {
-			byTo = make(map[int][]Message)
-			st.future[at] = byTo
+		if at != lastAt {
+			if lastAt >= 0 {
+				st.future[lastAt] = flat
+			}
+			flat = st.future[at]
+			if flat == nil {
+				if n := len(st.freeFlat); n > 0 {
+					flat = st.freeFlat[n-1]
+					st.freeFlat = st.freeFlat[:n-1]
+				}
+			}
+			lastAt = at
 		}
-		byTo[r.msg.To] = append(byTo[r.msg.To], r.msg)
+		flat = append(flat, r.msg)
 		st.inFlight++
 		st.mt.Send(round, r.msg)
 		if st.tt != nil {
@@ -128,6 +268,9 @@ func (st *runState) merge(round int, buf *sendBuf) {
 				tr.Delay(round, at, r.msg)
 			}
 		}
+	}
+	if lastAt >= 0 {
+		st.future[lastAt] = flat
 	}
 }
 
@@ -153,36 +296,258 @@ func (st *runState) deliveryRound(round int, m Message) int {
 	return at
 }
 
-// collectSends runs fn with a fresh outbox for v and merges immediately.
-// Lockstep-only convenience (merging inline is not goroutine-safe).
-func (st *runState) collectSends(v, round int, fn func(out Outbox)) {
-	buf := &sendBuf{from: v}
-	fn(st.newOutbox(v, buf))
-	st.merge(round, buf)
+// takePending removes the messages due for delivery in round and groups
+// them into per-recipient inboxes sorted into the order the Process
+// contract promises (sender ID, ties broken by payload key); engines fetch
+// them with inboxOf. Messages addressed to players that have already halted
+// can never be received; they are removed and recorded as losses so the
+// send/delivery accounting reconciles. It returns the number of deliverable
+// messages — all addressed to live players, so this is also the round's
+// live-delivery count. The inboxes are views into one reusable round
+// buffer; call recycle once the round is fully processed.
+func (st *runState) takePending(round int) int {
+	flat := st.future[round]
+	delete(st.future, round)
+	st.inFlight -= len(flat)
+	flat = st.loseHalted(round, flat)
+	if len(flat) == 0 {
+		if flat != nil {
+			st.freeFlat = append(st.freeFlat, flat[:0])
+		}
+		return 0
+	}
+	if st.pendingArr != nil {
+		st.scatterDense(flat)
+		return len(st.pendFlat)
+	}
+	st.sortDeliveries(flat)
+	st.pendFlat = flat
+	for start := 0; start < len(flat); {
+		end := start + 1
+		for end < len(flat) && flat[end].To == flat[start].To {
+			end++
+		}
+		st.pending[flat[start].To] = flat[start:end:end]
+		start = end
+	}
+	return len(flat)
 }
 
-// takePending removes and returns the messages due for delivery in round.
-// Messages addressed to players that have already halted can never be
-// received; they are removed and recorded as losses so the send/delivery
-// accounting reconciles.
-func (st *runState) takePending(round int) map[int][]Message {
-	pending := st.future[round]
-	delete(st.future, round)
-	var halted []int
-	for to, msgs := range pending {
-		st.inFlight -= len(msgs)
-		if st.halted[to] {
-			halted = append(halted, to)
+// scatterDense distributes one round's messages into per-recipient inboxes
+// in O(messages): merge order is already sender-ascending (buffers merge in
+// player-ID order), so a stable counting scatter by recipient yields each
+// inbox sorted by sender, and only runs of messages from a single sender
+// still need their payload keys compared. The result is exactly the
+// (recipient, sender, key) order the sparse sorting path produces.
+func (st *runState) scatterDense(flat []Message) {
+	n := len(st.ids)
+	if cap(st.counts) >= n {
+		st.counts = st.counts[:n]
+		clear(st.counts)
+	} else {
+		st.counts = make([]int, n)
+	}
+	counts := st.counts
+	for _, m := range flat {
+		counts[m.To]++
+	}
+	var dist []Message
+	if k := len(st.freeFlat); k > 0 {
+		dist = st.freeFlat[k-1]
+		st.freeFlat = st.freeFlat[:k-1]
+	}
+	if cap(dist) < len(flat) {
+		dist = make([]Message, len(flat))
+	} else {
+		dist = dist[:len(flat)]
+	}
+	off := 0
+	for to, c := range counts {
+		counts[to] = off
+		off += c
+	}
+	for _, m := range flat {
+		dist[counts[m.To]] = m
+		counts[m.To]++
+	}
+	start := 0
+	for to := 0; to < n; to++ {
+		end := counts[to] // now the end offset of to's group
+		if end > start {
+			inbox := dist[start:end:end]
+			sortSameSender(inbox)
+			st.pendingArr[to] = inbox
+			start = end
 		}
 	}
-	sort.Ints(halted) // deterministic Lose event order
-	for _, to := range halted {
-		for _, m := range pending[to] {
-			st.lose(round, m)
+	st.freeFlat = append(st.freeFlat, flat[:0])
+	st.pendFlat = dist
+}
+
+// sortSameSender orders runs of messages from one sender by payload key;
+// the scatter already grouped the inbox by sender. Runs are almost always
+// short (one sender's payloads to one recipient in one round), so a stable
+// insertion pass suffices. Key() is cached on sealed payloads.
+func sortSameSender(inbox []Message) {
+	for i := 1; i < len(inbox); i++ {
+		if inbox[i].From != inbox[i-1].From {
+			continue
 		}
-		delete(pending, to)
+		m := inbox[i]
+		k := m.Payload.Key()
+		j := i
+		for j > 0 && inbox[j-1].From == m.From && inbox[j-1].Payload.Key() > k {
+			inbox[j] = inbox[j-1]
+			j--
+		}
+		inbox[j] = m
 	}
-	return pending
+}
+
+// inboxOf returns player v's inbox for the round prepared by takePending.
+func (st *runState) inboxOf(v int) []Message {
+	if st.pendingArr != nil {
+		return st.pendingArr[v]
+	}
+	return st.pending[v]
+}
+
+// isHalted reports whether player v has halted.
+func (st *runState) isHalted(v int) bool {
+	if st.haltedB != nil {
+		return st.haltedB[v]
+	}
+	return st.halted[v]
+}
+
+// loseHalted strips messages addressed to halted players from one round
+// buffer, recording each as a loss: halted recipients in ascending ID
+// order, each recipient's messages in merge order — the event order the
+// per-recipient calendar this replaced emitted. The surviving messages are
+// compacted in place.
+func (st *runState) loseHalted(round int, flat []Message) []Message {
+	if st.haltedN == 0 {
+		return flat
+	}
+	lost := 0
+	for _, m := range flat {
+		if st.isHalted(m.To) {
+			lost++
+		}
+	}
+	if lost == 0 {
+		return flat
+	}
+	tos := make([]int, 0, 8)
+	for _, m := range flat {
+		if st.isHalted(m.To) && !containsInt(tos, m.To) {
+			tos = append(tos, m.To)
+		}
+	}
+	sort.Ints(tos)
+	for _, to := range tos {
+		for _, m := range flat {
+			if m.To == to {
+				st.lose(round, m)
+			}
+		}
+	}
+	kept := flat[:0]
+	for _, m := range flat {
+		if !st.isHalted(m.To) {
+			kept = append(kept, m)
+		}
+	}
+	return kept
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// recycle returns the round buffer behind the current inboxes (from
+// takePending) to the free list and clears the grouping for the next
+// round. Callers must only recycle once the round is fully processed:
+// inbox slices alias the buffer, and the Process contract lets players
+// read them only during their Round call.
+func (st *runState) recycle() {
+	if st.pendFlat == nil {
+		return
+	}
+	if st.pendingArr != nil {
+		clear(st.pendingArr)
+	} else {
+		clear(st.pending)
+	}
+	st.freeFlat = append(st.freeFlat, st.pendFlat[:0])
+	st.pendFlat = nil
+}
+
+// sortDeliveries orders one round's deliveries by recipient, then sender,
+// then payload key — recipient grouping plus the deterministic inbox order
+// the Process contract promises. Keys are rendered once per message up
+// front: the comparator runs many times and Key() may be expensive for
+// unsealed payloads (e.g. forged type-2 claims render their whole view
+// graph). Small rounds use a stable insertion sort; large rounds go through
+// sort.Stable via a reusable adapter, so neither path allocates per round
+// in steady state.
+func (st *runState) sortDeliveries(msgs []Message) {
+	if len(msgs) < 2 {
+		return
+	}
+	keys := st.keybuf[:0]
+	for _, m := range msgs {
+		keys = append(keys, m.Payload.Key())
+	}
+	st.keybuf = keys
+	if len(msgs) <= 48 {
+		for i := 1; i < len(msgs); i++ {
+			m, k := msgs[i], keys[i]
+			j := i
+			for j > 0 && deliveryAfter(msgs[j-1], keys[j-1], m, k) {
+				msgs[j], keys[j] = msgs[j-1], keys[j-1]
+				j--
+			}
+			msgs[j], keys[j] = m, k
+		}
+		return
+	}
+	st.sorter.msgs, st.sorter.keys = msgs, keys
+	sort.Stable(&st.sorter)
+	st.sorter.msgs, st.sorter.keys = nil, nil
+}
+
+// deliveryAfter reports whether message a (key ak) sorts after b (key bk)
+// in delivery order: recipient, then sender, then payload key.
+func deliveryAfter(a Message, ak string, b Message, bk string) bool {
+	if a.To != b.To {
+		return a.To > b.To
+	}
+	if a.From != b.From {
+		return a.From > b.From
+	}
+	return ak > bk
+}
+
+// deliverySorter adapts one round's messages and their pre-rendered keys to
+// sort.Stable. It lives on runState so large rounds sort without allocating.
+type deliverySorter struct {
+	msgs []Message
+	keys []string
+}
+
+func (s *deliverySorter) Len() int { return len(s.msgs) }
+func (s *deliverySorter) Less(i, j int) bool {
+	return deliveryAfter(s.msgs[j], s.keys[j], s.msgs[i], s.keys[i])
+}
+func (s *deliverySorter) Swap(i, j int) {
+	s.msgs[i], s.msgs[j] = s.msgs[j], s.msgs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // lose reports one accepted send that will never reach a live player.
@@ -205,7 +570,6 @@ func (st *runState) lose(round int, m Message) {
 // reconcile.
 func (st *runState) drainCalendar() {
 	if st.inFlight == 0 {
-		st.future = nil
 		return
 	}
 	rounds := make([]int, 0, len(st.future))
@@ -214,21 +578,42 @@ func (st *runState) drainCalendar() {
 	}
 	sort.Ints(rounds)
 	for _, at := range rounds {
-		byTo := st.future[at]
-		tos := make([]int, 0, len(byTo))
-		for to := range byTo {
-			tos = append(tos, to)
+		flat := st.future[at]
+		var tos []int
+		for _, m := range flat {
+			if !containsInt(tos, m.To) {
+				tos = append(tos, m.To)
+			}
 		}
 		sort.Ints(tos)
 		for _, to := range tos {
-			for _, m := range byTo[to] {
-				st.lose(at, m)
-				st.inFlight--
+			for _, m := range flat {
+				if m.To == to {
+					st.lose(at, m)
+					st.inFlight--
+				}
 			}
 		}
+		st.freeFlat = append(st.freeFlat, flat[:0])
 	}
-	st.future = nil
+	clear(st.future)
 	st.inFlight = 0
+}
+
+// release detaches everything that escaped into the Result, drops the
+// references that would pin the caller's processes and graph, and returns
+// the state — round buffers, outbox closures and all — to the pool.
+func (st *runState) release() {
+	st.recycle()
+	clear(st.procs)
+	st.cfg = Config{}
+	st.extra = nil
+	st.sched = nil
+	st.tt = nil
+	st.halted = nil
+	st.decisions, st.decidedAt = nil, nil
+	st.mt = MetricsTracer{}
+	statePool.Put(st)
 }
 
 // futureLive counts the scheduled-but-undelivered messages addressed to
@@ -239,10 +624,10 @@ func (st *runState) futureLive() int {
 		return 0
 	}
 	live := 0
-	for _, byTo := range st.future {
-		for to, msgs := range byTo {
-			if !st.halted[to] {
-				live += len(msgs)
+	for _, flat := range st.future {
+		for _, m := range flat {
+			if !st.isHalted(m.To) {
+				live++
 			}
 		}
 	}
@@ -277,7 +662,12 @@ func (st *runState) noteInbox(v, round int, inbox []Message) {
 
 // halt marks player v as halted in the given round.
 func (st *runState) halt(round, v int) {
-	st.halted[v] = true
+	if st.haltedB != nil {
+		st.haltedB[v] = true
+	} else {
+		st.halted[v] = true
+	}
+	st.haltedN++
 	st.mt.Halt(round, v)
 	if st.tt != nil {
 		st.tt.Halt(round, v)
@@ -288,19 +678,7 @@ func (st *runState) halt(round, v int) {
 }
 
 func (st *runState) allHalted() bool {
-	return len(st.halted) == len(st.ids)
-}
-
-// liveDeliveries counts pending messages addressed to players that have not
-// halted. Mail to halted players can never influence the run.
-func (st *runState) liveDeliveries(pending map[int][]Message) int {
-	live := 0
-	for to, msgs := range pending {
-		if !st.halted[to] {
-			live += len(msgs)
-		}
-	}
-	return live
+	return st.haltedN == len(st.ids)
 }
 
 // stopEarly refreshes the decision map and evaluates the config predicate.
@@ -313,11 +691,18 @@ func (st *runState) stopEarly() bool {
 }
 
 func (st *runState) refreshDecisions() {
-	for _, v := range st.ids {
-		if _, have := st.decisions[v]; have {
+	for i, v := range st.ids {
+		if st.decidedB != nil {
+			if st.decidedB[i] {
+				continue
+			}
+		} else if _, have := st.decisions[v]; have {
 			continue
 		}
-		if val, ok := st.cfg.Processes[v].Decision(); ok {
+		if val, ok := st.procs[i].Decision(); ok {
+			if st.decidedB != nil {
+				st.decidedB[i] = true
+			}
 			st.decisions[v] = val
 			st.decidedAt[v] = st.rounds
 			st.mt.Decide(st.rounds, v, val)

@@ -174,11 +174,28 @@ func (s *Set) MutateAdd(id int) {
 	}
 	w := id / wordBits
 	if w >= len(s.words) {
-		words := make([]uint64, w+1)
-		copy(words, s.words)
-		s.words = words
+		if w < cap(s.words) {
+			// Reuse spare capacity (scratch sets cleared with MutateClear or
+			// shrunk by trim leave stale words behind the length).
+			old := len(s.words)
+			s.words = s.words[:w+1]
+			for i := old; i <= w; i++ {
+				s.words[i] = 0
+			}
+		} else {
+			words := make([]uint64, w+1)
+			copy(words, s.words)
+			s.words = words
+		}
 	}
 	s.words[w] |= 1 << uint(id%wordBits)
+}
+
+// MutateClear empties s in place, retaining the backing capacity so the set
+// can be refilled with MutateAdd/MutateUnion without reallocating. For
+// exclusively owned scratch sets only, like every Mutate method.
+func (s *Set) MutateClear() {
+	s.words = s.words[:0]
 }
 
 // MutateRemove sets s to s \ {id} in place.
@@ -381,6 +398,18 @@ func (s Set) Key() string {
 		}
 	}
 	return b.String()
+}
+
+// AppendKey appends the Key bytes of s to dst and returns the extended
+// slice. It is the allocation-free form of Key for callers assembling
+// compound map keys in a reused buffer.
+func (s Set) AppendKey(dst []byte) []byte {
+	for _, w := range s.words {
+		for i := 0; i < 8; i++ {
+			dst = append(dst, byte(w>>(8*i)))
+		}
+	}
+	return dst
 }
 
 // String renders s as "{a, b, c}" with members in increasing order.

@@ -16,6 +16,7 @@ type UnionCache struct {
 	f       func(v int) Set
 	memo    map[string]Set
 	perNode map[int]Set
+	kbuf    []byte // scratch for allocation-free memo probes (guarded by mu)
 }
 
 // NewUnionCache returns a cache over the per-node function f.
@@ -35,8 +36,10 @@ func (c *UnionCache) of(b Set) Set {
 	if b.IsEmpty() {
 		return Set{}
 	}
-	k := b.Key()
-	if s, ok := c.memo[k]; ok {
+	// Allocation-free probe via a reused key buffer (see JoinCache.jointOf
+	// for the idiom); the key string is only materialized on insert.
+	c.kbuf = b.AppendKey(c.kbuf[:0])
+	if s, ok := c.memo[string(c.kbuf)]; ok {
 		return s
 	}
 	v := b.Max()
@@ -46,6 +49,6 @@ func (c *UnionCache) of(b Set) Set {
 		c.perNode[v] = fv
 	}
 	u := c.of(b.Remove(v)).Union(fv)
-	c.memo[k] = u
+	c.memo[b.Key()] = u
 	return u
 }
