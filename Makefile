@@ -3,18 +3,19 @@
 
 GO ?= go
 
-.PHONY: tier1 test race bench benchjson benchguard benchsnap allocguard vet attacksweep schedfuzz fuzzsmoke cover loadtest daemonsmoke
+.PHONY: tier1 test race bench benchjson benchguard benchsnap allocguard vet attacksweep schedfuzz fuzzsmoke cover loadtest daemonsmoke fleetsmoke
 
 # tier1 is the gate every PR must keep green: build + full test suite +
 # vet + race detector on the packages that spawn goroutines or share state
 # across them (the lockstep/goroutine network engines, the parallel
 # experiment harness, the protocol registry, the Byzantine strategy
-# library, and the attack sweep that fans trials out across workers).
+# library, the attack sweep that fans trials out across workers, the wire
+# engine's coordinator/child plumbing, and the sharded query daemon).
 tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/network/ ./internal/eval/ ./internal/protocol/ ./internal/byzantine/ ./internal/attack/ ./internal/server/
+	$(GO) test -race ./internal/network/ ./internal/eval/ ./internal/protocol/ ./internal/byzantine/ ./internal/attack/ ./internal/server/ ./internal/wire/
 
 test:
 	$(GO) test ./...
@@ -79,6 +80,14 @@ loadtest:
 # CI-sized daemon smoke: the same assertions at a few dozen requests.
 daemonsmoke:
 	$(GO) run ./cmd/rmtload -smoke
+
+# CI-sized fleet smoke: 3 in-process rmtd shards behind the consistent-hash
+# router. Drives the workload through the router (0 drops, all 2xx), then
+# hits every shard directly and requires the non-owners to serve the owning
+# peer's cached bytes — cross-shard peer cache hits > 0, all replies
+# byte-identical to the router's.
+fleetsmoke:
+	$(GO) run ./cmd/rmtload -fleet -smoke
 
 # Short coverage-guided fuzz smoke on the instance-spec parser.
 fuzzsmoke:

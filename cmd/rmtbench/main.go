@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,14 +27,27 @@ import (
 	"strings"
 
 	"rmt/internal/eval"
+	"rmt/internal/network"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rmtbench:", err)
+		// Usage errors (bad flags, unknown registry names) exit 2;
+		// failures of a valid invocation exit 1 — the rmtsim contract.
+		if errors.As(err, &usageError{}) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
+
+// usageError marks invalid invocations (unknown engine/schedule names),
+// distinguishing them from failures of a valid run.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rmtbench", flag.ContinueOnError)
@@ -44,11 +58,25 @@ func run(args []string, out io.Writer) error {
 		workers    = fs.Int("workers", 0, "worker-pool size for randomized trials (0 = one per CPU)")
 		benchjson  = fs.String("benchjson", "", "run the protocol micro-benchmarks and write JSON results to this path instead of tables")
 		compare    = fs.String("compare", "", "run the micro-benchmarks and fail when any regresses > 25% vs this baseline BENCH.json")
+		engine     = fs.String("engine", "lockstep", "execution engine for the experiment runs: "+strings.Join(network.EngineNames(), "|"))
+		sched      = fs.String("sched", "sync", "async schedule: "+strings.Join(network.SchedulerNames(), "|"))
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU pprof profile of the run to this path")
 		memprofile = fs.String("memprofile", "", "write an end-of-run heap pprof profile to this path")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
+	}
+	eng, err := network.EngineByName(*engine)
+	if err != nil {
+		return usageError{err}
+	}
+	var scheduler network.Scheduler
+	if eng == network.Async {
+		if scheduler, err = network.NewScheduler(*sched, *seed); err != nil {
+			return usageError{err}
+		}
+	} else if *sched != "sync" {
+		return usageError{fmt.Errorf("-sched %q requires -engine async", *sched)}
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -81,7 +109,7 @@ func run(args []string, out io.Writer) error {
 	if *compare != "" {
 		return compareBenchJSON(*compare, out)
 	}
-	p := eval.Params{Seed: *seed, Trials: *trials, Workers: *workers}
+	p := eval.Params{Seed: *seed, Trials: *trials, Workers: *workers, Engine: eng, Scheduler: scheduler}
 
 	wanted := map[string]bool{}
 	if *only != "" {

@@ -15,6 +15,14 @@
 //	GET  /healthz          liveness
 //	GET  /metrics          Prometheus text format
 //
+// Fleet mode shards the cache horizontally (see internal/server): a router
+// forwards each query to the shard owning its canonical instance key, and
+// shards consult the owning peer's cache before computing:
+//
+//	rmtd -addr :8081 -self http://h:8081 -peers http://h:8081,http://h:8082
+//	rmtd -addr :8082 -self http://h:8082 -peers http://h:8081,http://h:8082
+//	rmtd -addr :8080 -router -shards http://h:8081,http://h:8082
+//
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
 // requests finish (bounded by -drain), then the worker pool is released.
 package main
@@ -29,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,6 +66,10 @@ func run(ctx context.Context, args []string, logw io.Writer, onReady func(addr s
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request compute deadline")
 		drain   = fs.Duration("drain", 10*time.Second, "graceful shutdown bound")
 		quiet   = fs.Bool("quiet", false, "suppress the request log")
+		router  = fs.Bool("router", false, "run as the fleet router instead of a query shard")
+		shards  = fs.String("shards", "", "router mode: comma-separated shard base URLs")
+		peers   = fs.String("peers", "", "shard mode: comma-separated base URLs of every fleet shard (incl. this one)")
+		self    = fs.String("self", "", "shard mode: this shard's own base URL (must appear in -peers)")
 	)
 	fs.SetOutput(logw)
 	if err := fs.Parse(args); err != nil {
@@ -66,20 +79,50 @@ func run(ctx context.Context, args []string, logw io.Writer, onReady func(addr s
 	if *quiet {
 		reqLog = io.Discard
 	}
-	srv := server.New(server.Options{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cache,
-		RequestTimeout: *timeout,
-		LogWriter:      reqLog,
-	})
+
+	var handler http.Handler
+	var closeFn func()
+	role := "rmtd"
+	switch {
+	case *router:
+		if *peers != "" || *self != "" {
+			return fmt.Errorf("-peers/-self are shard flags; a -router forwards, it does not serve queries")
+		}
+		rt, err := server.NewRouter(server.RouterOptions{
+			Shards:    splitURLs(*shards),
+			LogWriter: reqLog,
+		})
+		if err != nil {
+			return err
+		}
+		handler, closeFn, role = rt, func() {}, "rmtd-router"
+	default:
+		if *shards != "" {
+			return fmt.Errorf("-shards requires -router")
+		}
+		peerList := splitURLs(*peers)
+		if len(peerList) > 0 && !contains(peerList, *self) {
+			return fmt.Errorf("-self %q must be one of -peers %v", *self, peerList)
+		}
+		srv := server.New(server.Options{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			CacheSize:      *cache,
+			RequestTimeout: *timeout,
+			LogWriter:      reqLog,
+			Peers:          peerList,
+			Self:           *self,
+		})
+		handler, closeFn = srv, srv.Close
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		closeFn()
 		return err
 	}
-	httpServer := &http.Server{Handler: srv}
-	fmt.Fprintf(logw, "rmtd: listening on %s\n", ln.Addr())
+	httpServer := &http.Server{Handler: handler}
+	fmt.Fprintf(logw, "%s: listening on %s\n", role, ln.Addr())
 	if onReady != nil {
 		onReady(ln.Addr().String())
 	}
@@ -89,19 +132,39 @@ func run(ctx context.Context, args []string, logw io.Writer, onReady func(addr s
 
 	select {
 	case err := <-serveErr:
-		srv.Close()
+		closeFn()
 		return err
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintf(logw, "rmtd: draining (up to %v)\n", *drain)
+	fmt.Fprintf(logw, "%s: draining (up to %v)\n", role, *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpServer.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		srv.Close()
+		closeFn()
 		return err
 	}
-	srv.Close()
-	fmt.Fprintf(logw, "rmtd: stopped\n")
+	closeFn()
+	fmt.Fprintf(logw, "%s: stopped\n", role)
 	return nil
+}
+
+// splitURLs parses a comma-separated URL list, trimming blanks.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }

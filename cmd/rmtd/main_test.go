@@ -78,3 +78,67 @@ func TestBadFlagsError(t *testing.T) {
 		t.Fatal("missing flag value should error")
 	}
 }
+
+func TestFleetFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-router"},                       // router without shards
+		{"-router", "-peers", "http://a"}, // router with shard flags
+		{"-shards", "http://a"},           // shards without -router
+		{"-peers", "http://a,http://b", "-self", "http://c"}, // self not in peers
+	}
+	for i, args := range cases {
+		if err := run(context.Background(), args, io.Discard, nil); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}
+
+// TestRouterModeBoots starts one shard and one router as the rmtd binary
+// would, and drives a query through the router to its shard.
+func TestRouterModeBoots(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	boot := func(args []string) (string, chan error) {
+		ready := make(chan string, 1)
+		done := make(chan error, 1)
+		go func() {
+			done <- run(ctx, append(args, "-addr", "127.0.0.1:0", "-quiet"), io.Discard,
+				func(addr string) { ready <- addr })
+		}()
+		select {
+		case addr := <-ready:
+			return "http://" + addr, done
+		case err := <-done:
+			t.Fatalf("daemon exited before ready: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		return "", nil
+	}
+
+	shardURL, shardDone := boot(nil)
+	routerURL, routerDone := boot([]string{"-router", "-shards", shardURL})
+
+	body := `{"graph":"0-1 1-2","structure":"1","dealer":0,"receiver":2}`
+	resp, err := http.Post(routerURL+"/v1/feasibility", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("via router: %d", resp.StatusCode)
+	}
+
+	cancel()
+	for _, done := range []chan error{shardDone, routerDone} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("drain returned %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("daemon did not drain")
+		}
+	}
+}

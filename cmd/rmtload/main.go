@@ -13,11 +13,18 @@
 // in-process server so `make loadtest` needs no orchestration. -smoke runs
 // the same checks at CI scale (one uncached plus one cached request).
 //
+// -fleet boots three in-process shards behind a consistent-hash router
+// (the rmtd fleet topology) and adds the fleet acceptance bar: the router
+// spreads distinct instances across shards, direct hits on non-owning
+// shards are served out of the owning peer's cache (cross-shard peer hits
+// > 0), and every shard serves bytes identical to the router's.
+//
 // Usage:
 //
 //	rmtload                        # in-process, 200 in flight, 4000 requests
 //	rmtload -addr localhost:8080   # against a running daemon
 //	rmtload -smoke                 # CI-sized smoke with the same assertions
+//	rmtload -fleet -smoke          # CI-sized fleet smoke (3 shards + router)
 package main
 
 import (
@@ -52,6 +59,7 @@ func run(args []string, out io.Writer) error {
 		concurrency = fs.Int("concurrency", 200, "concurrent in-flight requests")
 		requests    = fs.Int("requests", 4000, "total requests to issue")
 		smoke       = fs.Bool("smoke", false, "CI-sized smoke run (overrides -concurrency/-requests)")
+		fleet       = fs.Bool("fleet", false, "boot a 3-shard fleet behind a router and add the cross-shard cache checks")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -62,6 +70,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *concurrency < 1 || *requests < *concurrency {
 		return fmt.Errorf("need requests ≥ concurrency ≥ 1 (got %d, %d)", *requests, *concurrency)
+	}
+	if *fleet {
+		if *addr != "" {
+			return fmt.Errorf("-fleet boots its own in-process shards; it cannot target -addr")
+		}
+		return runFleet(out, *concurrency, *requests)
 	}
 
 	base := "http://" + *addr
@@ -74,7 +88,7 @@ func run(args []string, out io.Writer) error {
 		base = inproc
 	}
 
-	if err := driveLoad(out, base, *concurrency, *requests); err != nil {
+	if err := driveLoad(out, base, []string{base}, *concurrency, *requests); err != nil {
 		return err
 	}
 	return checkByteIdentity(out)
@@ -120,7 +134,11 @@ func workload() []workItem {
 	return items
 }
 
-func driveLoad(out io.Writer, base string, concurrency, requests int) error {
+// driveLoad issues the workload against base and enforces the acceptance
+// bar. metricsBases lists the servers whose caches absorb the load — just
+// base for a standalone daemon, every shard for a fleet (the router itself
+// holds no cache); the hit-ratio bar applies to their aggregate counters.
+func driveLoad(out io.Writer, base string, metricsBases []string, concurrency, requests int) error {
 	client := &http.Client{
 		Transport: &http.Transport{MaxIdleConns: concurrency, MaxIdleConnsPerHost: concurrency},
 		Timeout:   60 * time.Second,
@@ -187,13 +205,24 @@ func driveLoad(out io.Writer, base string, concurrency, requests int) error {
 		codes = append(codes, c)
 	}
 	sort.Ints(codes)
+	non2xx := 0
+	var non2xxDetail []string
 	for _, c := range codes {
 		fmt.Fprintf(out, "status %d: %d\n", c, statuses[c])
+		if c < 200 || c > 299 {
+			non2xx += statuses[c]
+			non2xxDetail = append(non2xxDetail, fmt.Sprintf("%d:%d", c, statuses[c]))
+		}
+	}
+	if non2xx > 0 {
+		fmt.Fprintf(out, "non-2xx: %d (%s)\n", non2xx, strings.Join(non2xxDetail, " "))
+	} else {
+		fmt.Fprintln(out, "non-2xx: 0")
 	}
 	fmt.Fprintf(out, "latency p50=%v p95=%v p99=%v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
 
-	hitRatio, err := scrapeHitRatio(client, base)
+	hitRatio, err := scrapeHitRatio(client, metricsBases)
 	if err != nil {
 		return err
 	}
@@ -217,23 +246,53 @@ func driveLoad(out io.Writer, base string, concurrency, requests int) error {
 	return nil
 }
 
-var hitRatioRe = regexp.MustCompile(`(?m)^rmtd_cache_hit_ratio ([0-9.]+)$`)
+var (
+	cacheHitsRe   = regexp.MustCompile(`(?m)^rmtd_cache_hits_total ([0-9]+)$`)
+	cacheMissesRe = regexp.MustCompile(`(?m)^rmtd_cache_misses_total ([0-9]+)$`)
+	peerHitsRe    = regexp.MustCompile(`(?m)^rmtd_peer_cache_hits_total ([0-9]+)$`)
+)
 
-func scrapeHitRatio(client *http.Client, base string) (float64, error) {
+// scrapeHitRatio aggregates hits/(hits+misses) over every server in bases —
+// a fleet's cache effectiveness is a property of the shards jointly, not of
+// any one LRU.
+func scrapeHitRatio(client *http.Client, bases []string) (float64, error) {
+	var hits, misses int64
+	for _, base := range bases {
+		text, err := scrapeMetrics(client, base)
+		if err != nil {
+			return 0, err
+		}
+		h, err := scrapeCounter(text, cacheHitsRe, "rmtd_cache_hits_total")
+		if err != nil {
+			return 0, err
+		}
+		m, err := scrapeCounter(text, cacheMissesRe, "rmtd_cache_misses_total")
+		if err != nil {
+			return 0, err
+		}
+		hits, misses = hits+h, misses+m
+	}
+	if hits+misses == 0 {
+		return 0, nil
+	}
+	return float64(hits) / float64(hits+misses), nil
+}
+
+func scrapeMetrics(client *http.Client, base string) ([]byte, error) {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
-		return 0, fmt.Errorf("scrape metrics: %w", err)
+		return nil, fmt.Errorf("scrape metrics: %w", err)
 	}
 	defer resp.Body.Close()
-	text, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return 0, err
-	}
-	m := hitRatioRe.FindSubmatch(text)
+	return io.ReadAll(resp.Body)
+}
+
+func scrapeCounter(text []byte, re *regexp.Regexp, name string) (int64, error) {
+	m := re.FindSubmatch(text)
 	if m == nil {
-		return 0, fmt.Errorf("rmtd_cache_hit_ratio missing from /metrics")
+		return 0, fmt.Errorf("%s missing from /metrics", name)
 	}
-	return strconv.ParseFloat(string(m[1]), 64)
+	return strconv.ParseInt(string(m[1]), 10, 64)
 }
 
 // checkByteIdentity serves one deterministic multi-trial run request from
@@ -258,6 +317,135 @@ func checkByteIdentity(out io.Writer) error {
 	}
 	fmt.Fprintln(out, "byte-identity across worker counts PASS")
 	return nil
+}
+
+// ------------------------------------------------------------------- fleet
+
+// runFleet is the -fleet check: boot 3 shards + router, drive the workload
+// through the router, then hit every shard directly with every item. The
+// direct hits land on shards that do not own the instance; those must serve
+// the owning peer's cached bytes (cross-shard peer hits > 0) and every
+// reply must be byte-identical to the router's.
+func runFleet(out io.Writer, concurrency, requests int) error {
+	stop, routerBase, shardBases, err := bootFleet(3, concurrency)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	fmt.Fprintf(out, "fleet: %d shards behind router %s\n", len(shardBases), routerBase)
+
+	if err := driveLoad(out, routerBase, shardBases, concurrency, requests); err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	items := workload()
+	// The router's replies are the fleet's canonical bytes: each comes from
+	// the instance's owning shard, cache-hot after the load phase.
+	want := make([][]byte, len(items))
+	for i, item := range items {
+		status, body, err := postOnce(client, routerBase, item)
+		if err != nil {
+			return fmt.Errorf("router reference %s: %w", item.path, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("router reference %s: status %d: %s", item.path, status, body)
+		}
+		want[i] = body
+	}
+	for _, base := range shardBases {
+		for i, item := range items {
+			status, body, err := postOnce(client, base, item)
+			if err != nil {
+				return fmt.Errorf("direct %s %s: %w", base, item.path, err)
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("direct %s %s: status %d: %s", base, item.path, status, body)
+			}
+			if !bytes.Equal(body, want[i]) {
+				return fmt.Errorf("shard %s serves different bytes than the router for %s:\n%s\nvs\n%s",
+					base, item.path, body, want[i])
+			}
+		}
+	}
+	fmt.Fprintln(out, "fleet byte-identity across shards PASS")
+
+	var peerHits int64
+	for _, base := range shardBases {
+		text, err := scrapeMetrics(client, base)
+		if err != nil {
+			return err
+		}
+		h, err := scrapeCounter(text, peerHitsRe, "rmtd_peer_cache_hits_total")
+		if err != nil {
+			return err
+		}
+		peerHits += h
+	}
+	fmt.Fprintf(out, "cross-shard peer cache hits: %d\n", peerHits)
+	if peerHits == 0 {
+		return fmt.Errorf("no cross-shard cache reuse: every shard recomputed its misses")
+	}
+	fmt.Fprintln(out, "fleet check PASS")
+	return nil
+}
+
+// bootFleet starts n quiet in-process shards — each configured with the
+// full peer list, as `rmtd -peers ... -self ...` would be — plus a router
+// over them, all on ephemeral ports.
+func bootFleet(n, concurrency int) (stop func(), routerBase string, shardBases []string, err error) {
+	var stops []func()
+	stopAll := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	listeners := make([]net.Listener, n)
+	for i := range listeners {
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			stopAll()
+			return nil, "", nil, lerr
+		}
+		stops = append(stops, func() { ln.Close() })
+		listeners[i] = ln
+		shardBases = append(shardBases, "http://"+ln.Addr().String())
+	}
+	for i, ln := range listeners {
+		srv := server.New(server.Options{
+			QueueDepth: 2 * concurrency,
+			LogWriter:  io.Discard,
+			Peers:      shardBases,
+			Self:       shardBases[i],
+		})
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		stops = append(stops, func() { hs.Close(); srv.Close() })
+	}
+	rt, err := server.NewRouter(server.RouterOptions{Shards: shardBases, LogWriter: io.Discard})
+	if err != nil {
+		stopAll()
+		return nil, "", nil, err
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		stopAll()
+		return nil, "", nil, err
+	}
+	rhs := &http.Server{Handler: rt}
+	go rhs.Serve(rln)
+	stops = append(stops, func() { rhs.Close() })
+	return stopAll, "http://" + rln.Addr().String(), shardBases, nil
+}
+
+func postOnce(client *http.Client, base string, item workItem) (int, []byte, error) {
+	resp, err := client.Post(base+item.path, "application/json", strings.NewReader(item.body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, b, err
 }
 
 type localRecorder struct {

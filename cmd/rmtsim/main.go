@@ -20,9 +20,15 @@ import (
 
 	"rmt"
 	"rmt/internal/cliutil"
+	"rmt/internal/wire" // registers the real-socket "wire" engine
 )
 
 func main() {
+	// A wire-engine coordinator re-execs this binary once per player; such
+	// children divert into the node main loop before any flag parsing.
+	if wire.IsNode() {
+		os.Exit(wire.NodeMain())
+	}
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rmtsim:", err)
 		// Usage errors (bad flags, bad instance, unknown names) exit 2;
@@ -54,15 +60,19 @@ func run(args []string, out io.Writer) error {
 		value     = fs.String("value", "1", "dealer value x_D")
 		corrupt   = fs.String("corrupt", "", "corrupted nodes, e.g. \"2,3\" (must be admissible)")
 		attack    = fs.String("attack", "silent", "attack strategy: "+strings.Join(rmt.AttackStrategies(), "|"))
-		engine    = fs.String("engine", "lockstep", "lockstep|goroutine|async")
+		engine    = fs.String("engine", "lockstep", "engine name: "+strings.Join(rmt.Engines(), "|"))
 		sched     = fs.String("sched", "sync", "async schedule: "+strings.Join(rmt.SchedulerNames(), "|"))
 		seed      = fs.Int64("seed", 1, "schedule seed (async engine)")
+		node      = fs.Bool("node", false, "internal: wire-engine node child (set by the coordinator)")
 		perRound  = fs.Bool("rounds", false, "print per-round message counts")
 		trace     = fs.Bool("trace", false, "print every delivered message, round by round")
 		jsonl     = fs.String("jsonl", "", "stream run events as JSON lines to this file (\"-\" = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *node {
+		return fmt.Errorf("-node is internal: it marks a child process spawned by the wire engine and needs the coordinator's environment")
 	}
 	var spec cliutil.InstanceSpec
 	if *file != "" {
@@ -126,6 +136,16 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opts := rmt.RunOptions{Engine: eng, Scheduler: scheduler, RecordTranscript: *trace}
+	// The blueprint mirrors the flags as pure data; in-process engines
+	// ignore it, the wire engine rebuilds the run from it in each child.
+	opts.Blueprint = &rmt.Blueprint{
+		Instance: spec.Format(),
+		Protocol: *protocol,
+		Value:    *value,
+		Corrupt:  t.Members(),
+		Attack:   *attack,
+		Forged:   "forged-by-" + *attack,
+	}
 	var jt *rmt.JSONLTracer
 	if *jsonl != "" {
 		w := out
@@ -159,9 +179,9 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	engineDesc := eng.String()
+	engineDesc := eng.Name()
 	if scheduler != nil {
-		engineDesc = fmt.Sprintf("%s sched=%s seed=%d", eng, scheduler.Name(), *seed)
+		engineDesc = fmt.Sprintf("%s sched=%s seed=%d", eng.Name(), scheduler.Name(), *seed)
 	}
 	fmt.Fprintf(out, "protocol=%s engine=%s corrupt=%v attack=%s\n", *protocol, engineDesc, t, *attack)
 	if got, ok := res.DecisionOf(*receiver); ok {

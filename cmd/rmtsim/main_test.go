@@ -2,11 +2,23 @@ package main
 
 import (
 	"os"
+	"regexp"
 	"strings"
 	"testing"
 
 	"rmt"
+	"rmt/internal/wire"
 )
+
+// TestMain mirrors main(): wire-engine coordinators re-exec this test binary
+// as node children, which must divert into the node loop before the testing
+// framework parses flags.
+func TestMain(m *testing.M) {
+	if wire.IsNode() {
+		os.Exit(wire.NodeMain())
+	}
+	os.Exit(m.Run())
+}
 
 const tripleGraph = "0-1 0-2 0-3 1-4 2-4 3-4"
 
@@ -203,6 +215,40 @@ func TestRunAsyncSeededJSONLIsReproducible(t *testing.T) {
 	}
 	if !strings.Contains(a.String(), `"engine":"async"`) {
 		t.Fatalf("jsonl missing async run header:\n%.300s", a.String())
+	}
+}
+
+// TestRunWireGoldenAgreement is the CLI-level acceptance check for the wire
+// engine: for every registry protocol, -engine wire (real TCP, one OS
+// process per player) must emit the same JSON event stream as -engine
+// lockstep, up to the engine name in the run header.
+func TestRunWireGoldenAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	engineField := regexp.MustCompile(`"engine":"[a-z]+"`)
+	for _, proto := range rmt.Protocols() {
+		t.Run(proto, func(t *testing.T) {
+			outputs := map[string]string{}
+			for _, eng := range []string{"lockstep", "wire"} {
+				var sb strings.Builder
+				err := run([]string{
+					"-graph", tripleGraph, "-structure", "1;2;3",
+					"-receiver", "4", "-protocol", proto, "-value", "v",
+					"-knowledge", "full", "-corrupt", "2",
+					"-engine", eng, "-jsonl", "-",
+				}, &sb)
+				if err != nil {
+					t.Fatalf("%s: %v", eng, err)
+				}
+				normalized := engineField.ReplaceAllString(sb.String(), `"engine":"*"`)
+				outputs[eng] = strings.ReplaceAll(normalized, "engine="+eng, "engine=*")
+			}
+			if outputs["lockstep"] != outputs["wire"] {
+				t.Errorf("wire run diverges from lockstep:\nlockstep:\n%s\nwire:\n%s",
+					outputs["lockstep"], outputs["wire"])
+			}
+		})
 	}
 }
 

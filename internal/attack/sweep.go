@@ -413,7 +413,7 @@ func runTrial(cfg Config, trial int, rng *rand.Rand) trialResult {
 					tr.violations = append(tr.violations, Violation{
 						Trial: trial, Instance: smp.desc,
 						Protocol: protoName, Strategy: stratName,
-						Engine: engine.String(), Corrupt: members(smp.corrupt),
+						Engine: engine.Name(), Corrupt: members(smp.corrupt),
 						Node: v.node, Got: v.got,
 					})
 				}
@@ -424,7 +424,7 @@ func runTrial(cfg Config, trial int, rng *rand.Rand) trialResult {
 					})
 				}
 				tr.records = append(tr.records, record(trial, smp.desc, protoName, stratName,
-					engine.String(), smp.corrupt, true, in, res, len(viols) == 0))
+					engine.Name(), smp.corrupt, true, in, res, len(viols) == 0))
 			}
 			if d := disagreement(cfg.engines(), runs); d != "" {
 				tr.mismatches = append(tr.mismatches, Mismatch{
@@ -497,7 +497,7 @@ func runTrial(cfg Config, trial int, rng *rand.Rand) trialResult {
 					tr.ctrlViol++
 				}
 				tr.records = append(tr.records, record(trial, smp.desc, protoName, stratName,
-					network.Lockstep.String(), smp.control, false, in, res, !unsafe))
+					network.Lockstep.Name(), smp.control, false, in, res, !unsafe))
 			}
 		}
 	}

@@ -117,7 +117,7 @@ func Resilient(in *Instance) (bool, error) {
 	resilient := true
 	var runErr error
 	in.Z.Members(func(t nodeset.Set) bool {
-		res, err := Run(in, "1", protocol.Silence(t), 0)
+		res, err := Run(in, "1", protocol.Silence(t), nil)
 		if err != nil {
 			runErr = err
 			return false

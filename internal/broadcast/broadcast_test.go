@@ -43,7 +43,7 @@ func TestValidation(t *testing.T) {
 
 func TestHonestBroadcastLine(t *testing.T) {
 	in := mustInstance(t, "0-1 1-2 2-3", adversary.Trivial(), 0)
-	res, err := Run(in, "m", nil, 0)
+	res, err := Run(in, "m", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestBroadcastSafetyUnderLies(t *testing.T) {
 		adversary.FromSlices([]int{1}, []int{2}, []int{3}), 0)
 	for _, c := range []int{1, 2, 3} {
 		lie := &zcpa.WrongValue{Neighbors: in.G.Neighbors(c), Value: "forged"}
-		res, err := Run(in, "real", map[int]network.Process{c: lie}, 0)
+		res, err := Run(in, "real", map[int]network.Process{c: lie}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -34,19 +34,23 @@ func (*Silent) Round(int, []network.Message, network.Outbox) bool { return true 
 // Decision implements network.Process.
 func (*Silent) Decision() (network.Value, bool) { return "", false }
 
-// noisePayload is junk traffic sent by the Spammer.
-type noisePayload struct {
-	from  int
-	round int
-	seq   int
+// NoisePayload is junk traffic sent by the Spammer. Its fields are exported
+// so engines that marshal payloads across process boundaries (the wire
+// engine's codec) can re-encode it; the canonical Key derives entirely from
+// them, so a decoded copy is indistinguishable from the original.
+type NoisePayload struct {
+	From  int
+	Round int
+	Seq   int
 }
 
 // BitSize implements network.Payload. It is derived from the canonical
 // encoding so the metrics stream charges the spammer for exactly the bits
 // it puts on the wire, whatever the field widths happen to be.
-func (p noisePayload) BitSize() int { return 8 * len(p.Key()) }
+func (p NoisePayload) BitSize() int { return 8 * len(p.Key()) }
 
-func (p noisePayload) Key() string { return fmt.Sprintf("noise(%d,%d,%d)", p.from, p.round, p.seq) }
+// Key implements network.Payload.
+func (p NoisePayload) Key() string { return fmt.Sprintf("noise(%d,%d,%d)", p.From, p.Round, p.Seq) }
 
 // Spammer floods its neighbors with junk payloads every round, exercising
 // protocol robustness to erroneous messages (the paper's "messages of
@@ -73,7 +77,7 @@ func (s *Spammer) burst(round int, out network.Outbox) {
 	}
 	s.Neighbors.ForEach(func(u int) bool {
 		for i := 0; i < per; i++ {
-			out(u, noisePayload{from: s.ID, round: round, seq: i})
+			out(u, NoisePayload{From: s.ID, Round: round, Seq: i})
 		}
 		return true
 	})

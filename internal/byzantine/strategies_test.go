@@ -269,9 +269,9 @@ func TestReplayerBoundedOnRing(t *testing.T) {
 func TestSpammerBitAccounting(t *testing.T) {
 	// The payload's declared size must track its canonical encoding, not a
 	// hard-coded constant: different field widths encode to different sizes.
-	small := noisePayload{from: 1, round: 0, seq: 0}
-	big := noisePayload{from: 123456, round: 7890, seq: 42}
-	for _, p := range []noisePayload{small, big} {
+	small := NoisePayload{From: 1, Round: 0, Seq: 0}
+	big := NoisePayload{From: 123456, Round: 7890, Seq: 42}
+	for _, p := range []NoisePayload{small, big} {
 		if got, want := p.BitSize(), 8*len(p.Key()); got != want {
 			t.Fatalf("BitSize(%s) = %d, want %d", p.Key(), got, want)
 		}

@@ -25,7 +25,7 @@ func mustGraph(t *testing.T, edges string) *graph.Graph {
 
 func TestHonestDiscoveryRecoversGraph(t *testing.T) {
 	g := mustGraph(t, "0-1 1-2 2-3 3-0 1-3")
-	res, err := Run(g, adversary.Trivial(), view.AdHoc(g), 0, nil, 0)
+	res, err := Run(g, adversary.Trivial(), view.AdHoc(g), 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestHonestDiscoveryRecoversGraph(t *testing.T) {
 
 func TestDiscoveryOnDisconnectedPart(t *testing.T) {
 	g := mustGraph(t, "0-1 2-3")
-	res, err := Run(g, adversary.Trivial(), view.AdHoc(g), 0, nil, 0)
+	res, err := Run(g, adversary.Trivial(), view.AdHoc(g), 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestSilentCorruptionHidesOnlyItself(t *testing.T) {
 	// unconfirmed, but are present in the honest claims (Claimed).
 	g := gen.Ring(5)
 	res, err := Run(g, adversary.FromSlices([]int{2}), view.AdHoc(g), 0,
-		byzantine.SilentProcesses(nodeset.Of(2)), 0)
+		byzantine.SilentProcesses(nodeset.Of(2)), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestForgedEdgeBetweenHonestNodesRejected(t *testing.T) {
 	z := adversary.FromSlices([]int{1})
 	gamma := view.AdHoc(g)
 	corrupt := map[int]network.Process{1: fakeEdgeForger(g, gamma, z, 1, 2, 4)}
-	res, err := Run(g, z, gamma, 0, corrupt, 0)
+	res, err := Run(g, z, gamma, 0, corrupt, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestForgedEdgeAdjacentToForgerSurvivesOnlyWithCounterpart(t *testing.T) {
 	z := adversary.FromSlices([]int{1})
 	gamma := view.AdHoc(g)
 	corrupt := map[int]network.Process{1: fakeEdgeForger(g, gamma, z, 1, 1, 3)}
-	res, err := Run(g, z, gamma, 0, corrupt, 0)
+	res, err := Run(g, z, gamma, 0, corrupt, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestConflictingClaimsAreContested(t *testing.T) {
 	g := gen.Ring(4)
 	z := adversary.FromSlices([]int{2})
 	gamma := view.AdHoc(g)
-	res, err := Run(g, z, gamma, 0, map[int]network.Process{2: splitClaimer(g, gamma, z, 2)}, 0)
+	res, err := Run(g, z, gamma, 0, map[int]network.Process{2: splitClaimer(g, gamma, z, 2)}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestJointContainsTruth(t *testing.T) {
 			continue // keep it connected for simplicity
 		}
 		z := adversary.Random(r, g.Nodes().Remove(0), 2, 0.35)
-		res, err := Run(g, z, view.AdHoc(g), 0, nil, 0)
+		res, err := Run(g, z, view.AdHoc(g), 0, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -196,7 +196,7 @@ func TestDiscoveryCompletenessRandom(t *testing.T) {
 		g := gen.RandomGNP(r, n, 0.5)
 		corrupted := nodeset.Of(1 + r.Intn(n-1))
 		z := adversary.FromSets(corrupted)
-		res, err := Run(g, z, view.AdHoc(g), 0, byzantine.SilentProcesses(corrupted), 0)
+		res, err := Run(g, z, view.AdHoc(g), 0, byzantine.SilentProcesses(corrupted), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -234,7 +234,7 @@ func TestObserverOwnEdgesTrusted(t *testing.T) {
 	// endpoint is silent.
 	g := mustGraph(t, "0-1 1-2")
 	res, err := Run(g, adversary.FromSlices([]int{1}), view.AdHoc(g), 0,
-		byzantine.SilentProcesses(nodeset.Of(1)), 0)
+		byzantine.SilentProcesses(nodeset.Of(1)), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

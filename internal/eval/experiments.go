@@ -8,6 +8,7 @@ import (
 	"rmt/internal/core"
 	"rmt/internal/gen"
 	"rmt/internal/instance"
+	"rmt/internal/network"
 	"rmt/internal/nodeset"
 	"rmt/internal/protocol"
 	"rmt/internal/zcpa"
@@ -22,6 +23,20 @@ type Params struct {
 	// logical CPU. Tables are byte-identical at every worker count for a
 	// fixed seed (see parallel.go).
 	Workers int
+	// Engine selects the execution engine for every protocol run of the
+	// suite (nil = lockstep); resolve one with network.EngineByName. For
+	// deterministic engines the tables are identical — that equivalence is
+	// exactly what the conformance battery asserts.
+	Engine network.Engine
+	// Scheduler is the async engine's delivery policy (nil = SyncScheduler);
+	// ignored by the synchronous engines.
+	Scheduler network.Scheduler
+}
+
+// options seeds a protocol.Options with the suite-wide engine selection;
+// experiment code fills in per-run fields.
+func (p Params) options() protocol.Options {
+	return protocol.Options{Engine: p.Engine, Scheduler: p.Scheduler}
 }
 
 func (p Params) withDefaults() Params {
@@ -197,7 +212,9 @@ func E3Safety(p Params) *Table {
 			}
 			zoo := core.Strategies(fx.in, m, "forged")
 			for name, corrupt := range zoo {
-				res, err := protocol.RunByName(protocol.PKA, fx.in, "real", protocol.Options{Corrupt: corrupt})
+				opts := p.options()
+				opts.Corrupt = corrupt
+				res, err := protocol.RunByName(protocol.PKA, fx.in, "real", opts)
 				if err != nil {
 					panic(err)
 				}

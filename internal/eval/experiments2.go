@@ -62,12 +62,17 @@ func E7DecisionProtocol(p Params) *Table {
 						return nil
 					}
 				}
-				direct, err := protocol.RunByName(protocol.ZCPA, in, "real", protocol.Options{Corrupt: mk()})
+				dopts := p.options()
+				dopts.Corrupt = mk()
+				direct, err := protocol.RunByName(protocol.ZCPA, in, "real", dopts)
 				if err != nil {
 					panic(err)
 				}
 				pi := &selfred.PiDecider{LK: in.LocalKnowledge()}
-				sim, err := protocol.RunByName(protocol.ZCPA, in, "real", protocol.Options{Corrupt: mk(), Decider: pi})
+				sopts := p.options()
+				sopts.Corrupt = mk()
+				sopts.Decider = pi
+				sim, err := protocol.RunByName(protocol.ZCPA, in, "real", sopts)
 				if err != nil {
 					panic(err)
 				}
@@ -130,7 +135,7 @@ func E8Scaling(p Params) *Table {
 		}
 		paths := tp.g.CountPaths(tp.d, tp.r, nodeset.Empty(), 0)
 
-		zres, err := protocol.RunByName(protocol.ZCPA, in, "x", protocol.Options{})
+		zres, err := protocol.RunByName(protocol.ZCPA, in, "x", p.options())
 		if err != nil {
 			panic(err)
 		}
@@ -140,13 +145,13 @@ func E8Scaling(p Params) *Table {
 		if err != nil {
 			panic(err)
 		}
-		pres, err := protocol.RunByName(protocol.PPA, fullIn, "x", protocol.Options{})
+		pres, err := protocol.RunByName(protocol.PPA, fullIn, "x", p.options())
 		if err != nil {
 			panic(err)
 		}
 		addScalingRow(t, tp.name, in.N(), paths, "PPA", pres, in.Receiver)
 
-		kres, err := protocol.RunByName(protocol.PKA, in, "x", protocol.Options{})
+		kres, err := protocol.RunByName(protocol.PKA, in, "x", p.options())
 		if err != nil {
 			panic(err)
 		}
@@ -228,7 +233,11 @@ func F2IndistinguishableRuns(p Params) *Table {
 		corrupt := map[int]network.Process{
 			corruptNode: &zcpa.WrongValue{Neighbors: in.G.Neighbors(corruptNode), Value: lie},
 		}
-		res, err := protocol.RunByName(protocol.ZCPA, in, xD, protocol.Options{Corrupt: corrupt, RecordTranscript: true, MaxRounds: 4})
+		opts := p.options()
+		opts.Corrupt = corrupt
+		opts.RecordTranscript = true
+		opts.MaxRounds = 4
+		res, err := protocol.RunByName(protocol.ZCPA, in, xD, opts)
 		if err != nil {
 			panic(err)
 		}

@@ -111,7 +111,9 @@ func E10HorizonAblation(p Params) *Table {
 		in, rcv := c.mk()
 		base := -1
 		for _, h := range c.horizons {
-			res, err := protocol.RunByName(protocol.PKA, in, "x", protocol.Options{Horizon: h})
+			opts := p.options()
+			opts.Horizon = h
+			res, err := protocol.RunByName(protocol.PKA, in, "x", opts)
 			if err != nil {
 				panic(err)
 			}
@@ -250,7 +252,7 @@ func E12Discovery(p Params) *Table {
 					corruptNode: splitBrainDiscovery(g, gamma, z, corruptNode),
 				}
 			}
-			res, err := discovery.Run(g, z, gamma, 0, corrupt, 0)
+			res, err := discovery.Run(g, z, gamma, 0, corrupt, nil)
 			if err != nil {
 				panic(err)
 			}

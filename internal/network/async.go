@@ -1,6 +1,6 @@
 package network
 
-// runAsync executes the run under the configured Scheduler (SyncScheduler
+// asyncEngine executes the run under the configured Scheduler (SyncScheduler
 // when nil): a deterministic event-driven simulation in which the scheduler
 // assigns every accepted send a delivery round, permuting per-message
 // delivery order and round membership under the engine-enforced
@@ -13,6 +13,21 @@ package network
 // byte-identically, FoundationDB-style. Under SyncScheduler the calendar
 // degenerates to next-round delivery and the engine is transcript-identical
 // to lockstep, which the conformance suite asserts.
-func runAsync(cfg Config) (*Result, error) {
+type asyncEngine struct{}
+
+// Name implements Engine.
+func (asyncEngine) Name() string { return EngineAsync }
+
+// Run implements Engine.
+func (e asyncEngine) Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = e
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = SyncScheduler{}
+	}
 	return runLockstep(cfg)
 }

@@ -2,6 +2,26 @@ package network
 
 import "sync"
 
+// goroutineEngine runs every player in its own goroutine with a round
+// barrier — the natural Go embedding of a synchronous distributed node.
+type goroutineEngine struct{}
+
+// Name implements Engine.
+func (goroutineEngine) Name() string { return EngineGoroutine }
+
+// Run implements Engine. Delivery is strictly synchronous, so any Scheduler
+// left in the config is cleared before the run state is built.
+func (e goroutineEngine) Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = e
+	}
+	cfg.Scheduler = nil
+	return runGoroutine(cfg)
+}
+
 // runGoroutine executes the run with one goroutine per player per round and
 // a barrier between rounds — the natural Go embedding of a synchronous
 // distributed system. Each player writes sends into its own buffer, so the

@@ -1,7 +1,29 @@
 package network
 
+// lockstepEngine is the deterministic single-goroutine engine: players step
+// in increasing ID order with synchronous next-round delivery.
+type lockstepEngine struct{}
+
+// Name implements Engine.
+func (lockstepEngine) Name() string { return EngineLockstep }
+
+// Run implements Engine. Lockstep delivery is strictly synchronous, so any
+// Scheduler left in the config is cleared before the run state is built.
+func (e lockstepEngine) Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = e
+	}
+	cfg.Scheduler = nil
+	return runLockstep(cfg)
+}
+
 // runLockstep executes the run in a single goroutine, stepping players in
-// increasing ID order. It is fully deterministic.
+// increasing ID order. It is fully deterministic. It is shared verbatim by
+// the async engine (all asynchrony lives in the delivery calendar the
+// Scheduler fills) and, through proxy processes, by the wire engine.
 func runLockstep(cfg Config) (*Result, error) {
 	st := newRunState(cfg)
 

@@ -14,16 +14,20 @@
 //   - Corrupted players are ordinary Process implementations with arbitrary
 //     behavior; honesty is a property of the implementation, not the engine.
 //
-// Three engines share one delivery substrate: the deterministic lockstep
-// engine (Run with Engine = Lockstep) steps players in ID order in a single
-// goroutine; the goroutine engine gives every player its own goroutine with
-// a round barrier, exercising the natural Go embedding of a distributed
-// node; the async engine relaxes "delivered at the start of round k+1" to a
-// pluggable Scheduler that assigns each message its delivery round under an
-// eventual-delivery clamp, simulating adversarial message timing while
-// staying fully deterministic for a fixed seed. For deterministic protocols
-// lockstep, goroutine and async-under-SyncScheduler produce identical
-// transcripts, which property tests assert.
+// Engines are named implementations of the Engine contract, resolved from a
+// registry (EngineByName) exactly like protocols. The built-ins share one
+// delivery substrate: the deterministic lockstep engine (the default) steps
+// players in ID order in a single goroutine; the goroutine engine gives
+// every player its own goroutine with a round barrier, exercising the
+// natural Go embedding of a distributed node; the async engine relaxes
+// "delivered at the start of round k+1" to a pluggable Scheduler that
+// assigns each message its delivery round under an eventual-delivery clamp,
+// simulating adversarial message timing while staying fully deterministic
+// for a fixed seed. The wire engine (internal/wire) registers itself on
+// import and runs every player as a real OS process speaking length-prefixed
+// frames over TCP. For deterministic protocols lockstep, goroutine,
+// async-under-SyncScheduler and wire produce identical transcripts, which
+// property tests assert.
 package network
 
 import (
@@ -85,41 +89,30 @@ type Process interface {
 	Decision() (Value, bool)
 }
 
-// Engine selects the execution engine.
-type Engine int
-
-// Available engines.
-const (
-	Lockstep Engine = iota + 1
-	Goroutine
-	Async
-)
-
-func (e Engine) String() string {
-	switch e {
-	case Lockstep:
-		return "lockstep"
-	case Goroutine:
-		return "goroutine"
-	case Async:
-		return "async"
-	default:
-		return fmt.Sprintf("Engine(%d)", int(e))
-	}
-}
-
-// ParseEngine parses an engine name ("lockstep", "goroutine", "async").
-func ParseEngine(name string) (Engine, error) {
-	switch name {
-	case "lockstep":
-		return Lockstep, nil
-	case "goroutine":
-		return Goroutine, nil
-	case "async":
-		return Async, nil
-	default:
-		return 0, fmt.Errorf("network: unknown engine %q (want lockstep, goroutine or async)", name)
-	}
+// Blueprint describes a run as pure data — instance spec text, registry
+// names and node IDs only, no live Go values — so an engine that executes
+// players outside this process (the wire engine) can rebuild the full
+// process map deterministically on the far side. Engines that run in-process
+// ignore it. Process implementations themselves can never cross a process
+// boundary (they are closures over live state); the Blueprint is the
+// name-based recipe that reconstructs them instead.
+type Blueprint struct {
+	// Instance is the cliutil instance-spec text ("# rmt instance v1"
+	// format: graph, adversary structure, knowledge level, dealer,
+	// receiver). Required.
+	Instance string
+	// Protocol is the protocol registry name ("pka", "zcpa", ...). Required.
+	Protocol string
+	// Value is the dealer's input value.
+	Value string
+	// Corrupt lists the corrupted node IDs, overlaid with the named
+	// byzantine Attack strategy ("" with a non-empty Corrupt means the
+	// silent strategy).
+	Corrupt []int
+	Attack  string
+	// Forged is the attacker's preferred wrong value (ignored by
+	// strategies that never inject values).
+	Forged string
 }
 
 // Config describes one run.
@@ -133,11 +126,15 @@ type Config struct {
 	// protocol in this repository (Z-CPA needs ≤ n rounds, RMT-PKA floods
 	// paths of length ≤ n).
 	MaxRounds int
-	// Engine selects lockstep (default), goroutine or async execution.
+	// Engine selects the execution engine (nil = Lockstep); see
+	// EngineByName for resolving one from the registry.
 	Engine Engine
 	// Scheduler is the async engine's delivery policy (nil = SyncScheduler).
 	// Ignored by the synchronous engines.
 	Scheduler Scheduler
+	// Blueprint is the pure-data run recipe engines running players in
+	// other processes need (see Blueprint); in-process engines ignore it.
+	Blueprint *Blueprint
 	// RecordTranscript enables full message recording (memory-heavy).
 	RecordTranscript bool
 	// StopEarly, if non-nil, is evaluated after every round with the
@@ -151,7 +148,7 @@ type Config struct {
 
 // engine returns the effective engine (Lockstep when unset).
 func (c *Config) engine() Engine {
-	if c.Engine == 0 {
+	if c.Engine == nil {
 		return Lockstep
 	}
 	return c.Engine
@@ -240,19 +237,8 @@ func (m Metrics) Reconcile() error {
 	return nil
 }
 
-// Run executes the configured protocol and returns the result.
+// Run executes the configured protocol on the configured engine (Lockstep
+// when unset) and returns the result.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	switch cfg.Engine {
-	case Goroutine:
-		return runGoroutine(cfg)
-	case Async:
-		return runAsync(cfg)
-	case Lockstep, 0:
-		return runLockstep(cfg)
-	default:
-		return nil, fmt.Errorf("network: unknown engine %v", cfg.Engine)
-	}
+	return cfg.engine().Run(cfg)
 }

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -85,10 +86,10 @@ func TestValidation(t *testing.T) {
 	if _, err := Run(Config{Graph: g, Processes: map[int]Process{0: &floodProc{}, 1: &floodProc{}, 5: &floodProc{}}}); err == nil {
 		t.Fatal("Run accepted process map with wrong keys")
 	}
-	cfg := floodConfig(t, g, 0, "x")
-	cfg.Engine = Engine(99)
-	if _, err := Run(cfg); err == nil {
-		t.Fatal("Run accepted unknown engine")
+	if _, err := EngineByName("warp"); err == nil {
+		t.Fatal("EngineByName accepted unknown engine")
+	} else if !strings.Contains(err.Error(), "lockstep") {
+		t.Fatalf("unknown-engine error does not list registered names: %v", err)
 	}
 }
 
@@ -354,12 +355,30 @@ func TestTranscriptViews(t *testing.T) {
 	}
 }
 
-func TestEngineString(t *testing.T) {
-	if Lockstep.String() != "lockstep" || Goroutine.String() != "goroutine" {
-		t.Fatal("Engine.String wrong")
+func TestEngineRegistry(t *testing.T) {
+	if Lockstep.Name() != "lockstep" || Goroutine.Name() != "goroutine" || Async.Name() != "async" {
+		t.Fatal("Engine.Name wrong")
 	}
-	if !strings.Contains(Engine(9).String(), "9") {
-		t.Fatal("unknown engine string")
+	names := EngineNames()
+	for _, want := range []string{"async", "goroutine", "lockstep"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("EngineNames() = %v, missing %q", names, want)
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("EngineNames() not sorted: %v", names)
+	}
+	for _, name := range names {
+		e, err := EngineByName(name)
+		if err != nil || e.Name() != name {
+			t.Fatalf("EngineByName(%q) = %v, %v", name, e, err)
+		}
 	}
 }
 

@@ -125,12 +125,10 @@ func newRunState(cfg Config) *runState {
 	// are plain values, so resetting the tracer wholesale is enough.
 	st.mt = MetricsTracer{}
 	st.mt.m.MessagesPerRound = make([]int, 0, st.maxRounds+1)
-	if cfg.engine() == Async {
-		st.sched = cfg.Scheduler
-		if st.sched == nil {
-			st.sched = SyncScheduler{}
-		}
-	}
+	// Engines normalize Config.Scheduler in their Run wrappers (synchronous
+	// engines clear it, async defaults it to SyncScheduler), so delivery
+	// policy is taken verbatim — run state never inspects the engine.
+	st.sched = cfg.Scheduler
 	if cfg.RecordTranscript {
 		st.tt = NewTranscriptTracer()
 	}

@@ -204,7 +204,7 @@ func (t *JSONLTracer) emit(e jsonlEvent) {
 
 // BeginRun implements Tracer.
 func (t *JSONLTracer) BeginRun(nodes, edges int, engine Engine) {
-	t.emit(jsonlEvent{Ev: "run", Nodes: nodes, Edges: edges, Engine: engine.String()})
+	t.emit(jsonlEvent{Ev: "run", Nodes: nodes, Edges: edges, Engine: engine.Name()})
 }
 
 // Send implements Tracer.

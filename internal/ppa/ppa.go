@@ -206,7 +206,7 @@ func Run(in *instance.Instance, xD network.Value, corrupt map[int]network.Proces
 // corruption set.
 func Resilient(in *instance.Instance) (bool, error) {
 	for _, t := range in.MaximalCorruptions() {
-		res, err := Run(in, "1", protocol.Silence(t), 0)
+		res, err := Run(in, "1", protocol.Silence(t), nil)
 		if err != nil {
 			return false, err
 		}

@@ -29,7 +29,7 @@ func fullInstance(t *testing.T, edges string, z adversary.Structure, d, r int) *
 
 func TestHonestDelivery(t *testing.T) {
 	in := fullInstance(t, "0-1 1-2", adversary.Trivial(), 0, 2)
-	res, err := Run(in, "m", nil, 0)
+	res, err := Run(in, "m", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestSafetyAgainstValueForgery(t *testing.T) {
 	in := fullInstance(t, "0-1 0-2 0-3 1-4 2-4 3-4",
 		adversary.FromSlices([]int{1}, []int{2}, []int{3}), 0, 4)
 	for _, c := range []int{1, 2, 3} {
-		res, err := Run(in, "real", map[int]network.Process{c: core.NewValueFlipper(in, c, "forged")}, 0)
+		res, err := Run(in, "real", map[int]network.Process{c: core.NewValueFlipper(in, c, "forged")}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +170,7 @@ func TestPKADominatesPPA(t *testing.T) {
 func TestErroneousTrafficIgnored(t *testing.T) {
 	in := fullInstance(t, "0-1 0-2 1-3 2-3", adversary.FromSlices([]int{1}), 0, 3)
 	spam := &byzantine.Spammer{ID: 1, Neighbors: in.G.Neighbors(1), PerRound: 2}
-	res, err := Run(in, "x", map[int]network.Process{1: spam}, 0)
+	res, err := Run(in, "x", map[int]network.Process{1: spam}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,7 +43,8 @@ type Decider interface {
 // rest; the per-protocol aliases (core.Options, zcpa.Options) are aliases
 // of this type, so option values flow unchanged through every layer.
 type Options struct {
-	// Engine selects lockstep (default), goroutine or async execution.
+	// Engine selects the execution engine (nil = lockstep); resolve one
+	// from the registry with network.EngineByName.
 	Engine network.Engine
 	// Scheduler is the async engine's delivery policy (nil = the zero-fault
 	// SyncScheduler). Ignored by the synchronous engines.
@@ -58,6 +59,11 @@ type Options struct {
 	Corrupt map[int]network.Process
 	// Tracers are extra run observers (see network.Tracer).
 	Tracers []network.Tracer
+	// Blueprint is the pure-data run recipe required by engines that
+	// execute players in other processes (the wire engine); Run fills in
+	// the protocol name and dealer value when left empty. In-process
+	// engines ignore it.
+	Blueprint *network.Blueprint
 
 	// Horizon, when positive, runs the Horizon-PKA ablation: relays drop
 	// trails that cannot complete into a D–R path of at most Horizon

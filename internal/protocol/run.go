@@ -43,6 +43,16 @@ func Run(p Protocol, in *instance.Instance, xD network.Value, opts Options) (*ne
 		MaxRounds:        opts.MaxRounds,
 		Tracers:          opts.Tracers,
 	}
+	if opts.Blueprint != nil {
+		bp := *opts.Blueprint
+		if bp.Protocol == "" {
+			bp.Protocol = p.Name()
+		}
+		if bp.Value == "" {
+			bp.Value = string(xD)
+		}
+		cfg.Blueprint = &bp
+	}
 	if !p.Caps().AllDecide {
 		cfg.StopEarly = func(d map[int]network.Value) bool {
 			_, ok := d[in.Receiver]

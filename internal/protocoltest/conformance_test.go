@@ -1,6 +1,7 @@
 package protocoltest
 
 import (
+	"os"
 	"testing"
 
 	"rmt/internal/core"
@@ -8,11 +9,21 @@ import (
 	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/selfred"
+	"rmt/internal/wire"
 	"rmt/internal/zcpa"
 
 	_ "rmt/internal/broadcast" // register the broadcast protocol
 	_ "rmt/internal/ppa"       // register the PPA protocol
 )
+
+// TestMain diverts wire-engine node-child re-execs of this test binary into
+// the node main loop; required by the wire-equivalence slice.
+func TestMain(m *testing.M) {
+	if wire.IsNode() {
+		os.Exit(wire.NodeMain())
+	}
+	os.Exit(m.Run())
+}
 
 func newPi(in *instance.Instance) zcpa.Decider {
 	return &selfred.PiDecider{LK: in.LocalKnowledge()}
@@ -20,9 +31,10 @@ func newPi(in *instance.Instance) zcpa.Decider {
 
 // TestConformanceRegistry runs the full battery against every protocol in
 // the registry — PKA, 𝒵-CPA, PPA and broadcast — with no per-protocol
-// wiring. A protocol added to the registry is picked up automatically.
+// wiring. A protocol added to the registry is picked up automatically,
+// including the four-engine wire-equivalence slice over real sockets.
 func TestConformanceRegistry(t *testing.T) {
-	RunRegistry(t, Config{})
+	RunRegistry(t, Config{WireEngine: wire.Engine})
 }
 
 // The variants below exercise configurations the registry entries don't

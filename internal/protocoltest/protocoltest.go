@@ -17,6 +17,8 @@ import (
 
 	"rmt/internal/adversary"
 	"rmt/internal/byzantine"
+	"rmt/internal/cliutil"
+	"rmt/internal/feasibility"
 	"rmt/internal/gen"
 	"rmt/internal/instance"
 	"rmt/internal/network"
@@ -36,6 +38,13 @@ type Factory struct {
 	Solvable func(in *instance.Instance) bool
 	// Knowledge is the knowledge level the protocol is designed for.
 	Knowledge gen.Knowledge
+	// Protocol is the registry name when the factory's configuration is
+	// expressible as a pure-data Blueprint — i.e. it is exactly the
+	// registered protocol with default options. Only then can the battery
+	// run the wire engine (which rebuilds the run from registry names in
+	// child processes). FactoryFor sets it; variant factories with custom
+	// deciders, horizons or knowledge levels leave it empty.
+	Protocol string
 }
 
 // FactoryFor adapts a registered protocol into a Factory, so the battery
@@ -44,7 +53,8 @@ type Factory struct {
 // its optional Feasibility implementation.
 func FactoryFor(p protocol.Protocol) Factory {
 	f := Factory{
-		Name: p.Name(),
+		Name:     p.Name(),
+		Protocol: p.Name(),
 		NewProcesses: func(in *instance.Instance, xD network.Value, corrupt map[int]network.Process) map[int]network.Process {
 			procs, err := p.Assemble(in, xD, protocol.Options{Corrupt: corrupt})
 			if err != nil {
@@ -78,6 +88,13 @@ type Config struct {
 	MaxRounds     int
 	SkipEngine    bool // skip the goroutine/async engine equivalence check
 	SkipSchedules bool // skip the async schedule-safety slice
+	// WireEngine, when non-nil, enables the real-socket equivalence slice
+	// for factories with a registry Protocol name: every fixture run is
+	// repeated on all four engines (lockstep, goroutine, async, wire) and
+	// must be transcript-identical. Callers pass wire.Engine; the battery
+	// cannot import internal/wire itself (the host test binary must also
+	// install the wire TestMain re-exec hook, which is the caller's choice).
+	WireEngine network.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +118,9 @@ func Run(t *testing.T, f Factory, cfg Config) {
 	}
 	if !cfg.SkipSchedules {
 		t.Run(f.Name+"/schedule-safety", func(t *testing.T) { scheduleSafety(t, f, cfg) })
+	}
+	if cfg.WireEngine != nil && f.Protocol != "" {
+		t.Run(f.Name+"/wire-equivalence", func(t *testing.T) { wireEquivalence(t, f, cfg) })
 	}
 	if f.Solvable != nil {
 		t.Run(f.Name+"/tightness", func(t *testing.T) { tightness(t, f, cfg) })
@@ -275,6 +295,89 @@ func engineEquivalence(t *testing.T, f Factory, cfg Config) {
 			act.reconcile(t, fmt.Sprintf("fixture %d corrupt %v lockstep", i, m), a)
 			bct.reconcile(t, fmt.Sprintf("fixture %d corrupt %v goroutine", i, m), b)
 			cct.reconcile(t, fmt.Sprintf("fixture %d corrupt %v async", i, m), c)
+		}
+	}
+}
+
+// wireEquivalence is the four-engine slice: on the standard fixtures plus
+// every feasibility fixture buildable at the factory's knowledge level, the
+// lockstep, goroutine, async and wire engines must produce identical
+// receiver decisions and byte-identical transcripts. The wire engine
+// re-execs the test binary once per player and rebuilds the run from the
+// Blueprint, so this slice proves the blueprint/codec path preserves the
+// exact event stream of an in-process run — transcript equivalence needs no
+// solvability, so unsolvable fixtures participate too.
+func wireEquivalence(t *testing.T, f Factory, cfg Config) {
+	ins := fixtures(t, f)
+	for _, fx := range feasibility.All() {
+		in, err := fx.Build(f.Knowledge)
+		if err != nil {
+			continue // fixture not expressible at this knowledge level
+		}
+		ins = append(ins, in)
+	}
+	engines := map[string]network.Engine{
+		"goroutine": network.Goroutine,
+		"async":     network.Async,
+		"wire":      cfg.WireEngine,
+	}
+	for i, in := range ins {
+		spec := cliutil.InstanceSpec{
+			Graph:     in.G,
+			Z:         in.Z,
+			Knowledge: f.Knowledge,
+			Dealer:    in.Dealer,
+			Receiver:  in.Receiver,
+		}.Format()
+		// The honest run plus at most two silenced maximal corruptions
+		// bound the per-fixture child-process spawn cost.
+		corruptions := []nodeset.Set{{}}
+		for _, m := range in.MaximalCorruptions() {
+			if !m.IsEmpty() {
+				corruptions = append(corruptions, m)
+			}
+			if len(corruptions) > 2 {
+				break
+			}
+		}
+		for _, m := range corruptions {
+			runOn := func(eng network.Engine) (*network.Result, error) {
+				bp := &network.Blueprint{Instance: spec, Protocol: f.Protocol}
+				opts := protocol.Options{
+					Engine:           eng,
+					RecordTranscript: true,
+					MaxRounds:        cfg.MaxRounds,
+					Blueprint:        bp,
+				}
+				if !m.IsEmpty() {
+					bp.Corrupt = m.Members()
+					bp.Attack = byzantine.SilentName
+					opts.Corrupt = byzantine.MustGet(byzantine.SilentName).Build(in, m, "")
+				}
+				return protocol.RunByName(f.Protocol, in, "x", opts)
+			}
+			a, err := runOn(network.Lockstep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			av, aok := a.DecisionOf(in.Receiver)
+			for name, eng := range engines {
+				b, err := runOn(eng)
+				if err != nil {
+					t.Fatalf("fixture %d, corrupt %v, %s: %v", i, m, name, err)
+				}
+				if v, ok := b.DecisionOf(in.Receiver); av != v || aok != ok {
+					t.Errorf("fixture %d, corrupt %v: %s disagrees with lockstep (%q/%v vs %q/%v)",
+						i, m, name, v, ok, av, aok)
+				}
+				if ak, bk := a.Transcript.Key(), b.Transcript.Key(); ak != bk {
+					t.Errorf("fixture %d, corrupt %v: %s transcript differs from lockstep:\nlockstep: %s\n%s: %s",
+						i, m, name, ak, name, bk)
+				}
+				if err := b.Metrics.Reconcile(); err != nil {
+					t.Errorf("fixture %d, corrupt %v, %s: %v", i, m, name, err)
+				}
+			}
 		}
 	}
 }

@@ -22,6 +22,8 @@ type serverMetrics struct {
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	peerHits    atomic.Int64 // bodies served from a fleet peer's cache
+	peerMisses  atomic.Int64 // peer asked, answered 404 (or was unreachable)
 	rejected    atomic.Int64 // 429s: queue-full backpressure
 	timeouts    atomic.Int64 // 504s: compute-deadline expiries
 	cancels     atomic.Int64 // 499s: client disconnected mid-compute
@@ -101,6 +103,8 @@ func (m *serverMetrics) render(w io.Writer, queueDepth, workers, cacheEntries in
 	fmt.Fprintf(w, "# TYPE rmtd_cache_hits_total counter\nrmtd_cache_hits_total %d\n", m.cacheHits.Load())
 	fmt.Fprintf(w, "# TYPE rmtd_cache_misses_total counter\nrmtd_cache_misses_total %d\n", m.cacheMisses.Load())
 	fmt.Fprintf(w, "# TYPE rmtd_cache_hit_ratio gauge\nrmtd_cache_hit_ratio %.6f\n", m.hitRatio())
+	fmt.Fprintf(w, "# TYPE rmtd_peer_cache_hits_total counter\nrmtd_peer_cache_hits_total %d\n", m.peerHits.Load())
+	fmt.Fprintf(w, "# TYPE rmtd_peer_cache_misses_total counter\nrmtd_peer_cache_misses_total %d\n", m.peerMisses.Load())
 	fmt.Fprintf(w, "# TYPE rmtd_rejected_total counter\nrmtd_rejected_total %d\n", m.rejected.Load())
 	fmt.Fprintf(w, "# TYPE rmtd_timeouts_total counter\nrmtd_timeouts_total %d\n", m.timeouts.Load())
 	fmt.Fprintf(w, "# TYPE rmtd_client_cancels_total counter\nrmtd_client_cancels_total %d\n", m.cancels.Load())

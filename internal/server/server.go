@@ -69,6 +69,17 @@ type Options struct {
 	// LogWriter receives one JSON object per request (structured access
 	// log). Default os.Stderr; use io.Discard to silence.
 	LogWriter io.Writer
+
+	// Peers lists every shard's base URL ("http://host:port") when this
+	// server runs as one shard of a fleet, Self included. Before computing a
+	// cache miss, the shard asks the instance's owning peer (consistent hash
+	// over instance.CanonicalKey — the same ring the Router uses) for its
+	// cached body, so requests that leak past the router, or arrive directly,
+	// still reuse the fleet's work and stay byte-identical with it.
+	Peers []string
+	// Self is this shard's own entry in Peers; keys it owns are computed
+	// locally without a peer round-trip.
+	Self string
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +113,11 @@ type Server struct {
 	metrics *serverMetrics
 	mux     *http.ServeMux
 
+	// ring maps canonical instance keys to owning peers; nil when the server
+	// runs standalone (no Peers configured).
+	ring       *hashRing
+	peerClient *http.Client
+
 	logMu sync.Mutex
 }
 
@@ -115,11 +131,16 @@ func New(opts Options) *Server {
 		metrics: newServerMetrics(),
 		mux:     http.NewServeMux(),
 	}
+	if len(opts.Peers) > 0 {
+		s.ring = newHashRing(opts.Peers)
+		s.peerClient = &http.Client{Timeout: 2 * time.Second}
+	}
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/protocols", s.instrument("/v1/protocols", s.handleProtocols))
 	s.mux.HandleFunc("POST /v1/feasibility", s.instrument("/v1/feasibility", s.handleFeasibility))
 	s.mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
+	s.mux.HandleFunc("POST /internal/cache", s.instrument("/internal/cache", s.handleInternalCache))
 	return s
 }
 
@@ -131,6 +152,10 @@ func (s *Server) Close() { s.pool.Close() }
 
 // CacheHitRatio exposes hits/(hits+misses) for tests and the load driver.
 func (s *Server) CacheHitRatio() float64 { return s.metrics.hitRatio() }
+
+// PeerCacheHits exposes the number of bodies this shard served out of a
+// peer's cache instead of recomputing (tests and the fleet load driver).
+func (s *Server) PeerCacheHits() int64 { return s.metrics.peerHits.Load() }
 
 // instrument wraps a handler with latency/status accounting and the
 // structured access log.
@@ -227,7 +252,7 @@ type ProtocolsResponse struct {
 
 func (s *Server) handleProtocols(w http.ResponseWriter, _ *http.Request) {
 	resp := ProtocolsResponse{
-		Engines:   []string{"lockstep", "goroutine", "async"},
+		Engines:   network.EngineNames(),
 		Schedules: network.SchedulerNames(),
 		Attacks:   byzantine.Names(),
 	}
@@ -364,7 +389,11 @@ func (s *Server) interrupted(w http.ResponseWriter, r *http.Request) {
 // serveCached answers from the result cache or computes, caches and serves.
 // The incumbent body always wins (see resultCache.put), so equal cache keys
 // get byte-identical replies regardless of worker count or arrival order.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, fn func(ctx context.Context) ([]byte, error)) {
+//
+// ownerKey is the instance's canonical content hash, the unit of fleet
+// ownership: in a sharded fleet, a local miss on a key another shard owns
+// first asks that peer's cache (see fetchFromPeer) before computing.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key, ownerKey string, fn func(ctx context.Context) ([]byte, error)) {
 	rec, _ := w.(*statusRecorder)
 	if body, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
@@ -378,6 +407,14 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	if rec != nil {
 		rec.cache = "miss"
 	}
+	if body, ok := s.fetchFromPeer(r.Context(), key, ownerKey); ok {
+		if rec != nil {
+			rec.cache = "peer"
+		}
+		s.cache.put(key, body)
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
 	body := s.compute(w, r, fn)
 	if body == nil {
 		return
@@ -385,6 +422,62 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	s.cache.put(key, body)
 	if cached, ok := s.cache.get(key); ok {
 		body = cached
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// fetchFromPeer asks the owning peer's cache for key when this server is a
+// fleet shard that does not own ownerKey. A hit returns the owner's exact
+// bytes (preserving fleet-wide byte-identity); any miss or transport error
+// falls back to local compute — the peer protocol is an optimization, never
+// a dependency.
+func (s *Server) fetchFromPeer(ctx context.Context, key, ownerKey string) ([]byte, bool) {
+	if s.ring == nil {
+		return nil, false
+	}
+	owner := s.ring.owner(ownerKey)
+	if owner == "" || owner == s.opts.Self {
+		return nil, false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/internal/cache", strings.NewReader(key))
+	if err != nil {
+		return nil, false
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := s.peerClient.Do(req)
+	if err != nil {
+		s.metrics.peerMisses.Add(1)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		s.metrics.peerMisses.Add(1)
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, s.opts.MaxBodyBytes*64))
+	if err != nil {
+		s.metrics.peerMisses.Add(1)
+		return nil, false
+	}
+	s.metrics.peerHits.Add(1)
+	return body, true
+}
+
+// handleInternalCache is the shard-to-shard cache protocol: the request body
+// is a full result-cache key, the response is the cached body verbatim (200)
+// or 404 on a miss. It never computes — peers fall back to their own pool —
+// so a fetch storm cannot amplify load across the fleet.
+func (s *Server) handleInternalCache(w http.ResponseWriter, r *http.Request) {
+	key, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read key: %v", err)
+		return
+	}
+	body, ok := s.cache.get(string(key))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not cached")
+		return
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -443,7 +536,7 @@ func (s *Server) handleFeasibility(w http.ResponseWriter, r *http.Request) {
 	// ad hoc one, so radius1 and adhoc requests describe the same instance
 	// tuple yet need different bodies.
 	key := "feasibility-v1\n" + level.String() + "\n" + in.CanonicalKey()
-	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, key, in.CanonicalKey(), func(ctx context.Context) ([]byte, error) {
 		resp := FeasibilityResponse{Key: in.CanonicalKey(), Knowledge: level.String()}
 		cut, found, err := core.FindRMTCutCtx(ctx, in)
 		if err != nil {
@@ -624,7 +717,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := runCacheKey(in, &req)
-	s.serveCached(w, r, key, func(ctx context.Context) ([]byte, error) {
+	s.serveCached(w, r, key, in.CanonicalKey(), func(ctx context.Context) ([]byte, error) {
 		resp, err := s.runTrials(ctx, in, &req, eng, corrupt, strategy)
 		if err != nil {
 			return nil, err

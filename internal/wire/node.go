@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+
+	"rmt/internal/network"
+)
+
+// Environment variables the coordinator sets on spawned children. The
+// "-node" argument the coordinator also passes is cosmetic (it labels the
+// child in process listings); re-exec detection keys on the environment so
+// test binaries can divert to NodeMain before any flag parsing happens.
+const (
+	envAddr  = "RMT_WIRE_ADDR"
+	envNode  = "RMT_WIRE_NODE"
+	envToken = "RMT_WIRE_TOKEN"
+)
+
+// IsNode reports whether this process was spawned as a wire-engine node
+// child. Host binaries (rmtsim, test binaries via TestMain) must check it
+// first thing and hand control to NodeMain before parsing flags.
+func IsNode() bool { return os.Getenv(envNode) != "" }
+
+// NodeMain runs the node-child protocol to completion and returns the
+// process exit code. It must only be called when IsNode reports true.
+func NodeMain() int {
+	if err := nodeMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "wire node:", err)
+		return 1
+	}
+	return 0
+}
+
+func nodeMain() error {
+	node, err := strconv.Atoi(os.Getenv(envNode))
+	if err != nil {
+		return fmt.Errorf("bad %s: %w", envNode, err)
+	}
+	addr := os.Getenv(envAddr)
+	if addr == "" {
+		return fmt.Errorf("%s not set", envAddr)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dial coordinator: %w", err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, frameHello, helloBody{Node: node, Token: os.Getenv(envToken)}); err != nil {
+		return err
+	}
+	proc, err := nodeHandshake(conn, node)
+	if err != nil {
+		// Report the failure over the socket too, so the coordinator can
+		// surface one precise error instead of a broken pipe.
+		_ = writeFrame(conn, frameError, errorBody{Msg: err.Error()})
+		return err
+	}
+	return nodeLoop(conn, node, proc)
+}
+
+// nodeHandshake receives the blueprint, rebuilds the run and acknowledges.
+func nodeHandshake(conn net.Conn, node int) (network.Process, error) {
+	t, body, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if t == frameError {
+		return nil, coordinatorError(body)
+	}
+	if t != frameSpec {
+		return nil, fmt.Errorf("expected spec frame, got %v", t)
+	}
+	var spec specBody
+	if err := json.Unmarshal(body, &spec); err != nil {
+		return nil, fmt.Errorf("decode spec: %w", err)
+	}
+	procs, _, err := buildProcesses(spec.Blueprint)
+	if err != nil {
+		return nil, err
+	}
+	proc, ok := procs[node]
+	if !ok {
+		return nil, fmt.Errorf("blueprint instance has no node %d", node)
+	}
+	if err := writeFrame(conn, frameReady, readyBody{Node: node}); err != nil {
+		return nil, err
+	}
+	return proc, nil
+}
+
+// nodeLoop animates the node's Process against coordinator-driven rounds.
+func nodeLoop(conn net.Conn, node int, proc network.Process) error {
+	out := &sendCollector{}
+	for {
+		t, body, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch t {
+		case frameInit:
+			out.reset()
+			proc.Init(out.outbox())
+			if err := reply(conn, proc, out, 0); err != nil {
+				return err
+			}
+		case frameRound:
+			var rb roundBody
+			if err := json.Unmarshal(body, &rb); err != nil {
+				return fmt.Errorf("decode round: %w", err)
+			}
+			inbox := make([]network.Message, len(rb.Inbox))
+			for i, wm := range rb.Inbox {
+				p, err := decodePayload(wm.Payload)
+				if err != nil {
+					_ = writeFrame(conn, frameError, errorBody{Msg: err.Error()})
+					return err
+				}
+				inbox[i] = network.Message{From: wm.From, To: node, Payload: p}
+			}
+			out.reset()
+			cont := proc.Round(rb.Round, inbox, out.outbox())
+			if err := reply(conn, proc, out, rb.Round, !cont); err != nil {
+				return err
+			}
+		case frameBye:
+			return nil
+		case frameError:
+			return coordinatorError(body)
+		default:
+			return fmt.Errorf("unexpected %v frame", t)
+		}
+	}
+}
+
+// reply sends the acted frame for one step, or the collector's encoding
+// error if any outgoing payload had no wire form.
+func reply(conn net.Conn, proc network.Process, out *sendCollector, round int, halted ...bool) error {
+	if out.err != nil {
+		_ = writeFrame(conn, frameError, errorBody{Msg: out.err.Error()})
+		return out.err
+	}
+	acted := actedBody{Round: round, Sends: out.sends}
+	if len(halted) > 0 {
+		acted.Halted = halted[0]
+	}
+	if x, ok := proc.Decision(); ok {
+		acted.Decided = true
+		acted.Decision = string(x)
+	}
+	return writeFrame(conn, frameActed, acted)
+}
+
+// sendCollector buffers one step's outbox emissions in order, encoding each
+// payload (and computing its canonical key and bit size) on the sending
+// side.
+type sendCollector struct {
+	sends []wireSend
+	err   error
+}
+
+func (c *sendCollector) reset() { c.sends, c.err = nil, nil }
+
+func (c *sendCollector) outbox() network.Outbox {
+	return func(to int, p network.Payload) {
+		if c.err != nil {
+			return
+		}
+		env, err := encodePayload(p)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.sends = append(c.sends, wireSend{To: to, Payload: env})
+	}
+}
+
+func coordinatorError(body []byte) error {
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		return fmt.Errorf("coordinator error (undecodable: %v)", err)
+	}
+	return fmt.Errorf("coordinator: %s", eb.Msg)
+}

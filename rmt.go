@@ -80,12 +80,17 @@ type (
 	// Process is a player state machine; corrupted players are arbitrary
 	// Processes.
 	Process = network.Process
-	// Engine selects the lockstep, goroutine or async execution engine.
+	// Engine is the execution-engine contract; resolve one by registry
+	// name with ParseEngine (lockstep, goroutine, async, wire).
 	Engine = network.Engine
 	// Scheduler is the async engine's delivery policy: it assigns each
 	// accepted send a delivery round (see NewScheduler for the stock
 	// policies); install via RunOptions.Scheduler.
 	Scheduler = network.Scheduler
+	// Blueprint is the pure-data run recipe required by engines that
+	// execute players in other OS processes (the wire engine); install via
+	// RunOptions.Blueprint.
+	Blueprint = network.Blueprint
 	// RMTCut witnesses the partial-knowledge impossibility condition.
 	RMTCut = core.RMTCut
 	// ZppCut witnesses the ad hoc impossibility condition.
@@ -108,15 +113,21 @@ type (
 	PiDecider = selfred.PiDecider
 )
 
-// Engines.
-const (
+// Engines. The engine layer is a registry (see Engines, ParseEngine): these
+// vars are the built-ins, and importing rmt/internal/wire adds the
+// real-socket "wire" engine.
+var (
 	Lockstep  = network.Lockstep
 	Goroutine = network.Goroutine
 	Async     = network.Async
 )
 
-// ParseEngine parses an engine name ("lockstep", "goroutine", "async").
+// ParseEngine resolves an engine by registry name ("lockstep", "goroutine",
+// "async", plus any engine registered by imported packages, such as "wire").
 func ParseEngine(name string) (Engine, error) { return network.ParseEngine(name) }
+
+// Engines returns the names of every registered engine, sorted.
+func Engines() []string { return network.EngineNames() }
 
 // SchedulerNames returns the stock async-schedule names, sorted: "sync"
 // (zero-fault), "random" (seeded delay), "fifo" (seeded delay, FIFO per
