@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 test race bench benchjson benchguard benchsnap allocguard vet attacksweep schedfuzz fuzzsmoke cover loadtest daemonsmoke fleetsmoke
+.PHONY: tier1 test race bench benchjson benchguard benchsnap allocguard vet attacksweep schedfuzz churnfuzz fuzzsmoke cover loadtest daemonsmoke fleetsmoke watchsmoke
 
 # tier1 is the gate every PR must keep green: build + full test suite +
 # vet + race detector on the packages that spawn goroutines or share state
@@ -15,7 +15,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/network/ ./internal/eval/ ./internal/protocol/ ./internal/byzantine/ ./internal/attack/ ./internal/server/ ./internal/wire/
+	$(GO) test -race ./internal/network/ ./internal/eval/ ./internal/protocol/ ./internal/byzantine/ ./internal/attack/ ./internal/server/ ./internal/wire/ ./internal/feasibility/
 
 test:
 	$(GO) test ./...
@@ -80,6 +80,23 @@ loadtest:
 # CI-sized daemon smoke: the same assertions at a few dozen requests.
 daemonsmoke:
 	$(GO) run ./cmd/rmtload -smoke
+
+# Churn-schedule fuzzer: the incremental ≡ fresh differential across every
+# feasibility fixture × CHURN_CHAINS seeded random delta chains of
+# CHURN_STEPS single edits each. A scaled-up run of the tier-1 test —
+# every revision's incremental RMT-cut and 𝒵-pp-cut verdicts (and verified
+# witnesses) must match a from-scratch search.
+CHURN_CHAINS ?= 400
+CHURN_STEPS  ?= 8
+churnfuzz:
+	CHURN_CHAINS=$(CHURN_CHAINS) CHURN_STEPS=$(CHURN_STEPS) \
+		$(GO) test ./internal/feasibility/ -run TestIncrementalMatchesFreshAcrossChurn -count=1 -v
+
+# CI-sized watch smoke: subscribe to POST /v1/watch on an in-process daemon,
+# push a scripted 3-delta churn history, and require exactly the
+# verdict-change events (rev 0, the flip to unsolvable, the flip back).
+watchsmoke:
+	$(GO) run ./cmd/rmtload -watch
 
 # CI-sized fleet smoke: 3 in-process rmtd shards behind the consistent-hash
 # router. Drives the workload through the router (0 drops, all 2xx), then

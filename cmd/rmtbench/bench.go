@@ -8,8 +8,10 @@ import (
 	"testing"
 
 	"rmt"
+	"rmt/internal/adversary"
 	"rmt/internal/benchdef"
 	"rmt/internal/gen"
+	"rmt/internal/instance"
 )
 
 // benchResult is one line of BENCH.json — the machine-readable counterpart
@@ -24,6 +26,28 @@ type benchResult struct {
 func chimeraInstance(scale int) (*rmt.Instance, error) {
 	g, z, d, r := gen.ChimeraScaled(scale)
 	return gen.Build(g, z, gen.AdHoc, d, r)
+}
+
+// churnRevisions builds the RMTCutIncremental workload (the same one as
+// internal/core's bench twin): the 240-node line with a corruptible middle
+// relay — always infeasible — followed by 16 dealer-side chord revisions,
+// each leaving the previous witness repairable.
+func churnRevisions() ([]*rmt.Instance, error) {
+	const n = 240
+	base, err := gen.Build(gen.Line(n), adversary.FromSlices([]int{n / 2}), gen.AdHoc, 0, n-1)
+	if err != nil {
+		return nil, err
+	}
+	out := []*rmt.Instance{base}
+	cur := base
+	for i := 0; i < 16; i++ {
+		cur, err = gen.ApplyDelta(cur, instance.Delta{AddEdges: [][2]int{{i, i + 2}}}, gen.AdHoc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cur)
+	}
+	return out, nil
 }
 
 // runBenches runs the micro-benchmark suite via testing.Benchmark, printing
@@ -70,6 +94,30 @@ func runBenches(out io.Writer) ([]benchResult, error) {
 		namedBench{"ZppCutCheck", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				rmt.FindZppCut(chimera)
+			}
+		}})
+	revisions, err := churnRevisions()
+	if err != nil {
+		return nil, err
+	}
+	benches = append(benches,
+		namedBench{"RMTCutIncrFresh", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, found := rmt.FindRMTCut(revisions[i%len(revisions)]); !found {
+					b.Fatal("churn bench instance must be infeasible")
+				}
+			}
+		}},
+		namedBench{"RMTCutIncremental", func(b *testing.B) {
+			ic := rmt.IncrementalRMTCut{}
+			if _, found := ic.Check(revisions[0]); !found {
+				b.Fatal("churn bench instance must be infeasible")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, found := ic.Check(revisions[i%len(revisions)]); !found {
+					b.Fatal("churn bench instance must be infeasible")
+				}
 			}
 		}})
 	results := make([]benchResult, 0, len(benches))

@@ -13,6 +13,10 @@
 // in-process server so `make loadtest` needs no orchestration. -smoke runs
 // the same checks at CI scale (one uncached plus one cached request).
 //
+// -watch runs the watch-API smoke instead: it subscribes to POST /v1/watch,
+// pushes a scripted delta chain whose feasibility flips twice, and asserts
+// the stream carries exactly the verdict-change events.
+//
 // -fleet boots three in-process shards behind a consistent-hash router
 // (the rmtd fleet topology) and adds the fleet acceptance bar: the router
 // spreads distinct instances across shards, direct hits on non-owning
@@ -25,10 +29,12 @@
 //	rmtload -addr localhost:8080   # against a running daemon
 //	rmtload -smoke                 # CI-sized smoke with the same assertions
 //	rmtload -fleet -smoke          # CI-sized fleet smoke (3 shards + router)
+//	rmtload -watch                 # watch-API smoke (verdict-change stream)
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -60,6 +66,7 @@ func run(args []string, out io.Writer) error {
 		requests    = fs.Int("requests", 4000, "total requests to issue")
 		smoke       = fs.Bool("smoke", false, "CI-sized smoke run (overrides -concurrency/-requests)")
 		fleet       = fs.Bool("fleet", false, "boot a 3-shard fleet behind a router and add the cross-shard cache checks")
+		watch       = fs.Bool("watch", false, "watch-API smoke: subscribe, push a scripted delta chain, assert the exact verdict-change events")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +95,9 @@ func run(args []string, out io.Writer) error {
 		base = inproc
 	}
 
+	if *watch {
+		return runWatchSmoke(out, base)
+	}
 	if err := driveLoad(out, base, []string{base}, *concurrency, *requests); err != nil {
 		return err
 	}
@@ -316,6 +326,91 @@ func checkByteIdentity(out io.Writer) error {
 		return fmt.Errorf("same request, different bodies across worker counts:\n%s\nvs\n%s", bodies[0], bodies[1])
 	}
 	fmt.Fprintln(out, "byte-identity across worker counts PASS")
+	return nil
+}
+
+// ------------------------------------------------------------------- watch
+
+// runWatchSmoke drives one POST /v1/watch subscription through a scripted
+// churn history and asserts the exact verdict-change events:
+//
+//	rev 0  base butterfly                   solvable      → event
+//	rev 1  +chord 1-2                       solvable      → silent
+//	rev 2  -node 3 (third path gone)        unsolvable    → event
+//	rev 3  node 3 re-wired 0-3, 3-4         solvable      → event
+//
+// Any extra line, missing line, wrong revision or wrong verdict fails — the
+// stream contract is "rev 0 plus exactly the flips", not "at least them".
+func runWatchSmoke(out io.Writer, base string) error {
+	const instanceLine = `{"graph":"0-1 0-2 0-3 1-4 2-4 3-4","structure":"1;2;3","dealer":0,"receiver":4}`
+	deltas := []string{
+		`{"add_edges":[[1,2]]}`,
+		`{"remove_nodes":[3]}`,
+		`{"add_nodes":[3],"add_edges":[[0,3],[3,4]]}`,
+	}
+	body := instanceLine + "\n" + strings.Join(deltas, "\n") + "\n"
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	resp, err := client.Post(base+"/v1/watch", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("watch: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("watch: read stream: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("watch: status %d: %s", resp.StatusCode, raw)
+	}
+
+	type event struct {
+		Rev   int    `json:"rev"`
+		Key   string `json:"key"`
+		Error string `json:"error"`
+		PKA   struct {
+			Solvable bool `json:"solvable"`
+		} `json:"pka"`
+		ZCPA *struct {
+			Solvable bool `json:"solvable"`
+		} `json:"zcpa"`
+	}
+	var events []event
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("watch: bad stream line %s: %w", line, err)
+		}
+		if ev.Error != "" {
+			return fmt.Errorf("watch: in-band error at rev %d: %s", ev.Rev, ev.Error)
+		}
+		events = append(events, ev)
+	}
+
+	want := []struct {
+		rev      int
+		solvable bool
+	}{{0, true}, {2, false}, {3, true}}
+	if len(events) != len(want) {
+		return fmt.Errorf("watch: %d events, want exactly %d (rev 0 + the two flips):\n%s", len(events), len(want), raw)
+	}
+	for i, w := range want {
+		ev := events[i]
+		if ev.Rev != w.rev {
+			return fmt.Errorf("watch: event %d at rev %d, want rev %d", i, ev.Rev, w.rev)
+		}
+		if ev.PKA.Solvable != w.solvable {
+			return fmt.Errorf("watch: rev %d pka solvable=%v, want %v", ev.Rev, ev.PKA.Solvable, w.solvable)
+		}
+		if ev.ZCPA == nil || ev.ZCPA.Solvable != w.solvable {
+			return fmt.Errorf("watch: rev %d zcpa verdict %+v, want solvable=%v", ev.Rev, ev.ZCPA, w.solvable)
+		}
+		fmt.Fprintf(out, "watch event rev=%d solvable=%v key=%s\n", ev.Rev, ev.PKA.Solvable, ev.Key[:12])
+	}
+	fmt.Fprintln(out, "watch smoke PASS")
 	return nil
 }
 

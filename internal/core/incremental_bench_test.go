@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rmt/internal/core"
+	"rmt/internal/gen"
+	"rmt/internal/instance"
+	"rmt/internal/zcpa"
+)
+
+// churnRevisions builds the bench workload: the corruptible-middle line
+// (always infeasible) followed by revs dealer-side chord additions. Every
+// revision leaves the middle-relay witness repairable, so the incremental
+// checker answers each with one BFS + one candidate evaluation while the
+// fresh enumeration walks ~n/2 receiver-side candidates.
+func churnRevisions(b *testing.B, n, revs int) []*instance.Instance {
+	b.Helper()
+	out := make([]*instance.Instance, 0, revs+1)
+	cur := incrLine(b, n)
+	out = append(out, cur)
+	for i := 0; i < revs; i++ {
+		next, err := gen.ApplyDelta(cur, instance.Delta{AddEdges: [][2]int{{i, i + 2}}}, gen.AdHoc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, next)
+		cur = next
+	}
+	return out
+}
+
+// BenchmarkRMTCutIncremental is the churn bench family: fresh re-runs the
+// full enumeration on every revision, reverify answers each revision by
+// repairing the previous witness. The ≥200-node sizes are where the gap is
+// structural (linear BFS vs ~n/2 candidate evaluations), not constant-factor.
+func BenchmarkRMTCutIncremental(b *testing.B) {
+	for _, n := range []int{60, 240} {
+		revisions := churnRevisions(b, n, 16)
+		b.Run(fmt.Sprintf("fresh/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, found := core.FindRMTCut(revisions[i%len(revisions)]); !found {
+					b.Fatal("bench instance must be infeasible")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("reverify/n=%d", n), func(b *testing.B) {
+			ic := core.NewIncrementalCut()
+			if _, found := ic.Check(revisions[0]); !found {
+				b.Fatal("bench instance must be infeasible")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, found := ic.Check(revisions[i%len(revisions)]); !found {
+					b.Fatal("bench instance must be infeasible")
+				}
+			}
+			b.StopTimer()
+			if repaired, fresh := ic.Stats(); fresh > 1 || repaired == 0 {
+				b.Fatalf("reverify side fell back to enumeration: %d repaired, %d fresh", repaired, fresh)
+			}
+		})
+	}
+}
+
+// BenchmarkZppCutIncremental is the ad hoc twin of BenchmarkRMTCutIncremental.
+func BenchmarkZppCutIncremental(b *testing.B) {
+	for _, n := range []int{60, 240} {
+		revisions := churnRevisions(b, n, 16)
+		b.Run(fmt.Sprintf("fresh/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, found := zcpa.FindRMTZppCut(revisions[i%len(revisions)]); !found {
+					b.Fatal("bench instance must be infeasible")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("reverify/n=%d", n), func(b *testing.B) {
+			ic := zcpa.NewIncrementalCut()
+			if _, found := ic.Check(revisions[0]); !found {
+				b.Fatal("bench instance must be infeasible")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, found := ic.Check(revisions[i%len(revisions)]); !found {
+					b.Fatal("bench instance must be infeasible")
+				}
+			}
+		})
+	}
+}

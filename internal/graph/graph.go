@@ -69,6 +69,61 @@ func (g *Graph) AddEdge(u, v int) {
 	g.adj[v] = g.adj[v].Add(u)
 }
 
+// RemoveEdge deletes the undirected edge {u, v}. The endpoints remain
+// nodes of the graph; removing an absent edge is a no-op. Like AddEdge,
+// this is an assembly-time mutation: derived graphs built from g earlier
+// are unaffected (Sets are immutable values), but callers sharing g itself
+// must clone first.
+func (g *Graph) RemoveEdge(u, v int) {
+	if !g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u] = g.adj[u].Remove(v)
+	g.adj[v] = g.adj[v].Remove(u)
+}
+
+// RemoveNode deletes the node and every edge incident to it, in place.
+// Removing an absent node is a no-op. See RemoveEdge for sharing caveats;
+// RemoveNodes is the non-mutating form.
+func (g *Graph) RemoveNode(id int) {
+	if !g.HasNode(id) {
+		return
+	}
+	g.adj[id].ForEach(func(v int) bool {
+		g.adj[v] = g.adj[v].Remove(id)
+		return true
+	})
+	g.adj[id] = nodeset.Empty()
+	g.nodes = g.nodes.Remove(id)
+	delete(g.labels, id)
+}
+
+// ComponentAvoiding returns the connected component of v in G − blocked
+// without materializing the subgraph: a BFS from v that never enters
+// blocked. It returns the empty set when v is not a node or is itself
+// blocked. Incremental cut re-verification uses it to recompute one
+// receiver-side component per topology delta instead of one induced
+// subgraph per delta.
+func (g *Graph) ComponentAvoiding(v int, blocked nodeset.Set) nodeset.Set {
+	if !g.HasNode(v) || blocked.Contains(v) {
+		return nodeset.Empty()
+	}
+	visited := nodeset.Of(v)
+	frontier := []int{v}
+	for len(frontier) > 0 {
+		u := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		g.adj[u].ForEach(func(w int) bool {
+			if !visited.Contains(w) && !blocked.Contains(w) {
+				visited = visited.Add(w)
+				frontier = append(frontier, w)
+			}
+			return true
+		})
+	}
+	return visited
+}
+
 // AddPath adds edges forming the path ids[0] - ids[1] - ... - ids[k-1].
 func (g *Graph) AddPath(ids ...int) {
 	for i := 1; i < len(ids); i++ {

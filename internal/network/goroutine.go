@@ -56,6 +56,7 @@ func runGoroutine(cfg Config) (*Result, error) {
 
 	haltedNow := make(map[int]bool, len(st.ids))
 	for round := 1; round <= st.maxRounds; round++ {
+		st.applyChurn(round)
 		live := st.takePending(round)
 		if live == 0 && st.futureLive() == 0 && st.allHalted() {
 			break
@@ -104,7 +105,7 @@ func runGoroutine(cfg Config) (*Result, error) {
 		if st.stopEarly() {
 			break
 		}
-		if quiescent && sent == 0 {
+		if quiescent && sent == 0 && !st.churnPending() {
 			break
 		}
 	}

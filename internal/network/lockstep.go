@@ -45,6 +45,7 @@ func runLockstep(cfg Config) (*Result, error) {
 	st.refreshDecisions() // record Init-time decisions as round 0
 
 	for round := 1; round <= st.maxRounds; round++ {
+		st.applyChurn(round)
 		live := st.takePending(round)
 		if live == 0 && st.futureLive() == 0 && st.allHalted() {
 			break
@@ -81,8 +82,9 @@ func runLockstep(cfg Config) (*Result, error) {
 			break
 		}
 		// Quiescence: nothing was in flight and nothing new was produced,
-		// so every later round is identical — stop.
-		if quiescent && sent == 0 {
+		// so every later round is identical — stop. Pending churn blocks
+		// the shortcut: a future edge addition can revive rejected sends.
+		if quiescent && sent == 0 && !st.churnPending() {
 			break
 		}
 	}

@@ -115,6 +115,24 @@ type Blueprint struct {
 	Forged string
 }
 
+// ChurnEvent is one batch of topology edits taking effect at the start of
+// Round, before that round's deliveries: edges are added, then removed, and
+// any delivery-calendar message whose carrying edge no longer exists is
+// recorded as a loss (the synchronous-model reading of a link failing with
+// a message in flight). Events edit edges only — a node appearing mid-run
+// would need a Process that does not exist, and the engine cannot invent
+// one, so node churn is a property of the instance layer (instance.Delta),
+// not of a running network.
+type ChurnEvent struct {
+	// Round is the round at whose start the edits apply (≥ 1).
+	Round int
+	// AddEdges lists edges to add, each between existing, distinct nodes.
+	AddEdges [][2]int
+	// RemoveEdges lists edges to remove; they must exist when the event
+	// fires (validated against the cumulative edit sequence up front).
+	RemoveEdges [][2]int
+}
+
 // Config describes one run.
 type Config struct {
 	// Graph is the communication topology. Required.
@@ -132,6 +150,11 @@ type Config struct {
 	// Scheduler is the async engine's delivery policy (nil = SyncScheduler).
 	// Ignored by the synchronous engines.
 	Scheduler Scheduler
+	// Churn schedules mid-run topology edits, in non-decreasing round
+	// order (see ChurnEvent). Supported by the in-process engines
+	// (lockstep, goroutine, async); the wire engine rejects it — children
+	// hold a private copy of the graph fixed at handshake.
+	Churn []ChurnEvent
 	// Blueprint is the pure-data run recipe engines running players in
 	// other processes need (see Blueprint); in-process engines ignore it.
 	Blueprint *Blueprint
@@ -172,6 +195,45 @@ func (c *Config) validate() error {
 	})
 	if !ok {
 		return fmt.Errorf("network: missing or nil process for some node")
+	}
+	return c.validateChurn()
+}
+
+// validateChurn replays the churn schedule against a copy of the graph so
+// every edit is known to be legal before the run starts: a mid-run
+// validation failure would leave the accounting half-applied.
+func (c *Config) validateChurn() error {
+	if len(c.Churn) == 0 {
+		return nil
+	}
+	g := c.Graph.Clone()
+	last := 1
+	for i, ev := range c.Churn {
+		if ev.Round < 1 {
+			return fmt.Errorf("network: churn event %d at round %d (rounds start at 1)", i, ev.Round)
+		}
+		if ev.Round < last {
+			return fmt.Errorf("network: churn event %d at round %d after an event at round %d (events must be in round order)", i, ev.Round, last)
+		}
+		last = ev.Round
+		for _, e := range ev.AddEdges {
+			u, v := e[0], e[1]
+			switch {
+			case u == v:
+				return fmt.Errorf("network: churn event %d adds self-loop %d-%d", i, u, v)
+			case !g.HasNode(u) || !g.HasNode(v):
+				return fmt.Errorf("network: churn event %d adds edge %d-%d with an unknown endpoint (node churn is not supported)", i, u, v)
+			case g.HasEdge(u, v):
+				return fmt.Errorf("network: churn event %d adds existing edge %d-%d", i, u, v)
+			}
+			g.AddEdge(u, v)
+		}
+		for _, e := range ev.RemoveEdges {
+			if !g.HasEdge(e[0], e[1]) {
+				return fmt.Errorf("network: churn event %d removes absent edge %d-%d", i, e[0], e[1])
+			}
+			g.RemoveEdge(e[0], e[1])
+		}
 	}
 	return nil
 }

@@ -51,6 +51,8 @@ type runState struct {
 	sorter     deliverySorter    // reusable sort.Stable adapter for large rounds
 	inFlight   int               // undelivered scheduled messages
 	sched      Scheduler         // nil = synchronous delivery at sent+1
+	churn      []ChurnEvent      // validated topology edits, in round order
+	churnIdx   int               // first churn event not yet applied
 	extra      []Tracer          // user-installed observers (Config.Tracers)
 	mt         MetricsTracer
 	tt         *TranscriptTracer // nil unless Config.RecordTranscript
@@ -84,6 +86,7 @@ func newRunState(cfg Config) *runState {
 	st.tt = nil
 	st.haltedN = 0
 	st.inFlight = 0
+	st.churn, st.churnIdx = cfg.Churn, 0
 	st.rounds, st.roundSend = 0, 0
 	// The decision maps escape into the caller's Result, so they are the
 	// one piece of bookkeeping allocated fresh every run.
@@ -292,6 +295,99 @@ func (st *runState) deliveryRound(round int, m Message) int {
 		at = st.maxRounds
 	}
 	return at
+}
+
+// applyChurn applies the churn events scheduled for round. Edits take
+// effect at the start of the round, before takePending, so a message in
+// flight over an edge removed this round is lost rather than delivered.
+// The config graph is repointed at an edited clone — never mutated — so
+// the outbox closures (which read st.cfg.Graph at send time) reject sends
+// over removed edges from this round on, while the caller's graph stays
+// untouched.
+func (st *runState) applyChurn(round int) {
+	if st.churnIdx >= len(st.churn) || st.churn[st.churnIdx].Round != round {
+		return
+	}
+	g := st.cfg.Graph.Clone()
+	removedAny := false
+	for st.churnIdx < len(st.churn) && st.churn[st.churnIdx].Round == round {
+		ev := st.churn[st.churnIdx]
+		st.churnIdx++
+		for _, e := range ev.AddEdges {
+			g.AddEdge(e[0], e[1])
+		}
+		for _, e := range ev.RemoveEdges {
+			g.RemoveEdge(e[0], e[1])
+			removedAny = true
+		}
+		st.mt.Churn(round, ev.AddEdges, ev.RemoveEdges)
+		if st.tt != nil {
+			st.tt.Churn(round, ev.AddEdges, ev.RemoveEdges)
+		}
+		for _, tr := range st.extra {
+			tr.Churn(round, ev.AddEdges, ev.RemoveEdges)
+		}
+	}
+	st.cfg.Graph = g
+	if removedAny {
+		st.loseSevered()
+	}
+}
+
+// churnPending reports whether churn events remain to be applied. While
+// any are pending the engines must not quiescence-break: an edge addition
+// can turn a player's rejected sends into accepted ones, so "nothing in
+// flight and nothing sent" does not yet imply every later round is
+// identical.
+func (st *runState) churnPending() bool { return st.churnIdx < len(st.churn) }
+
+// loseSevered sweeps the delivery calendar for messages whose carrying
+// edge was just removed, recording each as a loss in the deterministic
+// order drainCalendar uses: delivery rounds ascending, severed recipients
+// ascending, merge order within a recipient. Survivors are compacted in
+// place, keeping their merge order.
+func (st *runState) loseSevered() {
+	g := st.cfg.Graph
+	rounds := make([]int, 0, len(st.future))
+	for at, flat := range st.future {
+		for _, m := range flat {
+			if !g.HasEdge(m.From, m.To) {
+				rounds = append(rounds, at)
+				break
+			}
+		}
+	}
+	sort.Ints(rounds)
+	for _, at := range rounds {
+		flat := st.future[at]
+		var tos []int
+		for _, m := range flat {
+			if !g.HasEdge(m.From, m.To) && !containsInt(tos, m.To) {
+				tos = append(tos, m.To)
+			}
+		}
+		sort.Ints(tos)
+		for _, to := range tos {
+			for _, m := range flat {
+				if m.To == to && !g.HasEdge(m.From, m.To) {
+					st.lose(at, m)
+					st.inFlight--
+				}
+			}
+		}
+		kept := flat[:0]
+		for _, m := range flat {
+			if g.HasEdge(m.From, m.To) {
+				kept = append(kept, m)
+			}
+		}
+		if len(kept) == 0 {
+			delete(st.future, at)
+			st.freeFlat = append(st.freeFlat, kept)
+		} else {
+			st.future[at] = kept
+		}
+	}
 }
 
 // takePending removes the messages due for delivery in round and groups
@@ -609,6 +705,7 @@ func (st *runState) release() {
 	st.sched = nil
 	st.tt = nil
 	st.halted = nil
+	st.churn = nil
 	st.decisions, st.decidedAt = nil, nil
 	st.mt = MetricsTracer{}
 	statePool.Put(st)

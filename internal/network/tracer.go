@@ -31,13 +31,20 @@ type Tracer interface {
 	// Drop is a rejected send (non-edge or self destination) in round.
 	Drop(round int, m Message)
 	// Lose is an accepted send that will never reach a live player: its
-	// recipient halted before the delivery round, or the run ended (final
-	// round, early stop, quiescence) with the message still in the
-	// delivery calendar. round is the delivery round the message was
-	// scheduled for. Every accepted send is eventually reported by exactly
-	// one of Deliver (as part of an inbox) or Lose, so
-	// MessagesSent == MessagesDelivered + MessagesLost reconciles.
+	// recipient halted before the delivery round, the carrying edge was
+	// removed by churn, or the run ended (final round, early stop,
+	// quiescence) with the message still in the delivery calendar. round is
+	// the delivery round the message was scheduled for. Every accepted send
+	// is eventually reported by exactly one of Deliver (as part of an
+	// inbox) or Lose, so MessagesSent == MessagesDelivered + MessagesLost
+	// reconciles.
 	Lose(round int, m Message)
+	// Churn is a topology edit taking effect at the start of round, before
+	// that round's deliveries: one event per Config.Churn entry, in order.
+	// The Lose events for calendar messages severed by the removals follow
+	// immediately after the round's Churn events. Tracers must not retain
+	// or mutate the edge slices.
+	Churn(round int, added, removed [][2]int)
 	// Deliver is the inbox handed to a live player at the start of round.
 	Deliver(round, player int, inbox []Message)
 	// Decide is a player's first observed decision (round 0 = during Init).
@@ -68,6 +75,9 @@ func (NopTracer) Drop(int, Message) {}
 
 // Lose implements Tracer.
 func (NopTracer) Lose(int, Message) {}
+
+// Churn implements Tracer.
+func (NopTracer) Churn(int, [][2]int, [][2]int) {}
 
 // Deliver implements Tracer.
 func (NopTracer) Deliver(int, int, []Message) {}
@@ -184,6 +194,9 @@ type jsonlEvent struct {
 	Nodes   int    `json:"nodes,omitempty"`
 	Edges   int    `json:"edges,omitempty"`
 	Engine  string `json:"engine,omitempty"`
+
+	Added   [][2]int `json:"added,omitempty"`
+	Removed [][2]int `json:"removed,omitempty"`
 }
 
 func id(v int) *int { return &v }
@@ -226,6 +239,11 @@ func (t *JSONLTracer) Drop(round int, m Message) {
 // Lose implements Tracer.
 func (t *JSONLTracer) Lose(round int, m Message) {
 	t.emit(jsonlEvent{Ev: "lose", Round: round, From: id(m.From), To: id(m.To)})
+}
+
+// Churn implements Tracer.
+func (t *JSONLTracer) Churn(round int, added, removed [][2]int) {
+	t.emit(jsonlEvent{Ev: "churn", Round: round, Added: added, Removed: removed})
 }
 
 // Deliver implements Tracer.

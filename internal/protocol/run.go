@@ -42,6 +42,7 @@ func Run(p Protocol, in *instance.Instance, xD network.Value, opts Options) (*ne
 		RecordTranscript: opts.RecordTranscript,
 		MaxRounds:        opts.MaxRounds,
 		Tracers:          opts.Tracers,
+		Churn:            opts.Churn,
 	}
 	if opts.Blueprint != nil {
 		bp := *opts.Blueprint

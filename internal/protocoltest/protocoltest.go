@@ -115,6 +115,7 @@ func Run(t *testing.T, f Factory, cfg Config) {
 	t.Run(f.Name+"/safety-zoo", func(t *testing.T) { safetyZoo(t, f, cfg) })
 	if !cfg.SkipEngine {
 		t.Run(f.Name+"/engine-equivalence", func(t *testing.T) { engineEquivalence(t, f, cfg) })
+		t.Run(f.Name+"/churn-equivalence", func(t *testing.T) { churnEquivalence(t, f, cfg) })
 	}
 	if !cfg.SkipSchedules {
 		t.Run(f.Name+"/schedule-safety", func(t *testing.T) { scheduleSafety(t, f, cfg) })
@@ -140,11 +141,17 @@ func runTraced(f Factory, in *instance.Instance, xD network.Value, corrupt map[i
 
 // runScheduled is runTraced with an async delivery schedule installed.
 func runScheduled(f Factory, in *instance.Instance, xD network.Value, corrupt map[int]network.Process, engine network.Engine, sched network.Scheduler, maxRounds int, record bool) (*network.Result, *countTracer, error) {
+	return runChurned(f, in, xD, corrupt, engine, sched, nil, maxRounds, record)
+}
+
+// runChurned is runScheduled with a mid-run churn schedule installed.
+func runChurned(f Factory, in *instance.Instance, xD network.Value, corrupt map[int]network.Process, engine network.Engine, sched network.Scheduler, churn []network.ChurnEvent, maxRounds int, record bool) (*network.Result, *countTracer, error) {
 	cfg := network.Config{
 		Graph:     in.G,
 		Processes: f.NewProcesses(in, xD, corrupt),
 		Engine:    engine,
 		Scheduler: sched,
+		Churn:     churn,
 		MaxRounds: maxRounds,
 		StopEarly: func(d map[int]network.Value) bool {
 			_, ok := d[in.Receiver]
@@ -296,6 +303,61 @@ func engineEquivalence(t *testing.T, f Factory, cfg Config) {
 			bct.reconcile(t, fmt.Sprintf("fixture %d corrupt %v goroutine", i, m), b)
 			cct.reconcile(t, fmt.Sprintf("fixture %d corrupt %v async", i, m), c)
 		}
+	}
+}
+
+// churnEquivalence re-runs the honest engine-equivalence slice under a
+// mid-run churn schedule — a dealer-side edge removed at round 2 and
+// restored at round 4 — pinning that topology churn preserves the
+// cross-engine determinism guarantee (identical decisions and transcripts
+// on lockstep, goroutine and async) and the send/delivery accounting.
+// Liveness is deliberately not asserted: severing a dealer edge can make
+// the remaining instance unsolvable, and that verdict is the feasibility
+// layer's business, not the engines'.
+func churnEquivalence(t *testing.T, f Factory, cfg Config) {
+	for i, in := range fixtures(t, f) {
+		rel := -1
+		in.G.Neighbors(in.Dealer).ForEach(func(v int) bool {
+			if v != in.Receiver {
+				rel = v
+				return false
+			}
+			return true
+		})
+		if rel < 0 {
+			continue
+		}
+		churn := []network.ChurnEvent{
+			{Round: 2, RemoveEdges: [][2]int{{in.Dealer, rel}}},
+			{Round: 4, AddEdges: [][2]int{{in.Dealer, rel}}},
+		}
+		a, act, err := runChurned(f, in, "x", nil, network.Lockstep, nil, churn, cfg.MaxRounds, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, bct, err := runChurned(f, in, "x", nil, network.Goroutine, nil, churn, cfg.MaxRounds, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, cct, err := runChurned(f, in, "x", nil, network.Async, nil, churn, cfg.MaxRounds, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		av, aok := a.DecisionOf(in.Receiver)
+		for eng, res := range map[string]*network.Result{"goroutine": b, "async": c} {
+			v, ok := res.DecisionOf(in.Receiver)
+			if av != v || aok != ok {
+				t.Errorf("fixture %d: %s under churn disagrees with lockstep (%q/%v vs %q/%v)",
+					i, eng, v, ok, av, aok)
+			}
+			if ak, k := a.Transcript.Key(), res.Transcript.Key(); ak != k {
+				t.Errorf("fixture %d: %s transcript under churn differs from lockstep:\nlockstep: %s\n%s: %s",
+					i, eng, ak, eng, k)
+			}
+		}
+		act.reconcile(t, fmt.Sprintf("fixture %d churn lockstep", i), a)
+		bct.reconcile(t, fmt.Sprintf("fixture %d churn goroutine", i), b)
+		cct.reconcile(t, fmt.Sprintf("fixture %d churn async", i), c)
 	}
 }
 

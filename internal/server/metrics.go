@@ -27,6 +27,7 @@ type serverMetrics struct {
 	rejected    atomic.Int64 // 429s: queue-full backpressure
 	timeouts    atomic.Int64 // 504s: compute-deadline expiries
 	cancels     atomic.Int64 // 499s: client disconnected mid-compute
+	watchEvents atomic.Int64 // verdict-change lines streamed by /v1/watch
 
 	latency map[string]*histogram // endpoint → latency histogram
 }
@@ -108,6 +109,7 @@ func (m *serverMetrics) render(w io.Writer, queueDepth, workers, cacheEntries in
 	fmt.Fprintf(w, "# TYPE rmtd_rejected_total counter\nrmtd_rejected_total %d\n", m.rejected.Load())
 	fmt.Fprintf(w, "# TYPE rmtd_timeouts_total counter\nrmtd_timeouts_total %d\n", m.timeouts.Load())
 	fmt.Fprintf(w, "# TYPE rmtd_client_cancels_total counter\nrmtd_client_cancels_total %d\n", m.cancels.Load())
+	fmt.Fprintf(w, "# TYPE rmtd_watch_events_total counter\nrmtd_watch_events_total %d\n", m.watchEvents.Load())
 
 	// Counter cells are never removed, so a snapshot of the pointers under
 	// the lock is enough; the atomic loads happen outside it.

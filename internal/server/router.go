@@ -1,10 +1,13 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"sort"
@@ -25,6 +28,13 @@ type RouterOptions struct {
 	// LogWriter receives one JSON object per routed request. Default
 	// os.Stderr; use io.Discard to silence.
 	LogWriter io.Writer
+	// ShardTimeout bounds one routed query end to end. It must exceed the
+	// shards' compute deadline (Options.RequestTimeout, default 30s) so
+	// the shard's own 504 arrives first and the router's timeout only
+	// fires for a shard that is stalled, not merely slow. Default 35s.
+	// Watch streams are exempt: they are long-lived by design and are
+	// forwarded on a client without an overall deadline.
+	ShardTimeout time.Duration
 }
 
 // Router is the fleet front door: a stateless HTTP handler that forwards
@@ -37,17 +47,22 @@ type RouterOptions struct {
 // The router holds no cache and no worker pool; shard replies are relayed
 // verbatim, preserving the shards' byte-identity guarantee end to end.
 type Router struct {
-	opts   RouterOptions
-	ring   *hashRing
-	client *http.Client
-	mux    *http.ServeMux
-	start  time.Time
+	opts RouterOptions
+	ring *hashRing
+	// client answers the unary query endpoints under ShardTimeout;
+	// streamClient forwards long-lived watch subscriptions and has no
+	// overall deadline (both share one transport and its pool).
+	client       *http.Client
+	streamClient *http.Client
+	mux          *http.ServeMux
+	start        time.Time
 
 	mu       sync.Mutex
 	forwards map[string]*atomic.Int64 // shard → requests forwarded
 
 	badRequests atomic.Int64 // rejected before routing (bad body/instance)
 	shardErrors atomic.Int64 // transport failures talking to a shard
+	timeouts    atomic.Int64 // 504s: shard exceeded ShardTimeout
 
 	logMu sync.Mutex
 }
@@ -63,13 +78,18 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	if opts.LogWriter == nil {
 		opts.LogWriter = os.Stderr
 	}
+	if opts.ShardTimeout <= 0 {
+		opts.ShardTimeout = 35 * time.Second
+	}
+	transport := &http.Transport{MaxIdleConnsPerHost: 64}
 	rt := &Router{
-		opts:     opts,
-		ring:     newHashRing(opts.Shards),
-		client:   &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}},
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
-		forwards: make(map[string]*atomic.Int64, len(opts.Shards)),
+		opts:         opts,
+		ring:         newHashRing(opts.Shards),
+		client:       &http.Client{Transport: transport, Timeout: opts.ShardTimeout},
+		streamClient: &http.Client{Transport: transport},
+		mux:          http.NewServeMux(),
+		start:        time.Now(),
+		forwards:     make(map[string]*atomic.Int64, len(opts.Shards)),
 	}
 	for _, s := range opts.Shards {
 		rt.forwards[s] = &atomic.Int64{}
@@ -79,6 +99,7 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/protocols", rt.handleProtocols)
 	rt.mux.HandleFunc("POST /v1/feasibility", rt.handleQuery)
 	rt.mux.HandleFunc("POST /v1/run", rt.handleQuery)
+	rt.mux.HandleFunc("POST /v1/watch", rt.handleWatch)
 	return rt, nil
 }
 
@@ -104,6 +125,7 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE rmtd_router_shards gauge\nrmtd_router_shards %d\n", len(rt.opts.Shards))
 	fmt.Fprintf(w, "# TYPE rmtd_router_bad_requests_total counter\nrmtd_router_bad_requests_total %d\n", rt.badRequests.Load())
 	fmt.Fprintf(w, "# TYPE rmtd_router_shard_errors_total counter\nrmtd_router_shard_errors_total %d\n", rt.shardErrors.Load())
+	fmt.Fprintf(w, "# TYPE rmtd_router_timeouts_total counter\nrmtd_router_timeouts_total %d\n", rt.timeouts.Load())
 	shards := append([]string(nil), rt.opts.Shards...)
 	sort.Strings(shards)
 	fmt.Fprintf(w, "# TYPE rmtd_router_forwards_total counter\n")
@@ -165,6 +187,13 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shard string, 
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			rt.timeouts.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "shard %s: timed out after %s", shard, rt.opts.ShardTimeout)
+			rt.logRequest(r.Method, r.URL.Path, shard, http.StatusGatewayTimeout, time.Since(start))
+			return
+		}
 		rt.shardErrors.Add(1)
 		writeError(w, http.StatusBadGateway, "shard %s: %v", shard, err)
 		return
@@ -177,6 +206,99 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shard string, 
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
 	rt.logRequest(r.Method, r.URL.Path, shard, resp.StatusCode, time.Since(start))
+}
+
+// handleWatch routes POST /v1/watch. Unlike handleQuery it cannot slurp the
+// body — the body IS the subscription, a possibly-unbounded delta stream —
+// so it reads exactly the first line (the base instance), computes the
+// canonical key, and splices the consumed bytes back in front of the
+// remainder for the shard. The whole stream goes to the *base* key's owner,
+// which is what keeps every chain revision's cache entry on one shard.
+// Streams ride streamClient (no overall deadline) and each shard chunk is
+// flushed through as it arrives.
+func (rt *Router) handleWatch(w http.ResponseWriter, r *http.Request) {
+	// The client may interleave deltas with our streamed verdicts; allow
+	// reading the request body after response bytes have been written.
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex()
+
+	br := bufio.NewReader(r.Body)
+	line, err := readLimitedLine(br, rt.opts.MaxBodyBytes)
+	if err != nil {
+		rt.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "watch: instance line: %v", err)
+		return
+	}
+	var req InstanceRequest
+	if err := json.Unmarshal(line, &req); err != nil {
+		rt.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "instance line: %v", err)
+		return
+	}
+	in, _, err := req.build()
+	if err != nil {
+		rt.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, "instance: %v", err)
+		return
+	}
+	shard := rt.ring.owner(in.CanonicalKey())
+
+	start := time.Now()
+	body := io.MultiReader(bytes.NewReader(line), br)
+	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, shard+r.URL.Path, body)
+	if err != nil {
+		rt.shardErrors.Add(1)
+		writeError(w, http.StatusBadGateway, "shard %s: %v", shard, err)
+		return
+	}
+	preq.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := rt.streamClient.Do(preq)
+	if err != nil {
+		rt.shardErrors.Add(1)
+		writeError(w, http.StatusBadGateway, "shard %s: %v", shard, err)
+		return
+	}
+	defer resp.Body.Close()
+	rt.forwards[shard].Add(1)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				break
+			}
+			rc.Flush()
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	rt.logRequest(r.Method, r.URL.Path, shard, resp.StatusCode, time.Since(start))
+}
+
+// readLimitedLine reads one newline-terminated line (newline included, so
+// the bytes splice back verbatim), erroring past limit instead of buffering
+// an unbounded first line.
+func readLimitedLine(br *bufio.Reader, limit int64) ([]byte, error) {
+	line := make([]byte, 0, 256)
+	for int64(len(line)) < limit {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(line) > 0 {
+				return line, nil
+			}
+			return nil, err
+		}
+		line = append(line, b)
+		if b == '\n' {
+			return line, nil
+		}
+	}
+	return nil, fmt.Errorf("line exceeds %d bytes", limit)
 }
 
 func (rt *Router) logRequest(method, path, shard string, status int, d time.Duration) {

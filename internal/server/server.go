@@ -66,6 +66,9 @@ type Options struct {
 	MaxBodyBytes int64
 	// MaxTrials bounds RunRequest.Trials. Default 1024.
 	MaxTrials int
+	// MaxWatchDeltas bounds the revisions of one /v1/watch subscription.
+	// Default 4096.
+	MaxWatchDeltas int
 	// LogWriter receives one JSON object per request (structured access
 	// log). Default os.Stderr; use io.Discard to silence.
 	LogWriter io.Writer
@@ -97,6 +100,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxTrials <= 0 {
 		o.MaxTrials = 1024
+	}
+	if o.MaxWatchDeltas <= 0 {
+		o.MaxWatchDeltas = 4096
 	}
 	if o.LogWriter == nil {
 		o.LogWriter = os.Stderr
@@ -140,6 +146,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/protocols", s.instrument("/v1/protocols", s.handleProtocols))
 	s.mux.HandleFunc("POST /v1/feasibility", s.instrument("/v1/feasibility", s.handleFeasibility))
 	s.mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
+	s.mux.HandleFunc("POST /v1/watch", s.instrument("/v1/watch", s.handleWatch))
 	s.mux.HandleFunc("POST /internal/cache", s.instrument("/internal/cache", s.handleInternalCache))
 	return s
 }
@@ -180,6 +187,10 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's Flush
+// and EnableFullDuplex — the watch stream needs both.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 func (s *Server) logRequest(method, path string, status int, d time.Duration, cache string) {
 	entry := struct {

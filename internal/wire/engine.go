@@ -17,21 +17,58 @@ import (
 // EngineWire is the wire engine's registry name.
 const EngineWire = "wire"
 
-// Engine is the wire execution engine: one OS process per player over TCP.
-// It is also resolvable as "wire" via network.EngineByName once this package
-// is imported.
-var Engine network.Engine = wireEngine{}
+// Engine is the wire execution engine with default timeouts: one OS process
+// per player over TCP. It is also resolvable as "wire" via
+// network.EngineByName once this package is imported; NewEngine builds one
+// with custom deadlines.
+var Engine network.Engine = wireEngine{opts: EngineOptions{}.withDefaults()}
 
 func init() { network.RegisterEngine(Engine) }
 
-// handshakeTimeout bounds cluster boot (spawn + dial + hello/spec/ready);
-// stepTimeout bounds one Init/Round round-trip with a single child.
-const (
-	handshakeTimeout = 30 * time.Second
-	stepTimeout      = 60 * time.Second
-)
+// EngineOptions are the wire engine's lifecycle deadlines. The zero value of
+// every field means its default; NewEngine applies them.
+type EngineOptions struct {
+	// HandshakeTimeout bounds cluster boot: spawning every child, accepting
+	// their connections and completing the hello/spec/ready exchange.
+	// Default 30s.
+	HandshakeTimeout time.Duration
+	// StepTimeout bounds one Init/Round round-trip with a single child.
+	// Default 60s.
+	StepTimeout time.Duration
+	// ByeTimeout bounds the polite bye frame to each child at shutdown.
+	// Default 2s.
+	ByeTimeout time.Duration
+	// KillGrace is how long shutdown waits for a child to exit after bye
+	// before killing it. Every child is reaped (cmd.Wait) either way — a
+	// failed handshake or a mid-run child death must never leave zombies.
+	// Default 5s.
+	KillGrace time.Duration
+}
 
-type wireEngine struct{}
+func (o EngineOptions) withDefaults() EngineOptions {
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 30 * time.Second
+	}
+	if o.StepTimeout <= 0 {
+		o.StepTimeout = 60 * time.Second
+	}
+	if o.ByeTimeout <= 0 {
+		o.ByeTimeout = 2 * time.Second
+	}
+	if o.KillGrace <= 0 {
+		o.KillGrace = 5 * time.Second
+	}
+	return o
+}
+
+// NewEngine returns a wire engine with the given deadlines. The package-level
+// Engine uses the defaults; tests and latency-sensitive embedders shorten
+// them.
+func NewEngine(opts EngineOptions) network.Engine {
+	return wireEngine{opts: opts.withDefaults()}
+}
+
+type wireEngine struct{ opts EngineOptions }
 
 // Name implements network.Engine.
 func (wireEngine) Name() string { return EngineWire }
@@ -44,17 +81,20 @@ func (wireEngine) Name() string { return EngineWire }
 // The proxies round-trip Init/Round over TCP, so the Tracer event stream,
 // metrics and transcripts come from the same code path as the in-process
 // engines.
-func (e wireEngine) Run(cfg Config) (*network.Result, error) { return runWire(cfg) }
+func (e wireEngine) Run(cfg Config) (*network.Result, error) { return runWire(cfg, e.opts) }
 
 // Config is network.Config; aliased so the Engine method set reads naturally.
 type Config = network.Config
 
-func runWire(cfg Config) (*network.Result, error) {
+func runWire(cfg Config, opts EngineOptions) (*network.Result, error) {
 	if cfg.Blueprint == nil {
 		return nil, fmt.Errorf("wire: config has no Blueprint (the wire engine rebuilds the run from pure data; use protocol.Run with Options.Blueprint set, or fill Config.Blueprint)")
 	}
 	if cfg.Scheduler != nil {
 		return nil, fmt.Errorf("wire: schedulers are not supported (wire delivery is strictly synchronous)")
+	}
+	if len(cfg.Churn) > 0 {
+		return nil, fmt.Errorf("wire: topology churn is not supported (children hold a private graph copy fixed at handshake)")
 	}
 	bp := blueprintToBody(*cfg.Blueprint)
 	localProcs, in, err := buildProcesses(bp)
@@ -65,7 +105,7 @@ func runWire(cfg Config) (*network.Result, error) {
 	// graph that disagrees with the spec would desynchronize the children.
 	cfg.Graph = in.G
 
-	cl, err := newCluster(bp, localProcs)
+	cl, err := newCluster(bp, localProcs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -92,10 +132,16 @@ func runWire(cfg Config) (*network.Result, error) {
 type cluster struct {
 	ln    net.Listener
 	nodes map[int]*nodeConn
+	opts  EngineOptions
 
 	mu  sync.Mutex
 	err error // first fatal error anywhere in the cluster
 }
+
+// testHookClusterReady, when non-nil, runs after the handshake completes and
+// before the first step — tests use it to sabotage a live cluster (e.g. kill
+// a child) and then assert the coordinator reaps everything.
+var testHookClusterReady func(*cluster)
 
 // nodeConn is the coordinator's handle on one child.
 type nodeConn struct {
@@ -107,12 +153,12 @@ type nodeConn struct {
 // newCluster listens on an ephemeral loopback port, re-execs the current
 // binary once per player with the node identity in the environment, and
 // completes the hello/spec/ready handshake with every child.
-func newCluster(bp blueprintBody, procs map[int]network.Process) (*cluster, error) {
+func newCluster(bp blueprintBody, procs map[int]network.Process, opts EngineOptions) (*cluster, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen: %w", err)
 	}
-	cl := &cluster{ln: ln, nodes: make(map[int]*nodeConn, len(procs))}
+	cl := &cluster{ln: ln, nodes: make(map[int]*nodeConn, len(procs)), opts: opts}
 
 	exe, err := os.Executable()
 	if err != nil {
@@ -145,7 +191,7 @@ func newCluster(bp blueprintBody, procs map[int]network.Process) (*cluster, erro
 
 	// Children connect in arbitrary order; the hello frame tells us which
 	// node each connection is.
-	deadline := time.Now().Add(handshakeTimeout)
+	deadline := time.Now().Add(opts.HandshakeTimeout)
 	if dl, ok := ln.(*net.TCPListener); ok {
 		_ = dl.SetDeadline(deadline)
 	}
@@ -213,6 +259,9 @@ func newCluster(bp blueprintBody, procs map[int]network.Process) (*cluster, erro
 		}
 		_ = nd.conn.SetDeadline(time.Time{})
 	}
+	if testHookClusterReady != nil {
+		testHookClusterReady(cl)
+	}
 	return cl, nil
 }
 
@@ -233,11 +282,13 @@ func (cl *cluster) firstErr() error {
 }
 
 // shutdown ends every child: polite bye frames, then closed connections,
-// then a bounded wait with a kill fallback.
+// then a bounded wait with a kill fallback. It runs on every exit path —
+// clean completion, handshake failure, mid-run child death — and always
+// reaps (cmd.Wait) every spawned child, so no path leaves zombies behind.
 func (cl *cluster) shutdown() {
 	for _, nd := range cl.nodes {
 		if nd.conn != nil {
-			_ = nd.conn.SetDeadline(time.Now().Add(2 * time.Second))
+			_ = nd.conn.SetDeadline(time.Now().Add(cl.opts.ByeTimeout))
 			_ = writeFrame(nd.conn, frameBye, struct{}{})
 			nd.conn.Close()
 		}
@@ -253,7 +304,7 @@ func (cl *cluster) shutdown() {
 		go func(c *exec.Cmd) { _ = c.Wait(); close(done) }(nd.cmd)
 		select {
 		case <-done:
-		case <-time.After(5 * time.Second):
+		case <-time.After(cl.opts.KillGrace):
 			_ = nd.cmd.Process.Kill()
 			<-done
 		}
@@ -263,7 +314,7 @@ func (cl *cluster) shutdown() {
 // step performs one Init/Round exchange with a child and returns its acted
 // frame.
 func (cl *cluster) step(nd *nodeConn, t frameType, body any) (actedBody, error) {
-	_ = nd.conn.SetDeadline(time.Now().Add(stepTimeout))
+	_ = nd.conn.SetDeadline(time.Now().Add(cl.opts.StepTimeout))
 	if err := writeFrame(nd.conn, t, body); err != nil {
 		return actedBody{}, fmt.Errorf("wire: node %d: %w", nd.id, err)
 	}

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"os"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"rmt/internal/adversary"
 	"rmt/internal/byzantine"
@@ -152,6 +154,70 @@ func TestWireRejectsScheduler(t *testing.T) {
 	}
 	if _, err := protocol.RunByName("pka", in, "x", opts); err == nil || !strings.Contains(err.Error(), "scheduler") {
 		t.Fatalf("err = %v, want scheduler rejection", err)
+	}
+}
+
+func TestWireRejectsChurn(t *testing.T) {
+	in := mustFixture(t, feasibility.TriplePath, gen.AdHoc)
+	opts := protocol.Options{
+		Engine:    Engine,
+		Churn:     []network.ChurnEvent{{Round: 2, RemoveEdges: [][2]int{{0, 1}}}},
+		Blueprint: &network.Blueprint{Instance: specText(in, gen.AdHoc)},
+	}
+	if _, err := protocol.RunByName("pka", in, "x", opts); err == nil || !strings.Contains(err.Error(), "churn") {
+		t.Fatalf("err = %v, want churn rejection", err)
+	}
+}
+
+func TestEngineOptionsDefaults(t *testing.T) {
+	o := EngineOptions{}.withDefaults()
+	if o.HandshakeTimeout != 30*time.Second || o.StepTimeout != 60*time.Second ||
+		o.ByeTimeout != 2*time.Second || o.KillGrace != 5*time.Second {
+		t.Fatalf("defaults = %+v", o)
+	}
+	// Partial overrides keep the rest at defaults.
+	o = EngineOptions{StepTimeout: time.Second}.withDefaults()
+	if o.StepTimeout != time.Second || o.HandshakeTimeout != 30*time.Second {
+		t.Fatalf("partial override = %+v", o)
+	}
+}
+
+// TestWireReapsChildrenOnMidRunDeath: when a child dies mid-run the
+// coordinator must surface the failure as an error AND wait on every spawned
+// child — a crashed run must not leave orphaned or zombie node processes.
+func TestWireReapsChildrenOnMidRunDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	in := mustFixture(t, feasibility.TriplePath, gen.AdHoc)
+	var pids []int
+	testHookClusterReady = func(cl *cluster) {
+		for _, nd := range cl.nodes {
+			pids = append(pids, nd.cmd.Process.Pid)
+		}
+		// Kill the receiver's child; the next step with it must fail.
+		_ = cl.nodes[in.Receiver].cmd.Process.Kill()
+	}
+	defer func() { testHookClusterReady = nil }()
+
+	eng := NewEngine(EngineOptions{StepTimeout: 10 * time.Second, KillGrace: 2 * time.Second})
+	opts := protocol.Options{
+		Engine:    eng,
+		Blueprint: &network.Blueprint{Instance: specText(in, gen.AdHoc)},
+	}
+	if _, err := protocol.RunByName("pka", in, "x", opts); err == nil {
+		t.Fatal("run with a dead child reported success")
+	}
+	if len(pids) == 0 {
+		t.Fatal("cluster-ready hook never fired")
+	}
+	// Every child has exited and been reaped: signal 0 must fail for each
+	// pid. A zombie (exited but never waited on) still receives signal 0, so
+	// this catches both orphans and missing Wait calls.
+	for _, pid := range pids {
+		if err := syscall.Kill(pid, 0); err == nil {
+			t.Errorf("child pid %d still exists after the run (orphan or zombie)", pid)
+		}
 	}
 }
 

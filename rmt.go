@@ -95,6 +95,14 @@ type (
 	RMTCut = core.RMTCut
 	// ZppCut witnesses the ad hoc impossibility condition.
 	ZppCut = zcpa.ZppCut
+	// Delta is a batch of topology edits applicable to an Instance; see
+	// ApplyDelta and ChainKey for the churn machinery.
+	Delta = instance.Delta
+	// IncrementalRMTCut maintains an RMT-cut verdict across topology
+	// revisions, re-verifying the previous witness before re-enumerating.
+	IncrementalRMTCut = core.IncrementalCut
+	// IncrementalZppCut is the ad hoc counterpart of IncrementalRMTCut.
+	IncrementalZppCut = zcpa.IncrementalCut
 	// RunOptions is the unified option set of the protocol runtime, shared
 	// by every registered protocol (see Protocols, RunProtocol).
 	RunOptions = protocol.Options
@@ -249,6 +257,18 @@ func FindRMTCut(in *Instance) (RMTCut, bool) { return core.FindRMTCut(in) }
 
 // FindZppCut searches for a Definition-7 RMT 𝒵-pp cut witness.
 func FindZppCut(in *Instance) (ZppCut, bool) { return zcpa.FindRMTZppCut(in) }
+
+// ApplyDelta applies a topology delta to an instance, rebuilding the view
+// function from the edited graph with rebuildView (callers holding a
+// gen.Knowledge level can use gen.ApplyDelta, which passes level.View).
+func ApplyDelta(in *Instance, d Delta, rebuildView func(*Graph) ViewFunction) (*Instance, error) {
+	return instance.Apply(in, d, rebuildView)
+}
+
+// ChainKey extends a (base instance, delta chain) cache key by one delta:
+// starting from in.CanonicalKey(), each delta hashes the previous key with
+// its canonical rendering, so every edit history has its own identity.
+func ChainKey(prev string, d Delta) string { return instance.ChainKey(prev, d) }
 
 // FindPairCut searches for the full-knowledge 𝒵-pair cut (PPA's condition).
 func FindPairCut(in *Instance) (z1, z2 Set, found bool) { return ppa.PairCut(in) }
