@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 test race bench benchjson benchguard benchsnap allocguard vet attacksweep schedfuzz churnfuzz fuzzsmoke cover loadtest daemonsmoke fleetsmoke watchsmoke
+.PHONY: tier1 test race bench benchjson benchguard benchsnap allocguard vet attacksweep schedfuzz mafuzz churnfuzz fuzzsmoke cover loadtest daemonsmoke fleetsmoke watchsmoke
 
 # tier1 is the gate every PR must keep green: build + full test suite +
 # vet + race detector on the packages that spawn goroutines or share state
@@ -15,7 +15,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/network/ ./internal/eval/ ./internal/protocol/ ./internal/byzantine/ ./internal/attack/ ./internal/server/ ./internal/wire/ ./internal/feasibility/
+	$(GO) test -race ./internal/network/ ./internal/eval/ ./internal/protocol/ ./internal/byzantine/ ./internal/attack/ ./internal/server/ ./internal/wire/ ./internal/feasibility/ ./internal/mbrb/
 
 test:
 	$(GO) test ./...
@@ -68,6 +68,17 @@ attacksweep:
 # (seed, trial) alone. Traces stream to sched-traces.jsonl.
 schedfuzz:
 	$(GO) run ./cmd/rmtattack -trials 100 -seed 2 -engines lockstep -schedules all -out sched-traces.jsonl
+
+# Message-adversary fuzzer: the Theorem-4 oracle crossed with seeded
+# suppression. Every (instance, protocol, strategy) cell runs once per
+# (budget × stock policy) under lockstep and once per (budget × schedule)
+# under the async engine with the seeded random policy — safety must hold
+# under message loss, Sent = Delivered + Lost must reconcile, and the
+# gullible MBRB canary (no distinct-sender quorum counting) must be
+# flagged. Any violation replays from (seed, trial) alone; traces stream
+# to ma-traces.jsonl.
+mafuzz:
+	$(GO) run ./cmd/rmtattack -trials 60 -seed 4 -engines lockstep -schedules all -mabudgets 1,2 -out ma-traces.jsonl
 
 # Load-test the rmtd query daemon in-process: 200 concurrent in-flight
 # requests over a repeating workload must complete with zero dropped

@@ -11,10 +11,19 @@
 // schedule and transcript agreement between the zero-fault schedule and the
 // synchronous engines.
 //
+// With -mabudgets, every cell is additionally crossed with a message
+// adversary: for each budget d, one lockstep run per stock suppression
+// policy (targeted, random, eclipse) and one extra async run per configured
+// schedule under the seeded random policy. The safety oracle must hold
+// under message loss, and a gullible MBRB canary — a receiver that ignores
+// the protocol's distinct-sender quorums — must be flagged or the sweep
+// fails.
+//
 // Usage:
 //
 //	rmtattack -trials 200 -seed 1 -out traces.jsonl
 //	rmtattack -trials 100 -seed 2 -engines lockstep -schedules all
+//	rmtattack -trials 60 -seed 4 -engines lockstep -schedules all -mabudgets 1,2
 //
 // Exit status is non-zero on any safety violation, engine disagreement,
 // or an unflagged canary.
@@ -47,6 +56,7 @@ func run(args []string, out io.Writer) error {
 		strategies = fs.String("strategies", "", "comma-separated strategy subset (default: all registered)")
 		engines    = fs.String("engines", "", "comma-separated engines: lockstep,goroutine,async (default: lockstep+goroutine)")
 		schedules  = fs.String("schedules", "", "comma-separated async schedules to cross in (or \"all\"); each adds a seeded async run per cell")
+		mabudgets  = fs.String("mabudgets", "", "comma-separated message-adversary suppression budgets; each crosses every cell with the stock suppression policies")
 		maxRounds  = fs.Int("maxrounds", 0, "round cap per run (0 = default)")
 		outPath    = fs.String("out", "", "JSONL stream of run records and attack traces (\"-\" = stdout)")
 	)
@@ -78,6 +88,13 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		cfg.Schedules = scheds
+	}
+	if *mabudgets != "" {
+		budgets, err := attack.ParseBudgets(*mabudgets)
+		if err != nil {
+			return err
+		}
+		cfg.MABudgets = budgets
 	}
 	if *outPath != "" {
 		w := out

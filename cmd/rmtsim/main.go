@@ -8,6 +8,14 @@
 //	rmtsim -graph "0-1 0-2 0-3 1-4 2-4 3-4" -structure "1;2;3" \
 //	       -dealer 0 -receiver 4 -protocol pka -value "attack at dawn" \
 //	       -corrupt 2 -attack value-flip
+//
+// A message adversary can suppress up to -mabudget copies of every
+// broadcast on top of the node corruption (mbrb provisions its quorums for
+// the budget):
+//
+//	rmtsim -graph "0-1 0-2 0-3 0-4 0-5 1-2 1-3 1-4 1-5 2-3 2-4 2-5 3-4 3-5 4-5" \
+//	       -structure "1;2;3;4" -dealer 0 -receiver 5 -protocol mbrb \
+//	       -corrupt 1 -ma targeted -mabudget 1
 package main
 
 import (
@@ -63,6 +71,9 @@ func run(args []string, out io.Writer) error {
 		engine    = fs.String("engine", "lockstep", "engine name: "+strings.Join(rmt.Engines(), "|"))
 		sched     = fs.String("sched", "sync", "async schedule: "+strings.Join(rmt.SchedulerNames(), "|"))
 		seed      = fs.Int64("seed", 1, "schedule seed (async engine)")
+		ma        = fs.String("ma", "", "message-adversary policy (none if empty): "+strings.Join(rmt.MessageAdversaryNames(), "|"))
+		maBudget  = fs.Int("mabudget", 0, "copies the message adversary may suppress per broadcast (requires -ma)")
+		maSeed    = fs.Int64("maseed", 1, "message-adversary seed (random/eclipse policies)")
 		node      = fs.Bool("node", false, "internal: wire-engine node child (set by the coordinator)")
 		perRound  = fs.Bool("rounds", false, "print per-round message counts")
 		trace     = fs.Bool("trace", false, "print every delivered message, round by round")
@@ -136,6 +147,15 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opts := rmt.RunOptions{Engine: eng, Scheduler: scheduler, RecordTranscript: *trace}
+	var madv rmt.MessageAdversary
+	if *ma != "" {
+		if madv, err = rmt.NewMessageAdversary(*ma, *maBudget, *maSeed); err != nil {
+			return err
+		}
+		opts.MsgAdversary, opts.MABudget = madv, *maBudget
+	} else if *maBudget != 0 {
+		return fmt.Errorf("-mabudget %d requires -ma", *maBudget)
+	}
 	// The blueprint mirrors the flags as pure data; in-process engines
 	// ignore it, the wire engine rebuilds the run from it in each child.
 	opts.Blueprint = &rmt.Blueprint{
@@ -183,6 +203,9 @@ func run(args []string, out io.Writer) error {
 	if scheduler != nil {
 		engineDesc = fmt.Sprintf("%s sched=%s seed=%d", eng.Name(), scheduler.Name(), *seed)
 	}
+	if madv != nil {
+		engineDesc = fmt.Sprintf("%s ma=%s(d=%d)", engineDesc, *ma, *maBudget)
+	}
 	fmt.Fprintf(out, "protocol=%s engine=%s corrupt=%v attack=%s\n", *protocol, engineDesc, t, *attack)
 	if got, ok := res.DecisionOf(*receiver); ok {
 		status := "CORRECT"
@@ -198,6 +221,9 @@ func run(args []string, out io.Writer) error {
 		res.Metrics.BitsSent, res.Metrics.MaxInboxPerPlayer)
 	if eng == rmt.Async {
 		fmt.Fprintf(out, "delayed=%d\n", res.Metrics.MessagesDelayed)
+	}
+	if madv != nil {
+		fmt.Fprintf(out, "suppressed=%d\n", madv.Suppressed())
 	}
 	if *perRound {
 		for r, m := range res.Metrics.MessagesPerRound {

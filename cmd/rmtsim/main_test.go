@@ -22,6 +22,19 @@ func TestMain(m *testing.M) {
 
 const tripleGraph = "0-1 0-2 0-3 1-4 2-4 3-4"
 
+// k5Graph is the complete graph on five nodes — mbrb counts processes, not
+// paths, and rejects sparse networks.
+const k5Graph = "0-1 0-2 0-3 0-4 1-2 1-3 1-4 2-3 2-4 3-4"
+
+// fixtureFor picks a (graph, structure) pair the protocol accepts: the
+// triple-path relay graph for the path-based RMT protocols, K5 for mbrb.
+func fixtureFor(proto string) (graph, structure string) {
+	if proto == rmt.ProtocolMBRB {
+		return k5Graph, "1;2;3"
+	}
+	return tripleGraph, "1;2;3"
+}
+
 func TestRunHonest(t *testing.T) {
 	var sb strings.Builder
 	err := run([]string{
@@ -39,9 +52,10 @@ func TestRunHonest(t *testing.T) {
 func TestRunEveryProtocolAndAttack(t *testing.T) {
 	for _, proto := range rmt.Protocols() {
 		for _, attack := range rmt.AttackStrategies() {
+			graph, structure := fixtureFor(proto)
 			var sb strings.Builder
 			err := run([]string{
-				"-graph", tripleGraph, "-structure", "1;2;3",
+				"-graph", graph, "-structure", structure,
 				"-receiver", "4", "-protocol", proto, "-value", "v",
 				"-knowledge", "full",
 				"-corrupt", "2", "-attack", attack, "-rounds",
@@ -229,11 +243,12 @@ func TestRunWireGoldenAgreement(t *testing.T) {
 	engineField := regexp.MustCompile(`"engine":"[a-z]+"`)
 	for _, proto := range rmt.Protocols() {
 		t.Run(proto, func(t *testing.T) {
+			graph, structure := fixtureFor(proto)
 			outputs := map[string]string{}
 			for _, eng := range []string{"lockstep", "wire"} {
 				var sb strings.Builder
 				err := run([]string{
-					"-graph", tripleGraph, "-structure", "1;2;3",
+					"-graph", graph, "-structure", structure,
 					"-receiver", "4", "-protocol", proto, "-value", "v",
 					"-knowledge", "full", "-corrupt", "2",
 					"-engine", eng, "-jsonl", "-",
@@ -249,6 +264,52 @@ func TestRunWireGoldenAgreement(t *testing.T) {
 					outputs["lockstep"], outputs["wire"])
 			}
 		})
+	}
+}
+
+func TestRunMessageAdversary(t *testing.T) {
+	// Every stock policy at d=1 on the K6 MBRB fixture: one Byzantine
+	// player plus one suppressed copy per broadcast is exactly what
+	// n=6 > 3t+2d provisions for, so the receiver still decides.
+	const k6 = "0-1 0-2 0-3 0-4 0-5 1-2 1-3 1-4 1-5 2-3 2-4 2-5 3-4 3-5 4-5"
+	for _, policy := range rmt.MessageAdversaryNames() {
+		var sb strings.Builder
+		err := run([]string{
+			"-graph", k6, "-structure", "1;2;3;4", "-receiver", "5",
+			"-protocol", "mbrb", "-value", "v", "-corrupt", "1",
+			"-ma", policy, "-mabudget", "1", "-maseed", "7",
+		}, &sb)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		out := sb.String()
+		for _, want := range []string{"ma=" + policy + "(d=1)", "suppressed="} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s: output missing %q:\n%s", policy, want, out)
+			}
+		}
+		// Safety holds under every policy; liveness at the receiver is only
+		// guaranteed for the deterministic targeted policy — the seeded ones
+		// may pick the receiver as one of the d starved players.
+		if strings.Contains(out, "WRONG") {
+			t.Fatalf("%s: safety violation:\n%s", policy, out)
+		}
+		if policy == "targeted" && !strings.Contains(out, `"v" — CORRECT`) {
+			t.Fatalf("targeted: receiver did not decide:\n%s", out)
+		}
+	}
+}
+
+func TestRunMessageAdversaryErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-graph", tripleGraph, "-structure", "", "-receiver", "4", "-ma", "bogus"},
+		{"-graph", tripleGraph, "-structure", "", "-receiver", "4", "-ma", "random", "-mabudget", "-1"},
+		{"-graph", tripleGraph, "-structure", "", "-receiver", "4", "-mabudget", "2"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("%v: no error", args)
+		}
 	}
 }
 

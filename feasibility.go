@@ -1,6 +1,7 @@
 package rmt
 
 import (
+	"rmt/internal/feasibility"
 	"rmt/internal/instance"
 	"rmt/internal/nodeset"
 )
@@ -47,3 +48,33 @@ func MinimalKnowledgeRadius(g *Graph, z Structure, dealer, receiver int) (int, b
 	}
 	return 0, false
 }
+
+// MBRBFeasible reports the signature-free MBRB bound: reliable broadcast on
+// a complete n-player network tolerating t Byzantine players and a message
+// adversary suppressing up to d copies per broadcast is possible iff
+// n > 3t + 2d.
+func MBRBFeasible(n, t, d int) bool { return feasibility.MBRBFeasible(n, t, d) }
+
+// MBRBVerdict is an instance-level MBRB feasibility answer: the (n, t)
+// extracted from the instance, the requested suppression budget d, and the
+// n > 3t + 2d verdict.
+type MBRBVerdict = feasibility.MBRBVerdict
+
+// MBRBVerdictFor evaluates the MBRB bound on a complete-graph instance at
+// suppression budget d, extracting t as the largest maximal corruption set.
+// It errors on incomplete networks (the bound is only tight there) and on
+// negative budgets.
+func MBRBVerdictFor(in *Instance, d int) (MBRBVerdict, error) {
+	return feasibility.MBRBVerdictFor(in, d)
+}
+
+// MBRBBoundary is a named just-feasible / just-infeasible MBRB fixture pair
+// pinning the n = 3t + 2d + 1 boundary; see MBRBBoundaries.
+type MBRBBoundary = feasibility.MBRBBoundary
+
+// MBRBBoundaries returns the stock boundary battery: for each named (t, d)
+// pair, Feasible() builds K_{3t+2d+1} (MBRB delivers at every correct
+// non-victim under t silent Byzantine players plus a d-victim eclipse) and
+// Infeasible() builds K_{3t+2d} (nobody delivers). The flip is exactly one
+// node wide, predicately and operationally.
+func MBRBBoundaries() []MBRBBoundary { return feasibility.MBRBBoundaries() }

@@ -38,6 +38,10 @@ type goldenCase struct {
 	xD       Value
 	// build returns the instance and the corruption overlay.
 	build func(t *testing.T) (*Instance, map[int]Process)
+	// opts, when non-nil, returns additional run options for the case.
+	// It is called once per run because some options are single-use
+	// (message adversaries, schedulers).
+	opts func() RunOptions
 }
 
 // quickstartInstance is the examples/quickstart fixture: three disjoint
@@ -79,6 +83,22 @@ func diamondInstance(t *testing.T) *Instance {
 		t.Fatal(err)
 	}
 	in, err := NewAdHocInstance(g, StructureOf([]int{1}, []int{2}), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// k6Instance is the MBRB fixture: the complete graph K6 under a global
+// threshold-1 adversary on the interior, so n=6 > 3t+2d holds up to one
+// Byzantine player plus a budget-1 message adversary.
+func k6Instance(t *testing.T) *Instance {
+	t.Helper()
+	g, err := ParseEdgeList("0-1 0-2 0-3 0-4 0-5 1-2 1-3 1-4 1-5 2-3 2-4 2-5 3-4 3-5 4-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewAdHocInstance(g, Threshold(NodeSet(1, 2, 3, 4), 1), 0, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,6 +150,30 @@ func goldenCases() []goldenCase {
 				return in, valueFlip(t, in, 1)
 			},
 		},
+		{
+			name:     "mbrb-k6-honest",
+			protocol: ProtocolMBRB,
+			xD:       "attack at dawn",
+			build: func(t *testing.T) (*Instance, map[int]Process) {
+				return k6Instance(t), nil
+			},
+		},
+		{
+			// The worst case the n > 3t + 2d bound provisions for: one
+			// silent Byzantine player plus an eclipse adversary starving
+			// one victim at the full budget d=1. Every correct non-victim
+			// still delivers; the suppressed copies surface as lose events.
+			name:     "mbrb-k6-eclipsed",
+			protocol: ProtocolMBRB,
+			xD:       "attack at dawn",
+			build: func(t *testing.T) (*Instance, map[int]Process) {
+				in := k6Instance(t)
+				return in, SilentCorruption(NodeSet(1))
+			},
+			opts: func() RunOptions {
+				return RunOptions{MABudget: 1, MsgAdversary: NewEclipse(2)}
+			},
+		},
 	}
 }
 
@@ -141,7 +185,11 @@ func transcriptJSONL(t *testing.T, gc goldenCase, engine Engine) []byte {
 	in, corrupt := gc.build(t)
 	var buf bytes.Buffer
 	jt := NewJSONLTracer(&buf)
-	opts := RunOptions{Engine: engine, Tracers: []Tracer{jt}}
+	var opts RunOptions
+	if gc.opts != nil {
+		opts = gc.opts()
+	}
+	opts.Engine, opts.Tracers = engine, []Tracer{jt}
 	if _, err := RunProtocol(gc.protocol, in, gc.xD, corrupt, opts); err != nil {
 		t.Fatalf("%s under %v: %v", gc.name, engine, err)
 	}

@@ -8,6 +8,7 @@ import (
 	"rmt/internal/core"
 	"rmt/internal/gen"
 	"rmt/internal/instance"
+	"rmt/internal/mbrb"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
 	"rmt/internal/protocol"
@@ -99,6 +100,79 @@ func canaryFixture() (*instance.Instance, nodeset.Set, error) {
 	return in, nodeset.Of(1), nil
 }
 
+// MBRBCanaryName names the unsafe MBRB decision rule in reports and traces.
+// Like the gullible receiver, it is deliberately NOT registered.
+const MBRBCanaryName = "canary-mbrb-gullible"
+
+// gullibleMBRBReceiver drops MBRB's one real safeguard — counting READY
+// votes from DISTINCT senders against the 2t+d+1 delivery quorum — and
+// delivers the lexicographically smallest value it has seen in any single
+// READY (or forged dealer INIT impersonation is not even needed: one
+// corrupted player's ready suffices). The ready-forger strategy fools it on
+// every run; honest runs still decide x_D, so only forging strategies flag.
+type gullibleMBRBReceiver struct {
+	id      int
+	dealer  int
+	decided bool
+	value   network.Value
+}
+
+func (r *gullibleMBRBReceiver) Init(network.Outbox) {}
+
+func (r *gullibleMBRBReceiver) Round(_ int, inbox []network.Message, _ network.Outbox) bool {
+	if r.decided {
+		return false
+	}
+	var candidates []network.Value
+	for _, m := range inbox {
+		p, ok := m.Payload.(mbrb.Msg)
+		if !ok || p.Phase != mbrb.PhaseReady {
+			continue
+		}
+		candidates = append(candidates, p.X)
+	}
+	if len(candidates) == 0 {
+		return true
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	r.decided, r.value = true, candidates[0]
+	return false
+}
+
+func (r *gullibleMBRBReceiver) Decision() (network.Value, bool) { return r.value, r.decided }
+
+// mbrbCanaryProto wires the gullible MBRB receiver into an otherwise honest
+// mbrb player set (honest players echo and ready normally, so the receiver
+// sees real readys too — the forged one just sorts first).
+type mbrbCanaryProto struct{}
+
+func (mbrbCanaryProto) Name() string        { return MBRBCanaryName }
+func (mbrbCanaryProto) Caps() protocol.Caps { return protocol.Caps{CompleteGraph: true} }
+
+func (mbrbCanaryProto) Assemble(in *instance.Instance, xD network.Value, opts protocol.Options) (map[int]network.Process, error) {
+	q := mbrb.NewQuorums(in.N(), mbrb.Threshold(in), opts.MABudget)
+	return protocol.Build(in.G, nodeset.Of(in.Dealer, in.Receiver), opts.Corrupt, func(v int) network.Process {
+		if v == in.Receiver {
+			return &gullibleMBRBReceiver{id: v, dealer: in.Dealer}
+		}
+		return mbrb.NewPlayer(in, v, xD, q)
+	}), nil
+}
+
+// mbrbCanaryFixture is the MBRB teeth fixture: K5 with singleton
+// corruptions over the interior, D=0, R=4, corrupting player 1. n=5, t=1,
+// d=0 satisfies n > 3t+2d, so the honest players reach their quorums; the
+// gullible receiver decides off the first ready it sees — the corrupted
+// player's forged one.
+func mbrbCanaryFixture() (*instance.Instance, nodeset.Set, error) {
+	g := gen.Complete(5)
+	in, err := instance.AdHoc(g, gen.Singletons(nodeset.Of(1, 2, 3)), 0, 4)
+	if err != nil {
+		return nil, nodeset.Empty(), err
+	}
+	return in, nodeset.Of(1), nil
+}
+
 // runCanaryBattery runs every configured strategy against the gullible
 // receiver on the fixture and counts how many runs the safety oracle flags.
 // The battery's event traces go to cfg.Out so the JSONL stream always
@@ -136,6 +210,70 @@ func runCanaryBattery(cfg Config, rep *Report) error {
 		rep.CanaryRuns++
 		if len(unsafeDecisions(in, corrupt, res)) > 0 {
 			rep.CanaryFlagged++
+		}
+	}
+	return runMBRBCanaryBattery(cfg, rep)
+}
+
+// runMBRBCanaryBattery is the message-adversary battery's teeth check: the
+// gullible MBRB receiver under every configured strategy, once clean and —
+// when suppression budgets are configured — once per budget under the
+// targeted policy. A safety oracle that cannot catch a receiver ignoring
+// MBRB's distinct-sender quorums, with or without message loss, proves
+// nothing about the real mbrb protocol. The ready-forger always joins the
+// battery even when the sweep is restricted to other strategies: it is the
+// one stock strategy that speaks MBRB's message type, so without it a
+// narrowed sweep would fail the teeth check vacuously.
+func runMBRBCanaryBattery(cfg Config, rep *Report) error {
+	in, corrupt, err := mbrbCanaryFixture()
+	if err != nil {
+		return fmt.Errorf("attack: mbrb canary fixture: %w", err)
+	}
+	names := cfg.strategies()
+	hasForger := false
+	for _, n := range names {
+		hasForger = hasForger || n == byzantine.ReadyForgerName
+	}
+	if !hasForger {
+		names = append(append([]string(nil), names...), byzantine.ReadyForgerName)
+	}
+	for _, stratName := range names {
+		strat, ok := byzantine.Get(stratName)
+		if !ok {
+			return byzantine.UnknownError(stratName)
+		}
+		budgets := []int{0}
+		budgets = append(budgets, cfg.MABudgets...)
+		for _, budget := range budgets {
+			opts := protocol.Options{
+				Engine:    network.Lockstep,
+				MaxRounds: cfg.maxRounds(),
+				Corrupt:   strat.Build(in, corrupt, ForgedValue),
+				MABudget:  budget,
+			}
+			if budget > 0 {
+				// Deterministic policy: the targeted adversary needs no seed,
+				// so every flagged run replays without bookkeeping.
+				opts.MsgAdversary = network.MustMessageAdversary(network.MATargeted, budget, 0)
+			}
+			var jsonl *network.JSONLTracer
+			if cfg.Out != nil {
+				jsonl = network.NewJSONLTracer(cfg.Out)
+				opts.Tracers = []network.Tracer{jsonl}
+			}
+			res, err := protocol.Run(mbrbCanaryProto{}, in, xD, opts)
+			if err != nil {
+				return fmt.Errorf("attack: mbrb canary under %s (d=%d): %w", stratName, budget, err)
+			}
+			if jsonl != nil {
+				if err := jsonl.Err(); err != nil {
+					return fmt.Errorf("attack: mbrb canary trace under %s: %w", stratName, err)
+				}
+			}
+			rep.MBRBCanaryRuns++
+			if len(unsafeDecisions(in, corrupt, res)) > 0 {
+				rep.MBRBCanaryFlagged++
+			}
 		}
 	}
 	return nil

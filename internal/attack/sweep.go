@@ -69,6 +69,14 @@ type Config struct {
 	// zero-fault schedule must be indistinguishable from lockstep). Nil
 	// means no schedule runs.
 	Schedules []string
+	// MABudgets are message-adversary suppression budgets to cross with
+	// every (instance, protocol, strategy) cell: for each budget d, every
+	// stock suppression policy runs once under lockstep, and every
+	// configured schedule runs once more with the seeded random policy on
+	// top — the Theorem-4 oracle is safety-only, so it holds under message
+	// loss for every protocol. Adversary seeds derive from (Seed, trial),
+	// so any violation replays exactly. Nil means no suppression runs.
+	MABudgets []int
 	// MaxRounds bounds each run (0 = 16, ample for the sampled instances
 	// and necessary because nuisance strategies never quiesce).
 	MaxRounds int
@@ -154,6 +162,12 @@ type Report struct {
 	// the sweep fails unless at least one canary run is flagged.
 	CanaryRuns    int
 	CanaryFlagged int
+
+	// MBRBCanaryRuns / MBRBCanaryFlagged count the MBRB battery's own
+	// teeth check — a receiver that ignores distinct-sender quorums; the
+	// sweep fails unless the oracle flags at least one of its runs.
+	MBRBCanaryRuns    int
+	MBRBCanaryFlagged int
 }
 
 // Err reports whether the sweep establishes what it claims: zero safety
@@ -171,6 +185,9 @@ func (r *Report) Err() error {
 	if r.CanaryRuns > 0 && r.CanaryFlagged == 0 {
 		return fmt.Errorf("attack: canary decision rule survived %d runs undetected — the safety oracle has no teeth", r.CanaryRuns)
 	}
+	if r.MBRBCanaryRuns > 0 && r.MBRBCanaryFlagged == 0 {
+		return fmt.Errorf("attack: mbrb canary decision rule survived %d runs undetected — the suppression oracle has no teeth", r.MBRBCanaryRuns)
+	}
 	return nil
 }
 
@@ -178,18 +195,35 @@ func (r *Report) Err() error {
 func (r *Report) Summary() string {
 	return fmt.Sprintf(
 		"attack sweep: %d trials, %d runs: %d violations, %d engine mismatches; "+
-			"%d control runs (%d unsafe, expected outside 𝒵); canary flagged in %d/%d runs",
+			"%d control runs (%d unsafe, expected outside 𝒵); canary flagged in %d/%d runs; "+
+			"mbrb canary flagged in %d/%d runs",
 		r.Trials, r.Runs, len(r.Violations), len(r.Mismatches),
-		r.ControlRuns, r.ControlViolations, r.CanaryFlagged, r.CanaryRuns)
+		r.ControlRuns, r.ControlViolations, r.CanaryFlagged, r.CanaryRuns,
+		r.MBRBCanaryFlagged, r.MBRBCanaryRuns)
 }
 
 // sample is one drawn (instance, corruption, control) trial.
 type sample struct {
-	desc    string
-	in      *instance.Instance
-	full    *instance.Instance // full-knowledge clone for NeedsFullKnowledge protocols
-	corrupt nodeset.Set        // admissible: a random maximal set of 𝒵
-	control nodeset.Set        // minimal non-admissible superset, empty if none exists
+	desc     string
+	in       *instance.Instance
+	full     *instance.Instance // full-knowledge clone for NeedsFullKnowledge protocols
+	complete *instance.Instance // complete-graph clone for CompleteGraph protocols
+	corrupt  nodeset.Set        // admissible: a random maximal set of 𝒵
+	control  nodeset.Set        // minimal non-admissible superset, empty if none exists
+}
+
+// forProtocol picks the instance clone matching the protocol's capability
+// requirements: all three clones share the node set, adversary structure and
+// terminals, so the trial's corruption and control sets stay admissible.
+func (s *sample) forProtocol(p protocol.Protocol) *instance.Instance {
+	switch {
+	case p.Caps().NeedsFullKnowledge:
+		return s.full
+	case p.Caps().CompleteGraph:
+		return s.complete
+	default:
+		return s.in
+	}
 }
 
 // drawSample derives a deterministic trial fixture from the trial's RNG.
@@ -280,7 +314,18 @@ func finishSample(in *instance.Instance, desc string, rng *rand.Rand) (*sample, 
 	if err != nil {
 		return nil, fmt.Errorf("attack: full-knowledge clone of %s: %w", desc, err)
 	}
-	return &sample{desc: desc, in: in, full: full, corrupt: corrupt, control: control}, nil
+	cg := graph.New()
+	nodes := in.G.Nodes().Members()
+	for i, u := range nodes {
+		for _, v := range nodes[i+1:] {
+			cg.AddEdge(u, v)
+		}
+	}
+	complete, err := instance.AdHoc(cg, in.Z, in.Dealer, in.Receiver)
+	if err != nil {
+		return nil, fmt.Errorf("attack: complete-graph clone of %s: %w", desc, err)
+	}
+	return &sample{desc: desc, in: in, full: full, complete: complete, corrupt: corrupt, control: control}, nil
 }
 
 // runRecord is the per-run JSONL summary record.
@@ -298,6 +343,11 @@ type runRecord struct {
 	Decided  bool          `json:"decided"`
 	Value    network.Value `json:"value,omitempty"`
 	Safe     bool          `json:"safe"`
+	// Message-adversary runs only: the suppression policy, its budget, and
+	// how many copies it actually dropped.
+	MAPolicy   string `json:"ma_policy,omitempty"`
+	MABudget   int    `json:"ma_budget,omitempty"`
+	Suppressed int    `json:"suppressed,omitempty"`
 }
 
 // trialResult is everything one trial reports back to the aggregator.
@@ -322,6 +372,11 @@ type traceRequest struct {
 	// schedule run; schedule == "" re-traces under lockstep.
 	schedule  string
 	schedSeed int64
+	// maPolicy, maBudget and maSeed rebuild the message adversary of a
+	// violating suppression run; maPolicy == "" re-traces without one.
+	maPolicy string
+	maBudget int
+	maSeed   int64
 }
 
 // Sweep runs the fuzzer and aggregates its report. The per-trial work is
@@ -386,10 +441,7 @@ func runTrial(cfg Config, trial int, rng *rand.Rand) trialResult {
 			tr.err = fmt.Errorf("attack: unknown protocol %q", protoName)
 			return tr
 		}
-		in := smp.in
-		if proto.Caps().NeedsFullKnowledge {
-			in = smp.full
-		}
+		in := smp.forProtocol(proto)
 		for _, stratName := range cfg.strategies() {
 			strat, ok := byzantine.Get(stratName)
 			if !ok {
@@ -482,6 +534,88 @@ func runTrial(cfg Config, trial int, rng *rand.Rand) trialResult {
 				}
 			}
 
+			// Message-adversary runs: for each suppression budget, every
+			// stock policy under lockstep plus every configured schedule
+			// with the seeded random policy layered on top. Safety-only
+			// oracle — dropped copies can starve liveness but must never
+			// produce a wrong decision.
+			for bIdx, budget := range cfg.MABudgets {
+				for pIdx, maName := range network.MessageAdversaryNames() {
+					maSeed := eval.TrialSeed(cfg.Seed, 2000+bIdx*maStreams+pIdx, trial)
+					madv, err := network.NewMessageAdversary(maName, budget, maSeed)
+					if err != nil {
+						tr.err = fmt.Errorf("attack: trial %d: %w", trial, err)
+						return tr
+					}
+					res, err := runSuppressed(cfg, proto, strat, in, smp.corrupt, madv, budget, nil)
+					if err != nil {
+						tr.err = fmt.Errorf("attack: trial %d %s %s/%s ma %s(d=%d): %w",
+							trial, smp.desc, protoName, stratName, maName, budget, err)
+						return tr
+					}
+					tr.runs++
+					engName := fmt.Sprintf("lockstep+ma/%s(d=%d)", maName, budget)
+					viols := unsafeDecisions(in, smp.corrupt, res)
+					for _, v := range viols {
+						tr.violations = append(tr.violations, Violation{
+							Trial: trial, Instance: smp.desc,
+							Protocol: protoName, Strategy: stratName,
+							Engine: engName, Corrupt: members(smp.corrupt),
+							Node: v.node, Got: v.got,
+						})
+					}
+					if len(viols) > 0 {
+						tr.traces = append(tr.traces, traceRequest{
+							sample: smp, protocol: protoName, strategy: stratName,
+							corrupt: smp.corrupt,
+							maPolicy: maName, maBudget: budget, maSeed: maSeed,
+						})
+					}
+					rec := record(trial, smp.desc, protoName, stratName,
+						engName, smp.corrupt, true, in, res, len(viols) == 0)
+					rec.MAPolicy, rec.MABudget, rec.Suppressed = maName, budget, madv.Suppressed()
+					tr.records = append(tr.records, rec)
+				}
+				for schedIdx, schedName := range cfg.Schedules {
+					schedSeed := eval.TrialSeed(cfg.Seed, 3000+bIdx*maStreams+schedIdx, trial)
+					sched, err := network.NewScheduler(schedName, schedSeed)
+					if err != nil {
+						tr.err = fmt.Errorf("attack: trial %d: %w", trial, err)
+						return tr
+					}
+					maSeed := eval.TrialSeed(cfg.Seed, 4000+bIdx*maStreams+schedIdx, trial)
+					madv := network.MustMessageAdversary(network.MARandom, budget, maSeed)
+					res, err := runSuppressed(cfg, proto, strat, in, smp.corrupt, madv, budget, sched)
+					if err != nil {
+						tr.err = fmt.Errorf("attack: trial %d %s %s/%s sched %s + ma random(d=%d): %w",
+							trial, smp.desc, protoName, stratName, schedName, budget, err)
+						return tr
+					}
+					tr.runs++
+					engName := fmt.Sprintf("async/%s+ma/random(d=%d)", schedName, budget)
+					viols := unsafeDecisions(in, smp.corrupt, res)
+					for _, v := range viols {
+						tr.violations = append(tr.violations, Violation{
+							Trial: trial, Instance: smp.desc,
+							Protocol: protoName, Strategy: stratName,
+							Engine: engName, Corrupt: members(smp.corrupt),
+							Node: v.node, Got: v.got,
+						})
+					}
+					if len(viols) > 0 {
+						tr.traces = append(tr.traces, traceRequest{
+							sample: smp, protocol: protoName, strategy: stratName,
+							corrupt: smp.corrupt, schedule: schedName, schedSeed: schedSeed,
+							maPolicy: network.MARandom, maBudget: budget, maSeed: maSeed,
+						})
+					}
+					rec := record(trial, smp.desc, protoName, stratName,
+						engName, smp.corrupt, true, in, res, len(viols) == 0)
+					rec.MAPolicy, rec.MABudget, rec.Suppressed = network.MARandom, budget, madv.Suppressed()
+					tr.records = append(tr.records, rec)
+				}
+			}
+
 			// Control: minimal non-admissible superset, lockstep only.
 			// Outcomes are recorded, not asserted.
 			if smp.control.Len() > 0 {
@@ -514,6 +648,32 @@ func runOnce(cfg Config, proto protocol.Protocol, strat byzantine.Strategy,
 		RecordTranscript: true,
 		Corrupt:          strat.Build(in, corrupt, ForgedValue),
 	})
+}
+
+// maStreams spaces the per-budget seed streams of the message-adversary
+// runs; it only needs to exceed the number of stock policies and schedules.
+const maStreams = 16
+
+// runSuppressed is runOnce with a (single-use) message adversary attached:
+// lockstep when sched is nil, async under sched otherwise. The budget is
+// passed through Options so budget-aware protocols (mbrb) provision their
+// quorums for it.
+func runSuppressed(cfg Config, proto protocol.Protocol, strat byzantine.Strategy,
+	in *instance.Instance, corrupt nodeset.Set, madv network.MessageAdversary,
+	budget int, sched network.Scheduler) (*network.Result, error) {
+	opts := protocol.Options{
+		Engine:           network.Lockstep,
+		MaxRounds:        cfg.maxRounds(),
+		RecordTranscript: true,
+		Corrupt:          strat.Build(in, corrupt, ForgedValue),
+		MsgAdversary:     madv,
+		MABudget:         budget,
+	}
+	if sched != nil {
+		opts.Engine = network.Async
+		opts.Scheduler = sched
+	}
+	return protocol.Run(proto, in, xD, opts)
 }
 
 // runSchedule is runOnce under the async engine with the given (single-use)
@@ -607,10 +767,7 @@ func members(s nodeset.Set) []int {
 // (schedule, seed) pair, reproducing the violating delivery order exactly.
 func traceRun(cfg Config, req traceRequest) error {
 	proto := protocol.MustGet(req.protocol)
-	in := req.sample.in
-	if proto.Caps().NeedsFullKnowledge {
-		in = req.sample.full
-	}
+	in := req.sample.forProtocol(proto)
 	strat := byzantine.MustGet(req.strategy)
 	tracer := network.NewJSONLTracer(cfg.Out)
 	opts := protocol.Options{
@@ -626,6 +783,14 @@ func traceRun(cfg Config, req traceRequest) error {
 		}
 		opts.Engine = network.Async
 		opts.Scheduler = sched
+	}
+	if req.maPolicy != "" {
+		madv, err := network.NewMessageAdversary(req.maPolicy, req.maBudget, req.maSeed)
+		if err != nil {
+			return err
+		}
+		opts.MsgAdversary = madv
+		opts.MABudget = req.maBudget
 	}
 	_, err := protocol.Run(proto, in, xD, opts)
 	if err != nil {
@@ -648,6 +813,26 @@ func ParseEngines(s string) ([]network.Engine, error) {
 			return nil, fmt.Errorf("attack: %w", err)
 		}
 		out = append(out, e)
+	}
+	return out, nil
+}
+
+// ParseBudgets parses a comma-separated list of message-adversary
+// suppression budgets for Config.MABudgets.
+func ParseBudgets(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, field := range strings.Split(s, ",") {
+		var d int
+		if _, err := fmt.Sscanf(strings.TrimSpace(field), "%d", &d); err != nil {
+			return nil, fmt.Errorf("attack: bad suppression budget %q", field)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("attack: negative suppression budget %d", d)
+		}
+		out = append(out, d)
 	}
 	return out, nil
 }

@@ -103,6 +103,14 @@ func TestReportErrRequiresTeeth(t *testing.T) {
 	if err := rep.Err(); err != nil {
 		t.Fatal(err)
 	}
+	rep.MBRBCanaryRuns = 3
+	if err := rep.Err(); err == nil || !strings.Contains(err.Error(), "suppression oracle") {
+		t.Fatalf("toothless mbrb canary did not fail: %v", err)
+	}
+	rep.MBRBCanaryFlagged = 1
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
 	rep.Violations = []Violation{{Protocol: "pka"}}
 	if rep.Err() == nil {
 		t.Fatal("violations did not fail the report")
@@ -140,6 +148,138 @@ func TestParseSchedules(t *testing.T) {
 	}
 	if got, err := ParseSchedules(""); err != nil || got != nil {
 		t.Fatalf("empty spec = %v, %v", got, err)
+	}
+}
+
+// TestSweepMessageAdversaryCrossProduct runs the suppression-crossing sweep:
+// every cell gains one lockstep run per (budget, stock policy) and one async
+// run per (budget, schedule) under the seeded random policy, the Theorem-4
+// oracle holds on all of them, and the MBRB canary battery proves the oracle
+// keeps its teeth under message loss.
+func TestSweepMessageAdversaryCrossProduct(t *testing.T) {
+	var out bytes.Buffer
+	budgets := []int{1, 2}
+	scheds := []string{"sync", "random"}
+	rep, err := Sweep(Config{
+		Seed:      9,
+		Trials:    4,
+		Workers:   2,
+		Engines:   []network.Engine{network.Lockstep},
+		Schedules: scheds,
+		MABudgets: budgets,
+		Out:       &out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	perCell := 1 + len(scheds) + len(budgets)*(len(network.MessageAdversaryNames())+len(scheds))
+	wantRuns := 4 * len(protocol.Names()) * len(byzantine.Names()) * perCell
+	if rep.Runs != wantRuns {
+		t.Fatalf("runs = %d, want %d (trials × protocols × strategies × (engines + schedules + ma cells))",
+			rep.Runs, wantRuns)
+	}
+	wantMBRB := len(byzantine.Names()) * (1 + len(budgets))
+	if rep.MBRBCanaryRuns != wantMBRB {
+		t.Fatalf("mbrb canary runs = %d, want %d", rep.MBRBCanaryRuns, wantMBRB)
+	}
+	if rep.MBRBCanaryFlagged == 0 {
+		t.Fatal("mbrb canary was never flagged")
+	}
+	text := out.String()
+	if !strings.Contains(text, `"ma_policy":"targeted"`) || !strings.Contains(text, `"ma_policy":"random"`) {
+		t.Fatal("JSONL stream has no message-adversary run records")
+	}
+	if !strings.Contains(text, "+ma/") {
+		t.Fatal("JSONL stream has no suppression engine labels")
+	}
+}
+
+// TestSweepMessageAdversaryDeterministic re-runs the suppression sweep at
+// different worker counts and requires byte-identical JSONL output — the
+// adversary seeds must derive from (Seed, trial) alone.
+func TestSweepMessageAdversaryDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	cfg := Config{
+		Seed:      17,
+		Trials:    3,
+		Engines:   []network.Engine{network.Lockstep},
+		Schedules: []string{"random"},
+		MABudgets: []int{1},
+	}
+	cfg.Workers, cfg.Out = 1, &a
+	if _, err := Sweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers, cfg.Out = 4, &b
+	if _, err := Sweep(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("suppression sweep output depends on worker count")
+	}
+}
+
+func TestParseBudgets(t *testing.T) {
+	got, err := ParseBudgets("1, 2,3")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("ParseBudgets = %v, %v", got, err)
+	}
+	if _, err := ParseBudgets("-1"); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if _, err := ParseBudgets("x"); err == nil {
+		t.Fatal("non-numeric budget accepted")
+	}
+	if got, err := ParseBudgets(""); err != nil || got != nil {
+		t.Fatalf("empty spec = %v, %v", got, err)
+	}
+}
+
+// TestMBRBCanaryFlagsReadyForger pins the mechanism: the gullible MBRB
+// receiver decides the forged value off a single unverified READY, with and
+// without a suppression budget in play.
+func TestMBRBCanaryFlagsReadyForger(t *testing.T) {
+	in, corrupt, err := mbrbCanaryFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{0, 1} {
+		strat := byzantine.MustGet(byzantine.ReadyForgerName)
+		opts := protocol.Options{
+			MaxRounds: 16,
+			Corrupt:   strat.Build(in, corrupt, ForgedValue),
+			MABudget:  budget,
+		}
+		if budget > 0 {
+			opts.MsgAdversary = network.MustMessageAdversary(network.MATargeted, budget, 0)
+		}
+		res, err := protocol.Run(mbrbCanaryProto{}, in, xD, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viols := unsafeDecisions(in, corrupt, res)
+		if len(viols) == 0 {
+			t.Fatalf("d=%d: gullible mbrb receiver survived the ready forger", budget)
+		}
+		if viols[0].node != in.Receiver || viols[0].got == xD {
+			t.Fatalf("d=%d: unexpected violation shape: %+v", budget, viols[0])
+		}
+	}
+	// Under the silent adversary every ready the gullible receiver sees is
+	// honest, so the oracle must not false-positive.
+	silent := byzantine.MustGet(byzantine.SilentName)
+	res, err := protocol.Run(mbrbCanaryProto{}, in, xD, protocol.Options{
+		MaxRounds: 16,
+		Corrupt:   silent.Build(in, corrupt, ForgedValue),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viols := unsafeDecisions(in, corrupt, res); viols != nil {
+		t.Fatalf("oracle false-positived on a safe mbrb canary run: %+v", viols)
 	}
 }
 

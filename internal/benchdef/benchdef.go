@@ -53,6 +53,15 @@ func LopsidedChainInstance(lens []int, level gen.Knowledge) (*instance.Instance,
 	return gen.Build(g, z, level, d, r)
 }
 
+// CompleteInstance builds the complete graph K_n with singleton corruption
+// on every interior node (t = 1), dealer 0, receiver n-1 — the MBRB
+// benchmark topology, where message count grows quadratically in n.
+func CompleteInstance(n int, level gen.Knowledge) (*instance.Instance, error) {
+	g := gen.Complete(n)
+	z := gen.Singletons(g.Nodes().Minus(nodeset.Of(0, n-1)))
+	return gen.Build(g, z, level, 0, n-1)
+}
+
 // ProtoBenches is the protocol hot-path benchmark table. Every entry runs
 // through the registry, so a new protocol variant becomes a table row, not
 // a new code path. The PKARun/PKARunNoMemo/ZCPARun names predate the
@@ -80,4 +89,16 @@ var ProtoBenches = []ProtoBench{
 		Instance: func() (*instance.Instance, error) { return ChainInstance(3, 2, gen.FullKnowledge) }},
 	{Name: "BroadcastRun", Protocol: protocol.Broadcast,
 		Instance: func() (*instance.Instance, error) { return ChainInstance(3, 1, gen.AdHoc) }},
+	// The MBRB family provisions its quorums for a budget-1 message
+	// adversary (n > 3t + 2d with t = 1, d = 1 needs n ≥ 6) but runs with
+	// no actual suppression: the hot path under measure is the
+	// distinct-sender quorum bookkeeping over K_n's quadratic message load.
+	{Name: "MBRBRun", Protocol: protocol.MBRB,
+		Instance:   func() (*instance.Instance, error) { return CompleteInstance(6, gen.AdHoc) },
+		Opts:       protocol.Options{MABudget: 1},
+		MustDecide: true},
+	{Name: "MBRBRunLarge", Protocol: protocol.MBRB,
+		Instance:   func() (*instance.Instance, error) { return CompleteInstance(48, gen.AdHoc) },
+		Opts:       protocol.Options{MABudget: 1},
+		MustDecide: true},
 }

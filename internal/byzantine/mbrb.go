@@ -1,0 +1,81 @@
+package byzantine
+
+import (
+	"rmt/internal/instance"
+	"rmt/internal/mbrb"
+	"rmt/internal/network"
+	"rmt/internal/nodeset"
+)
+
+// ReadyForgerName is the registry key of the MBRB quorum-forging strategy.
+const ReadyForgerName = "ready-forger"
+
+// ReadyForger attacks MBRB's quorum discipline: at Init it floods every
+// neighbor with a forged ECHO and READY for the attacker's value — plus a
+// non-dealer INIT, which honest players must ignore — and on every round it
+// re-echoes the dealer's real value with the forgery substituted, trying to
+// smuggle the wrong value into both quorums at once.
+//
+// Safety intuition: each corrupted node contributes one sender to the forged
+// echo and ready sets, so t corrupted nodes put at most t < t+1 = qA senders
+// behind the forgery — below the amplification quorum, let alone the echo
+// or delivery quorums. The conformance battery and the sweep canary pin
+// this: a gullible variant that drops the distinct-sender count is caught.
+type ReadyForger struct {
+	id        int
+	dealer    int
+	neighbors nodeset.Set
+	forged    network.Value
+
+	flipped bool
+}
+
+// NewReadyForger corrupts node c of the instance with the MBRB quorum
+// forgery, injecting the given value.
+func NewReadyForger(in *instance.Instance, c int, forged network.Value) *ReadyForger {
+	return &ReadyForger{id: c, dealer: in.Dealer, neighbors: in.G.Neighbors(c), forged: forged}
+}
+
+// Init implements network.Process.
+func (f *ReadyForger) Init(out network.Outbox) {
+	f.burst(out, f.forged)
+}
+
+// Round implements network.Process: upon seeing the dealer's INIT, re-run
+// the forged burst once more (a corrupted node may send the same phase
+// twice; honest counters dedup by sender, which is the point being tested).
+func (f *ReadyForger) Round(_ int, inbox []network.Message, out network.Outbox) bool {
+	if f.flipped {
+		return true
+	}
+	for _, m := range inbox {
+		msg, ok := m.Payload.(mbrb.Msg)
+		if !ok || msg.Phase != mbrb.PhaseInit || m.From != f.dealer {
+			continue
+		}
+		f.flipped = true
+		f.burst(out, f.forged)
+		break
+	}
+	return true
+}
+
+func (f *ReadyForger) burst(out network.Outbox, x network.Value) {
+	f.neighbors.ForEach(func(u int) bool {
+		out(u, mbrb.Msg{Phase: mbrb.PhaseInit, X: x})
+		out(u, mbrb.Msg{Phase: mbrb.PhaseEcho, X: x})
+		out(u, mbrb.Msg{Phase: mbrb.PhaseReady, X: x})
+		return true
+	})
+}
+
+// Decision implements network.Process.
+func (*ReadyForger) Decision() (network.Value, bool) { return "", false }
+
+func init() {
+	Register(funcStrategy{ReadyForgerName,
+		"flood forged MBRB echo/ready quorum votes for the attacker's value",
+		func(in *instance.Instance, c int, forged network.Value, _ int) network.Process {
+			return NewReadyForger(in, c, forged)
+		}})
+}

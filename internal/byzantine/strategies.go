@@ -132,6 +132,7 @@ type PathForger struct {
 	forged    network.Value
 	info      core.NodeInfo
 	n         int
+	seen      map[string]bool
 }
 
 // NewTrailForger corrupts node c of the instance with the trail-mutation
@@ -146,6 +147,7 @@ func NewTrailForger(in *instance.Instance, c int, forged network.Value) *PathFor
 		neighbors: in.G.Neighbors(c),
 		forged:    forged,
 		info:      understatedInfo(c, fakeView),
+		seen:      make(map[string]bool),
 	}
 }
 
@@ -168,6 +170,16 @@ func (f *PathForger) Round(_ int, inbox []network.Message, out network.Outbox) b
 			if !admissibleTrail(p.P, f.id, m.From) {
 				continue
 			}
+			// Mutate each distinct inbound message once. Truncation and
+			// splicing produce trails SHORTER than the input, so without
+			// dedup a clique of adjacent PathForgers ping-pongs mutations
+			// of mutations forever, amplifying the copy count every round
+			// (the trail-extending strategies are bounded by trail
+			// admissibility alone; this one is not).
+			if f.seen[p.Key()] {
+				continue
+			}
+			f.seen[p.Key()] = true
 			next, ok := f.mutate(p)
 			if !ok {
 				continue

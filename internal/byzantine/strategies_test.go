@@ -31,6 +31,7 @@ func TestRegistryRoundTrip(t *testing.T) {
 		SilentName, SpammerName, ReplayerName,
 		EquivocatorName, PathForgerName, ViewLiarName, EclipserName,
 		ValueFlipName, PathForgeryName, GhostNodeName, SplitBrainName, StructureLiarName,
+		ReadyForgerName,
 	}
 	names := Names()
 	for _, w := range want {

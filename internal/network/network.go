@@ -150,6 +150,13 @@ type Config struct {
 	// Scheduler is the async engine's delivery policy (nil = SyncScheduler).
 	// Ignored by the synchronous engines.
 	Scheduler Scheduler
+	// MsgAdversary is the message-suppression policy (nil = none): it may
+	// remove up to its budget d copies of each broadcast, independently of
+	// node corruption (see MessageAdversary). Suppressed copies count as
+	// sent and are recorded as Lose events, so metrics still reconcile.
+	// Honored by every in-process engine (suppression is a channel fault,
+	// not a timing policy); the wire engine rejects it.
+	MsgAdversary MessageAdversary
 	// Churn schedules mid-run topology edits, in non-decreasing round
 	// order (see ChurnEvent). Supported by the in-process engines
 	// (lockstep, goroutine, async); the wire engine rejects it — children

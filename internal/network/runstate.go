@@ -51,6 +51,7 @@ type runState struct {
 	sorter     deliverySorter    // reusable sort.Stable adapter for large rounds
 	inFlight   int               // undelivered scheduled messages
 	sched      Scheduler         // nil = synchronous delivery at sent+1
+	madv       MessageAdversary  // nil = no message suppression
 	churn      []ChurnEvent      // validated topology edits, in round order
 	churnIdx   int               // first churn event not yet applied
 	extra      []Tracer          // user-installed observers (Config.Tracers)
@@ -130,8 +131,11 @@ func newRunState(cfg Config) *runState {
 	st.mt.m.MessagesPerRound = make([]int, 0, st.maxRounds+1)
 	// Engines normalize Config.Scheduler in their Run wrappers (synchronous
 	// engines clear it, async defaults it to SyncScheduler), so delivery
-	// policy is taken verbatim — run state never inspects the engine.
+	// policy is taken verbatim — run state never inspects the engine. The
+	// message adversary, unlike the scheduler, applies to every in-process
+	// engine: suppression is a property of the channels, not of timing.
 	st.sched = cfg.Scheduler
+	st.madv = cfg.MsgAdversary
 	if cfg.RecordTranscript {
 		st.tt = NewTranscriptTracer()
 	}
@@ -213,8 +217,9 @@ func (st *runState) setupBufs() ([]sendBuf, []Outbox) {
 // merge folds one player's send buffer into the delivery calendar, emitting
 // Send/Drop (and, for scheduler-delayed messages, Delay) events. Must be
 // called serially, in player-ID order, with the round in which the sends
-// happened — that order is also the order in which the scheduler sees the
-// messages, which is what makes a seeded schedule reproducible.
+// happened — that order is also the order in which the scheduler and the
+// message adversary see the messages, which is what makes a seeded schedule
+// (and a seeded suppression pattern) reproducible.
 //
 // Each calendar slot is one flat slice in merge order; recipient grouping
 // and inbox ordering happen once, at delivery time (takePending), so the
@@ -237,6 +242,20 @@ func (st *runState) merge(round int, buf *sendBuf) {
 			continue
 		}
 		st.roundSend++
+		st.mt.Send(round, r.msg)
+		if st.tt != nil {
+			st.tt.Send(round, r.msg)
+		}
+		for _, tr := range st.extra {
+			tr.Send(round, r.msg)
+		}
+		// Message-adversary suppression: the copy counts as sent but is lost
+		// immediately — its Lose event follows its Send, it never enters the
+		// delivery calendar, and the scheduler never sees it.
+		if st.madv != nil && st.madv.Suppress(round, r.msg) {
+			st.lose(round+1, r.msg)
+			continue
+		}
 		at := st.deliveryRound(round, r.msg)
 		if at != lastAt {
 			if lastAt >= 0 {
@@ -253,13 +272,6 @@ func (st *runState) merge(round int, buf *sendBuf) {
 		}
 		flat = append(flat, r.msg)
 		st.inFlight++
-		st.mt.Send(round, r.msg)
-		if st.tt != nil {
-			st.tt.Send(round, r.msg)
-		}
-		for _, tr := range st.extra {
-			tr.Send(round, r.msg)
-		}
 		if at != round+1 {
 			st.mt.Delay(round, at, r.msg)
 			if st.tt != nil {
@@ -703,6 +715,7 @@ func (st *runState) release() {
 	st.cfg = Config{}
 	st.extra = nil
 	st.sched = nil
+	st.madv = nil
 	st.tt = nil
 	st.halted = nil
 	st.churn = nil

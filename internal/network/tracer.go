@@ -32,9 +32,11 @@ type Tracer interface {
 	Drop(round int, m Message)
 	// Lose is an accepted send that will never reach a live player: its
 	// recipient halted before the delivery round, the carrying edge was
-	// removed by churn, or the run ended (final round, early stop,
-	// quiescence) with the message still in the delivery calendar. round is
-	// the delivery round the message was scheduled for. Every accepted send
+	// removed by churn, the message adversary suppressed the copy (that
+	// Lose follows the copy's Send immediately), or the run ended (final
+	// round, early stop, quiescence) with the message still in the delivery
+	// calendar. round is the delivery round the message was scheduled for
+	// (the synchronous sent+1 for suppressed copies). Every accepted send
 	// is eventually reported by exactly one of Deliver (as part of an
 	// inbox) or Lose, so MessagesSent == MessagesDelivered + MessagesLost
 	// reconciles.

@@ -49,6 +49,18 @@ type Options struct {
 	// Scheduler is the async engine's delivery policy (nil = the zero-fault
 	// SyncScheduler). Ignored by the synchronous engines.
 	Scheduler network.Scheduler
+	// MsgAdversary is the message-suppression policy (nil = none); see
+	// network.MessageAdversary. Honored by every in-process engine; the
+	// wire engine rejects it. Adversaries are single-use, like schedulers.
+	MsgAdversary network.MessageAdversary
+	// MABudget is d, the per-broadcast suppression budget the protocol
+	// should provision its quorums for. It parameterizes the n > 3t + 2d
+	// protocol family: MBRB reads it to size its delivery quorum; protocols
+	// predating the message-adversary model ignore it. It is a promise
+	// about MsgAdversary, not enforced against it — running with a budget
+	// larger than provisioned costs liveness, never safety.
+	// Read by: mbrb.
+	MABudget int
 	// RecordTranscript enables full message recording (memory-heavy).
 	RecordTranscript bool
 	// MaxRounds bounds the execution; 0 uses the engine default.
@@ -104,6 +116,11 @@ type Caps struct {
 	// player must decide, not just the designated receiver; the runner
 	// then does not stop early on the receiver's decision.
 	AllDecide bool
+	// CompleteGraph is set by protocols designed for fully connected
+	// networks (MBRB): their quorum arithmetic counts processes, not paths,
+	// so generic harnesses draw complete-graph instances for them instead
+	// of the sparse path fixtures.
+	CompleteGraph bool
 }
 
 // Protocol is one registered executable protocol.

@@ -15,6 +15,7 @@ const (
 	ZCPA      = "zcpa"
 	PPA       = "ppa"
 	Broadcast = "broadcast"
+	MBRB      = "mbrb"
 )
 
 var registry = struct {

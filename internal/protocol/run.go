@@ -39,6 +39,7 @@ func Run(p Protocol, in *instance.Instance, xD network.Value, opts Options) (*ne
 		Processes:        procs,
 		Engine:           opts.Engine,
 		Scheduler:        opts.Scheduler,
+		MsgAdversary:     opts.MsgAdversary,
 		RecordTranscript: opts.RecordTranscript,
 		MaxRounds:        opts.MaxRounds,
 		Tracers:          opts.Tracers,

@@ -36,8 +36,24 @@ type Factory struct {
 	// Solvable, if non-nil, is the protocol's tight feasibility condition;
 	// the battery then asserts Solvable ⇔ operational resilience.
 	Solvable func(in *instance.Instance) bool
+	// NewProcessesBudget, if non-nil, builds the process map provisioned
+	// for a per-broadcast suppression budget of d (protocol.Options.MABudget);
+	// the message-adversary slice prefers it so quorum-based protocols are
+	// tested with quorums matching the adversary they face. FactoryFor wires
+	// it for every registry protocol (protocols that predate the
+	// message-adversary model simply ignore the budget).
+	NewProcessesBudget func(in *instance.Instance, xD network.Value, corrupt map[int]network.Process, d int) map[int]network.Process
 	// Knowledge is the knowledge level the protocol is designed for.
 	Knowledge gen.Knowledge
+	// Complete marks protocols whose quorum arithmetic needs a fully
+	// connected network (protocol.Caps.CompleteGraph): the battery then
+	// draws complete-graph fixtures instead of the sparse path fixtures,
+	// skips sparse feasibility fixtures in the wire slice, and adds the
+	// eclipse-liveness assertion to the message-adversary slice.
+	Complete bool
+	// AllDecide marks broadcast-style protocols in which every honest
+	// player must decide (protocol.Caps.AllDecide).
+	AllDecide bool
 	// Protocol is the registry name when the factory's configuration is
 	// expressible as a pure-data Blueprint — i.e. it is exactly the
 	// registered protocol with default options. Only then can the battery
@@ -52,17 +68,23 @@ type Factory struct {
 // comes from the protocol's capabilities and the tightness condition from
 // its optional Feasibility implementation.
 func FactoryFor(p protocol.Protocol) Factory {
+	assemble := func(in *instance.Instance, xD network.Value, corrupt map[int]network.Process, d int) map[int]network.Process {
+		procs, err := p.Assemble(in, xD, protocol.Options{Corrupt: corrupt, MABudget: d})
+		if err != nil {
+			panic(fmt.Sprintf("protocoltest: %s.Assemble: %v", p.Name(), err))
+		}
+		return procs
+	}
 	f := Factory{
 		Name:     p.Name(),
 		Protocol: p.Name(),
 		NewProcesses: func(in *instance.Instance, xD network.Value, corrupt map[int]network.Process) map[int]network.Process {
-			procs, err := p.Assemble(in, xD, protocol.Options{Corrupt: corrupt})
-			if err != nil {
-				panic(fmt.Sprintf("protocoltest: %s.Assemble: %v", p.Name(), err))
-			}
-			return procs
+			return assemble(in, xD, corrupt, 0)
 		},
-		Knowledge: gen.AdHoc,
+		NewProcessesBudget: assemble,
+		Knowledge:          gen.AdHoc,
+		Complete:           p.Caps().CompleteGraph,
+		AllDecide:          p.Caps().AllDecide,
 	}
 	if p.Caps().NeedsFullKnowledge {
 		f.Knowledge = gen.FullKnowledge
@@ -120,6 +142,7 @@ func Run(t *testing.T, f Factory, cfg Config) {
 	if !cfg.SkipSchedules {
 		t.Run(f.Name+"/schedule-safety", func(t *testing.T) { scheduleSafety(t, f, cfg) })
 	}
+	t.Run(f.Name+"/message-adversary", func(t *testing.T) { messageAdversary(t, f, cfg) })
 	if cfg.WireEngine != nil && f.Protocol != "" {
 		t.Run(f.Name+"/wire-equivalence", func(t *testing.T) { wireEquivalence(t, f, cfg) })
 	}
@@ -174,12 +197,15 @@ type countTracer struct {
 	network.NopTracer
 	sends map[int]int
 	bits  map[int]int
+	loses int
 }
 
 func (c *countTracer) Send(round int, m network.Message) {
 	c.sends[round]++
 	c.bits[round] += m.Payload.BitSize()
 }
+
+func (c *countTracer) Lose(int, network.Message) { c.loses++ }
 
 // reconcile cross-checks the tracer's counts against the recorded
 // transcript (a send in round r is a delivery of round r+1) and the
@@ -208,10 +234,30 @@ func (c *countTracer) reconcile(t *testing.T, label string, res *network.Result)
 }
 
 // fixtures returns the standard solvable fixtures at the factory's
-// knowledge level.
+// knowledge level. Complete-graph protocols get complete instances sized so
+// their quorums survive both the fixtures' corruptions and the
+// message-adversary slice's budget (K6 under singleton corruption is one
+// node above the n = 3t + 2d bound at t = d = 1); everyone else gets the
+// sparse path fixtures.
 func fixtures(t *testing.T, f Factory) []*instance.Instance {
 	t.Helper()
 	var out []*instance.Instance
+	if f.Complete {
+		// K6 with singleton corruption of the interior.
+		g1 := gen.Complete(6)
+		in1, err := gen.Build(g1, gen.Singletons(g1.Nodes().Minus(nodeset.Of(0, 5))), f.Knowledge, 0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, in1)
+		// An honest K4: trivially solvable.
+		g2 := gen.Complete(4)
+		in2, err := gen.Build(g2, adversary.Trivial(), f.Knowledge, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(out, in2)
+	}
 	// Triple relays with singleton corruption: solvable at every level.
 	g1, d1, r1 := gen.DisjointPaths(3, 1)
 	in1, err := gen.Build(g1, gen.Singletons(g1.Nodes().Minus(nodeset.Of(d1, r1))), f.Knowledge, d1, r1)
@@ -361,6 +407,122 @@ func churnEquivalence(t *testing.T, f Factory, cfg Config) {
 	}
 }
 
+// runSuppressed executes a run under a message adversary, built with the
+// budget-aware assembly when the factory provides one. StopEarly is never
+// installed: the accounting checks need the full run, and the liveness
+// assertion needs every player's decision.
+func runSuppressed(f Factory, in *instance.Instance, xD network.Value, corrupt map[int]network.Process, engine network.Engine, madv network.MessageAdversary, d, maxRounds int) (*network.Result, *countTracer, error) {
+	procs := f.NewProcesses(in, xD, corrupt)
+	if f.NewProcessesBudget != nil {
+		procs = f.NewProcessesBudget(in, xD, corrupt, d)
+	}
+	ct := &countTracer{sends: map[int]int{}, bits: map[int]int{}}
+	res, err := network.Run(network.Config{
+		Graph:            in.G,
+		Processes:        procs,
+		Engine:           engine,
+		MsgAdversary:     madv,
+		MaxRounds:        maxRounds,
+		RecordTranscript: true,
+		Tracers:          []network.Tracer{ct},
+	})
+	return res, ct, err
+}
+
+// messageAdversary is the suppression slice: honest runs under every stock
+// message-adversary policy must stay deterministic across the in-process
+// engines (identical transcripts and suppression counts), keep the
+// Sent = Delivered + Lost books balanced with every suppressed copy showing
+// up as a tracer Lose, and never decide anything but x_D — suppression can
+// starve players, never corrupt them. Complete-graph protocols additionally
+// prove budget-provisioned liveness: with quorums sized for d = 1, a
+// one-victim eclipse plus a silenced admissible corruption still delivers at
+// every correct non-victim.
+func messageAdversary(t *testing.T, f Factory, cfg Config) {
+	const d = 1
+	for i, in := range fixtures(t, f) {
+		for _, name := range network.MessageAdversaryNames() {
+			type outcome struct {
+				res *network.Result
+				ct  *countTracer
+				mad network.MessageAdversary
+			}
+			runs := map[string]outcome{}
+			for _, eng := range []network.Engine{network.Lockstep, network.Goroutine, network.Async} {
+				madv := network.MustMessageAdversary(name, d, 11)
+				res, ct, err := runSuppressed(f, in, "x", nil, eng, madv, d, cfg.MaxRounds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				runs[eng.Name()] = outcome{res, ct, madv}
+			}
+			a := runs[network.Lockstep.Name()]
+			for engName, o := range runs {
+				label := fmt.Sprintf("fixture %d, policy %s, %s", i, name, engName)
+				if k, ak := o.res.Transcript.Key(), a.res.Transcript.Key(); k != ak {
+					t.Errorf("%s: transcript differs from lockstep:\nlockstep: %s\n%s: %s",
+						label, ak, engName, k)
+				}
+				if o.mad.Suppressed() != a.mad.Suppressed() {
+					t.Errorf("%s: suppressed %d copies, lockstep %d",
+						label, o.mad.Suppressed(), a.mad.Suppressed())
+				}
+				o.ct.reconcile(t, label, o.res)
+				if o.ct.loses != o.res.Metrics.MessagesLost {
+					t.Errorf("%s: tracer saw %d loses, Metrics.MessagesLost %d",
+						label, o.ct.loses, o.res.Metrics.MessagesLost)
+				}
+				if o.mad.Suppressed() > o.ct.loses {
+					t.Errorf("%s: %d suppressions but only %d Lose events",
+						label, o.mad.Suppressed(), o.ct.loses)
+				}
+				for v, got := range o.res.Decisions {
+					if got != "x" {
+						t.Errorf("%s: player %d decided %q under suppression — SAFETY VIOLATION",
+							label, v, got)
+					}
+				}
+			}
+		}
+		if !f.Complete {
+			continue
+		}
+		// Budget-provisioned liveness at the bound: eclipse one correct
+		// interior player and silence each admissible corruption in turn.
+		for _, m := range in.MaximalCorruptions() {
+			victim := -1
+			in.G.Nodes().ForEach(func(v int) bool {
+				if v != in.Dealer && v != in.Receiver && !m.Contains(v) {
+					victim = v
+					return false
+				}
+				return true
+			})
+			if victim < 0 {
+				continue
+			}
+			var corrupt map[int]network.Process
+			if !m.IsEmpty() {
+				corrupt = protocol.Silence(m)
+			}
+			res, _, err := runSuppressed(f, in, "x", corrupt, network.Lockstep, network.NewEclipse(victim), d, cfg.MaxRounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in.G.Nodes().ForEach(func(v int) bool {
+				if v == victim || m.Contains(v) {
+					return true
+				}
+				if got, ok := res.DecisionOf(v); !ok || got != "x" {
+					t.Errorf("fixture %d, corrupt %v, victim %d: correct non-victim %d decided %q, %v; want \"x\"",
+						i, m, victim, v, got, ok)
+				}
+				return true
+			})
+		}
+	}
+}
+
 // wireEquivalence is the four-engine slice: on the standard fixtures plus
 // every feasibility fixture buildable at the factory's knowledge level, the
 // lockstep, goroutine, async and wire engines must produce identical
@@ -371,12 +533,16 @@ func churnEquivalence(t *testing.T, f Factory, cfg Config) {
 // solvability, so unsolvable fixtures participate too.
 func wireEquivalence(t *testing.T, f Factory, cfg Config) {
 	ins := fixtures(t, f)
-	for _, fx := range feasibility.All() {
-		in, err := fx.Build(f.Knowledge)
-		if err != nil {
-			continue // fixture not expressible at this knowledge level
+	// The worked-example fixtures are sparse, so complete-graph protocols
+	// only run their own fixtures here.
+	if !f.Complete {
+		for _, fx := range feasibility.All() {
+			in, err := fx.Build(f.Knowledge)
+			if err != nil {
+				continue // fixture not expressible at this knowledge level
+			}
+			ins = append(ins, in)
 		}
-		ins = append(ins, in)
 	}
 	engines := map[string]network.Engine{
 		"goroutine": network.Goroutine,

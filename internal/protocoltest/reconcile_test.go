@@ -6,6 +6,7 @@ import (
 
 	"rmt/internal/feasibility"
 	"rmt/internal/gen"
+	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/protocol"
 )
@@ -48,10 +49,29 @@ func TestMetricsReconcileEverywhere(t *testing.T) {
 		if p.Caps().NeedsFullKnowledge {
 			level = gen.FullKnowledge
 		}
-		for _, fx := range feasibility.All() {
-			in, err := fx.Build(level)
+		// The worked fixtures are sparse; complete-graph protocols sweep
+		// the just-feasible sides of the MBRB boundary battery instead.
+		type namedInstance struct {
+			name  string
+			build func() (*instance.Instance, error)
+		}
+		var fixtures []namedInstance
+		if p.Caps().CompleteGraph {
+			for _, b := range feasibility.MBRBBoundaries() {
+				fixtures = append(fixtures, namedInstance{b.Name, b.Feasible})
+			}
+		} else {
+			for _, fx := range feasibility.All() {
+				fx := fx
+				fixtures = append(fixtures, namedInstance{fx.Name, func() (*instance.Instance, error) {
+					return fx.Build(level)
+				}})
+			}
+		}
+		for _, fx := range fixtures {
+			in, err := fx.build()
 			if err != nil {
-				t.Fatalf("%s: %s: %v", p.Name(), fx.Name, err)
+				t.Fatalf("%s: %s: %v", p.Name(), fx.name, err)
 			}
 			// Honest run plus the first non-trivial admissible corruption,
 			// silenced: a halted recipient is the other source of losses.
@@ -75,10 +95,10 @@ func TestMetricsReconcileEverywhere(t *testing.T) {
 						Corrupt:   corrupt,
 					})
 					if err != nil {
-						t.Fatalf("%s/%s/%v: %v", p.Name(), fx.Name, c, err)
+						t.Fatalf("%s/%s/%v: %v", p.Name(), fx.name, c, err)
 					}
 					label := fmt.Sprintf("%s %s engine=%v sched=%q seed=%d corrupt=%d",
-						p.Name(), fx.Name, c.engine, c.sched, c.seed, ci)
+						p.Name(), fx.name, c.engine, c.sched, c.seed, ci)
 					if err := res.Metrics.Reconcile(); err != nil {
 						t.Errorf("%s: %v", label, err)
 					}

@@ -41,6 +41,7 @@ import (
 	"rmt/internal/cliutil"
 	"rmt/internal/core"
 	"rmt/internal/eval"
+	"rmt/internal/feasibility"
 	"rmt/internal/gen"
 	"rmt/internal/graph"
 	"rmt/internal/instance"
@@ -518,20 +519,43 @@ type Verdict struct {
 	Witness  *CutWitness `json:"witness,omitempty"`
 }
 
+// FeasibilityRequest is the POST /v1/feasibility body: the instance tuple
+// plus the message-adversary suppression budget d for the MBRB verdict.
+type FeasibilityRequest struct {
+	InstanceRequest
+	// MABudget is the message adversary's per-broadcast suppression budget
+	// d for the MBRB bound n > 3t + 2d; default 0 (no suppression). The
+	// MBRB verdict is only present for complete-graph instances, where the
+	// bound is tight.
+	MABudget int `json:"ma_budget,omitempty"`
+}
+
+// MBRBVerdict is the signature-free reliable-broadcast answer: the bound
+// n > 3t + 2d evaluated on the instance's (n, t) and the requested d.
+type MBRBVerdict struct {
+	N        int  `json:"n"`
+	T        int  `json:"t"`
+	D        int  `json:"d"`
+	Feasible bool `json:"feasible"`
+}
+
 // FeasibilityResponse is the POST /v1/feasibility body. PKA is the partial
 // knowledge characterization (Definition 3 RMT-cut); ZCPA is the ad hoc one
-// (Definition 7 𝒵-pp cut), present only for adhoc-knowledge instances.
+// (Definition 7 𝒵-pp cut), present only for adhoc-knowledge instances; MBRB
+// is the message-adversary broadcast bound n > 3t + 2d, present only for
+// complete-graph instances.
 type FeasibilityResponse struct {
 	// Key is the instance's canonical content hash — equal keys mean equal
 	// (G, 𝒵, γ, D, R) tuples, however the request spelled them.
-	Key       string   `json:"key"`
-	Knowledge string   `json:"knowledge"`
-	PKA       Verdict  `json:"pka"`
-	ZCPA      *Verdict `json:"zcpa,omitempty"`
+	Key       string       `json:"key"`
+	Knowledge string       `json:"knowledge"`
+	PKA       Verdict      `json:"pka"`
+	ZCPA      *Verdict     `json:"zcpa,omitempty"`
+	MBRB      *MBRBVerdict `json:"mbrb,omitempty"`
 }
 
 func (s *Server) handleFeasibility(w http.ResponseWriter, r *http.Request) {
-	var req InstanceRequest
+	var req FeasibilityRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
@@ -540,15 +564,23 @@ func (s *Server) handleFeasibility(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "instance: %v", err)
 		return
 	}
+	if req.MABudget < 0 {
+		writeError(w, http.StatusBadRequest, "ma_budget: must be >= 0")
+		return
+	}
 	// The key carries the knowledge level alongside the canonical hash:
 	// the response depends on both (the "knowledge" field, and the
 	// adhoc-only ZCPA verdict), and distinct levels can share a canonical
 	// hash — on triangle-free graphs the radius-1 view γ coincides with the
 	// ad hoc one, so radius1 and adhoc requests describe the same instance
-	// tuple yet need different bodies.
-	key := "feasibility-v1\n" + level.String() + "\n" + in.CanonicalKey()
+	// tuple yet need different bodies. v2 added the suppression budget,
+	// which parameterizes the MBRB verdict.
+	key := fmt.Sprintf("feasibility-v2\n%s\nd=%d\n%s", level, req.MABudget, in.CanonicalKey())
 	s.serveCached(w, r, key, in.CanonicalKey(), func(ctx context.Context) ([]byte, error) {
 		resp := FeasibilityResponse{Key: in.CanonicalKey(), Knowledge: level.String()}
+		if mv, err := feasibility.MBRBVerdictFor(in, req.MABudget); err == nil {
+			resp.MBRB = &MBRBVerdict{N: mv.N, T: mv.T, D: mv.D, Feasible: mv.Feasible}
+		}
 		cut, found, err := core.FindRMTCutCtx(ctx, in)
 		if err != nil {
 			return nil, err

@@ -99,6 +99,55 @@ func TestProtocolsEndpoint(t *testing.T) {
 	}
 }
 
+// TestFeasibilityMBRBVerdict pins the message-adversary surface of the
+// endpoint: complete-graph instances carry the n > 3t + 2d verdict at the
+// requested budget (the K6 pair flips exactly at d), sparse instances omit
+// it, and distinct budgets must not share cache entries.
+func TestFeasibilityMBRBVerdict(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	// K6 with singleton corruptions: n=6, t=1, so d=1 is feasible
+	// (6 > 3+2) and d=2 is not (6 > 3+4 fails).
+	const k6 = `"graph":"0-1 0-2 0-3 0-4 0-5 1-2 1-3 1-4 1-5 2-3 2-4 2-5 3-4 3-5 4-5","structure":"1;2;3;4","dealer":0,"receiver":5`
+	for _, c := range []struct {
+		d        int
+		feasible bool
+	}{{0, true}, {1, true}, {2, false}} {
+		code, body := post(t, ts, "/v1/feasibility", fmt.Sprintf(`{%s,"ma_budget":%d}`, k6, c.d))
+		if code != http.StatusOK {
+			t.Fatalf("feasibility d=%d: %d %s", c.d, code, body)
+		}
+		var resp FeasibilityResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.MBRB == nil {
+			t.Fatalf("d=%d: complete instance has no mbrb verdict: %s", c.d, body)
+		}
+		if resp.MBRB.N != 6 || resp.MBRB.T != 1 || resp.MBRB.D != c.d || resp.MBRB.Feasible != c.feasible {
+			t.Fatalf("d=%d: mbrb verdict %+v, want n=6 t=1 feasible=%v", c.d, resp.MBRB, c.feasible)
+		}
+	}
+
+	// Sparse instances omit the verdict — the bound is only tight on
+	// complete networks.
+	code, body := post(t, ts, "/v1/feasibility", solvableButterfly)
+	if code != http.StatusOK {
+		t.Fatalf("feasibility: %d %s", code, body)
+	}
+	var resp FeasibilityResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.MBRB != nil {
+		t.Fatalf("sparse instance grew an mbrb verdict: %+v", resp.MBRB)
+	}
+
+	if code, body := post(t, ts, "/v1/feasibility", `{"graph":"0-1","dealer":0,"receiver":1,"ma_budget":-1}`); code != http.StatusBadRequest {
+		t.Fatalf("negative budget: %d %s", code, body)
+	}
+}
+
 func TestFeasibilityVerdicts(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 

@@ -9,6 +9,7 @@ import (
 	"rmt/internal/cliutil"
 	"rmt/internal/core"
 	"rmt/internal/graph"
+	"rmt/internal/mbrb"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
 	"rmt/internal/zcpa"
@@ -35,6 +36,7 @@ const (
 	kindCoreInfo  = "core/info"
 	kindZCPAValue = "zcpa/value"
 	kindNoise     = "byzantine/noise"
+	kindMBRB      = "mbrb/msg"
 )
 
 type coreValueBody struct {
@@ -61,6 +63,11 @@ type noiseBody struct {
 	From  int `json:"from"`
 	Round int `json:"round"`
 	Seq   int `json:"seq"`
+}
+
+type mbrbBody struct {
+	Phase string `json:"phase"`
+	X     string `json:"x"`
 }
 
 // encodePayload wraps one outgoing payload in its envelope. Payload types
@@ -94,6 +101,8 @@ func encodePayload(p network.Payload) (payloadEnvelope, error) {
 		kind, body = kindZCPAValue, zcpaValueBody{X: string(m.X)}
 	case byzantine.NoisePayload:
 		kind, body = kindNoise, noiseBody{From: m.From, Round: m.Round, Seq: m.Seq}
+	case mbrb.Msg:
+		kind, body = kindMBRB, mbrbBody{Phase: string(m.Phase), X: string(m.X)}
 	default:
 		return payloadEnvelope{}, fmt.Errorf("wire: payload type %T has no wire encoding", p)
 	}
@@ -146,6 +155,12 @@ func decodePayload(env payloadEnvelope) (network.Payload, error) {
 			return nil, fmt.Errorf("wire: decode %s payload: %w", env.Kind, err)
 		}
 		p = byzantine.NoisePayload{From: b.From, Round: b.Round, Seq: b.Seq}
+	case kindMBRB:
+		var b mbrbBody
+		if err := json.Unmarshal(env.Data, &b); err != nil {
+			return nil, fmt.Errorf("wire: decode %s payload: %w", env.Kind, err)
+		}
+		p = mbrb.Msg{Phase: mbrb.Phase(b.Phase), X: network.Value(b.X)}
 	default:
 		return nil, fmt.Errorf("wire: unknown payload kind %q", env.Kind)
 	}

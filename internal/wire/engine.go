@@ -96,6 +96,9 @@ func runWire(cfg Config, opts EngineOptions) (*network.Result, error) {
 	if len(cfg.Churn) > 0 {
 		return nil, fmt.Errorf("wire: topology churn is not supported (children hold a private graph copy fixed at handshake)")
 	}
+	if cfg.MsgAdversary != nil {
+		return nil, fmt.Errorf("wire: message adversaries are not supported (the blueprint carries no suppression policy, so children could not agree on quorum parameters)")
+	}
 	bp := blueprintToBody(*cfg.Blueprint)
 	localProcs, in, err := buildProcesses(bp)
 	if err != nil {

@@ -46,6 +46,7 @@ import (
 	"rmt/internal/core"
 	"rmt/internal/graph"
 	"rmt/internal/instance"
+	_ "rmt/internal/mbrb" // registers the "mbrb" protocol
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
 	"rmt/internal/ppa"
@@ -206,6 +207,7 @@ const (
 	ProtocolZCPA      = protocol.ZCPA
 	ProtocolPPA       = protocol.PPA
 	ProtocolBroadcast = protocol.Broadcast
+	ProtocolMBRB      = protocol.MBRB
 )
 
 // Protocols returns the names of every registered protocol, sorted.
@@ -238,6 +240,43 @@ func RunZCPA(in *Instance, xD Value, corrupt map[int]Process, opts ZCPAOptions) 
 func RunPPA(in *Instance, xD Value, corrupt map[int]Process, engine Engine) (*Result, error) {
 	return RunProtocol(ProtocolPPA, in, xD, corrupt, RunOptions{Engine: engine})
 }
+
+// RunMBRB executes the signature-free MBRB reliable-broadcast protocol on a
+// complete-graph instance. Set opts.MABudget to the message adversary's
+// suppression budget d (the quorums provision for it) and opts.MsgAdversary
+// to an actual suppression policy (NewMessageAdversary, NewEclipse) to drop
+// copies; MBRB delivers at every correct player iff n > 3t + 2d
+// (MBRBFeasible).
+func RunMBRB(in *Instance, xD Value, corrupt map[int]Process, opts RunOptions) (*Result, error) {
+	return RunProtocol(ProtocolMBRB, in, xD, corrupt, opts)
+}
+
+// MessageAdversary is the message-suppression adversary of the MBRB model:
+// per broadcast it may drop up to d copies before they enter the delivery
+// calendar (suppressed copies surface as Lose tracer events, keeping
+// Sent = Delivered + Lost). Adversaries are single-use, like Schedulers.
+type MessageAdversary = network.MessageAdversary
+
+// Stock message-adversary policy names, usable with NewMessageAdversary.
+const (
+	MATargeted = network.MATargeted
+	MARandom   = network.MARandom
+	MAEclipse  = network.MAEclipse
+)
+
+// MessageAdversaryNames returns the stock suppression policy names, sorted.
+func MessageAdversaryNames() []string { return network.MessageAdversaryNames() }
+
+// NewMessageAdversary builds the named stock suppression policy with
+// per-broadcast budget d. Every random choice flows from the seed, so equal
+// (name, d, seed) triples reproduce a run byte-for-byte.
+func NewMessageAdversary(name string, d int, seed int64) (MessageAdversary, error) {
+	return network.NewMessageAdversary(name, d, seed)
+}
+
+// NewEclipse builds an eclipse message adversary suppressing every copy
+// addressed to the given victims, budget permitting (d = len(victims)).
+func NewEclipse(victims ...int) MessageAdversary { return network.NewEclipse(victims...) }
 
 // NewJSONLTracer returns a Tracer streaming every run event as one JSON
 // object per line on w, for offline analysis.
