@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 test race bench benchjson benchguard benchsnap allocguard vet attacksweep schedfuzz mafuzz churnfuzz fuzzsmoke cover loadtest daemonsmoke fleetsmoke watchsmoke
+.PHONY: tier1 test race bench benchjson benchguard benchsnap allocguard vet attacksweep schedfuzz mafuzz churnfuzz smtfuzz fuzzsmoke cover loadtest daemonsmoke fleetsmoke watchsmoke
 
 # tier1 is the gate every PR must keep green: build + full test suite +
 # vet + race detector on the packages that spawn goroutines or share state
@@ -15,7 +15,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/network/ ./internal/eval/ ./internal/protocol/ ./internal/byzantine/ ./internal/attack/ ./internal/server/ ./internal/wire/ ./internal/feasibility/ ./internal/mbrb/
+	$(GO) test -race ./internal/network/ ./internal/eval/ ./internal/protocol/ ./internal/byzantine/ ./internal/attack/ ./internal/server/ ./internal/wire/ ./internal/feasibility/ ./internal/mbrb/ ./internal/smt/
 
 test:
 	$(GO) test ./...
@@ -102,6 +102,17 @@ CHURN_STEPS  ?= 8
 churnfuzz:
 	CHURN_CHAINS=$(CHURN_CHAINS) CHURN_STEPS=$(CHURN_STEPS) \
 		$(GO) test ./internal/feasibility/ -run TestIncrementalMatchesFreshAcrossChurn -count=1 -v
+
+# SMT fuzzer: the secure-transmission differential at scale. SMT_TRIALS
+# seeded random (graph, 𝒵, ℒ) triples must agree between the Dowden-style
+# feasibility predicate and the smt protocol's plan construction, and the
+# privacy battery (honest smt clean, canary-smt-leaky flagged) re-runs on
+# top — the predicate, the protocol and the oracle cross-check each other.
+SMT_TRIALS ?= 4000
+smtfuzz:
+	SMT_TRIALS=$(SMT_TRIALS) \
+		$(GO) test ./internal/smt/ -run TestNewPlanAgreesWithFeasible -count=1 -v
+	$(GO) test ./internal/attack/ -run 'TestPrivacyBattery|TestPrivacyOracle' -count=1 -v
 
 # CI-sized watch smoke: subscribe to POST /v1/watch on an in-process daemon,
 # push a scripted 3-delta churn history, and require exactly the

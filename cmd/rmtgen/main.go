@@ -66,7 +66,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if z.NumMaximal() == 0 { // not set by the family: derive from relays
+	// A family that sets no structure leaves z as the zero value, which
+	// normalizes to {∅} — detect "unset" by the empty corruption ground,
+	// not by NumMaximal() == 0 (the zero value has one maximal set: ∅).
+	if z.Ground().IsEmpty() { // not set by the family: derive from relays
 		relays := g.Nodes().Minus(nodeset.Of(d, rcv))
 		if *threshold > 0 {
 			z = adversary.GlobalThreshold(relays, *threshold)

@@ -66,6 +66,7 @@ func run(args []string, out io.Writer) error {
 		knowledge = fs.String("knowledge", "adhoc", "adhoc|radius1|radius2|radius3|full")
 		protocol  = fs.String("protocol", rmt.ProtocolPKA, "protocol name: "+strings.Join(rmt.Protocols(), "|"))
 		value     = fs.String("value", "1", "dealer value x_D")
+		listen    = fs.String("listen", "", "listening structure ℒ for smt, e.g. \"2;3\" (empty = no listening)")
 		corrupt   = fs.String("corrupt", "", "corrupted nodes, e.g. \"2,3\" (must be admissible)")
 		attack    = fs.String("attack", "silent", "attack strategy: "+strings.Join(rmt.AttackStrategies(), "|"))
 		engine    = fs.String("engine", "lockstep", "engine name: "+strings.Join(rmt.Engines(), "|"))
@@ -146,7 +147,13 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	opts := rmt.RunOptions{Engine: eng, Scheduler: scheduler, RecordTranscript: *trace}
+	listenZ, err := cliutil.ParseStructure(*listen)
+	if err != nil {
+		return fmt.Errorf("-listen: %w", err)
+	}
+
+	opts := rmt.RunOptions{Engine: eng, Scheduler: scheduler, RecordTranscript: *trace,
+		Listen: listenZ, Seed: *seed}
 	var madv rmt.MessageAdversary
 	if *ma != "" {
 		if madv, err = rmt.NewMessageAdversary(*ma, *maBudget, *maSeed); err != nil {
@@ -165,6 +172,8 @@ func run(args []string, out io.Writer) error {
 		Corrupt:  t.Members(),
 		Attack:   *attack,
 		Forged:   "forged-by-" + *attack,
+		Listen:   cliutil.FormatStructure(listenZ),
+		Seed:     *seed,
 	}
 	var jt *rmt.JSONLTracer
 	if *jsonl != "" {
@@ -182,6 +191,12 @@ func run(args []string, out io.Writer) error {
 	}
 	res, err := rmt.RunProtocol(*protocol, in, rmt.Value(*value), corruptProcs, opts)
 	if err != nil {
+		// A capability rejection — the protocol refusing this instance or
+		// listening-structure pairing outright — is a usage problem with the
+		// requested configuration, not a failure of a valid run: exit 2.
+		if rmt.IsCapsError(err) {
+			return err
+		}
 		return runError{err}
 	}
 	if jt != nil {

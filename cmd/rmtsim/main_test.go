@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"regexp"
 	"strings"
@@ -28,9 +29,14 @@ const k5Graph = "0-1 0-2 0-3 0-4 1-2 1-3 1-4 2-3 2-4 3-4"
 
 // fixtureFor picks a (graph, structure) pair the protocol accepts: the
 // triple-path relay graph for the path-based RMT protocols, K5 for mbrb.
+// smt needs honest share paths, so its structure leaves relay 3 out of the
+// adversary's reach while keeping the suite's -corrupt 2 admissible.
 func fixtureFor(proto string) (graph, structure string) {
-	if proto == rmt.ProtocolMBRB {
+	switch proto {
+	case rmt.ProtocolMBRB:
 		return k5Graph, "1;2;3"
+	case rmt.ProtocolSMT:
+		return tripleGraph, "1;2"
 	}
 	return tripleGraph, "1;2;3"
 }
@@ -84,6 +90,50 @@ func TestRunGoroutineEngine(t *testing.T) {
 	}
 }
 
+func TestRunSMTListening(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-graph", tripleGraph, "-structure", "1", "-receiver", "4",
+		"-protocol", "smt", "-value", "launch code", "-listen", "2",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"launch code" — CORRECT`) {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+// TestRunCapsRejectionIsUsageError: a protocol refusing an instance or
+// listening pairing outright is a configuration mistake, reported as a
+// one-line usage error (exit 2) — not a run failure and certainly not a
+// panic. The smt pairing below has every relay corruptible-or-listenable;
+// the mbrb instance is an incomplete network.
+func TestRunCapsRejectionIsUsageError(t *testing.T) {
+	cases := [][]string{
+		{"-graph", tripleGraph, "-structure", "1", "-receiver", "4",
+			"-protocol", "smt", "-listen", "2,3"},
+		{"-graph", tripleGraph, "-structure", "1", "-receiver", "4",
+			"-protocol", "mbrb"},
+	}
+	for i, args := range cases {
+		var sb strings.Builder
+		err := run(args, &sb)
+		if err == nil {
+			t.Fatalf("case %d: infeasible pairing accepted", i)
+		}
+		if !rmt.IsCapsError(err) {
+			t.Fatalf("case %d: not a caps error: %v", i, err)
+		}
+		if errors.As(err, &runError{}) {
+			t.Fatalf("case %d: caps rejection classified as run failure (exit 1): %v", i, err)
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Fatalf("case %d: usage error is not one line: %q", i, err)
+		}
+	}
+}
+
 func TestRunRejectsInadmissibleCorruption(t *testing.T) {
 	var sb strings.Builder
 	err := run([]string{
@@ -101,6 +151,7 @@ func TestRunErrors(t *testing.T) {
 		{"-graph", tripleGraph, "-receiver", "4", "-protocol", "nope"},
 		{"-graph", tripleGraph, "-receiver", "4", "-engine", "nope"},
 		{"-graph", tripleGraph, "-receiver", "4", "-corrupt", "1", "-attack", "nope"},
+		{"-graph", tripleGraph, "-receiver", "4", "-listen", "not-a-structure"},
 	}
 	for i, args := range cases {
 		var sb strings.Builder

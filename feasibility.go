@@ -78,3 +78,39 @@ type MBRBBoundary = feasibility.MBRBBoundary
 // Infeasible() builds K_{3t+2d} (nobody delivers). The flip is exactly one
 // node wide, predicately and operationally.
 func MBRBBoundaries() []MBRBBoundary { return feasibility.MBRBBoundaries() }
+
+// SMTFeasible reports whether secure message transmission is possible on the
+// instance against the fully generalised adversary (𝒵, listen): for every
+// listening set L ∈ ℒ, Ground(𝒵) ∪ L must leave a D–R path — the
+// Dowden-style cut condition. The "smt" protocol succeeds exactly on
+// feasible pairings.
+func SMTFeasible(in *Instance, listen Structure) bool {
+	return feasibility.SMTFeasible(in, listen)
+}
+
+// SMTVerdict is an instance-level SMT feasibility answer with witnesses: the
+// share-carrying path family on the feasible side, or the violated cut (a
+// disruption cut, or a secrecy cut with the listening set completing it) on
+// the infeasible side.
+type SMTVerdict = feasibility.SMTVerdict
+
+// SMTVerdictFor evaluates SMTFeasible on the instance and attaches the
+// matching witness: the smt protocol's planned path family when feasible,
+// the failing cut when not.
+func SMTVerdictFor(in *Instance, listen Structure) SMTVerdict {
+	return feasibility.SMTVerdictFor(in, listen)
+}
+
+// SMTBoundary is a named just-feasible / just-infeasible SMT fixture pair
+// whose adversaries differ by exactly one maximal set; see SMTBoundaries.
+type SMTBoundary = feasibility.SMTBoundary
+
+// SMTBoundaries returns the stock SMT boundary battery: each pair flips the
+// verdict by widening the listening structure or the corruption structure by
+// a single maximal set.
+func SMTBoundaries() []SMTBoundary { return feasibility.SMTBoundaries() }
+
+// SMTBoundaryByName returns the named stock boundary (see SMTBoundaries).
+func SMTBoundaryByName(name string) (SMTBoundary, bool) {
+	return feasibility.SMTBoundaryByName(name)
+}

@@ -174,6 +174,55 @@ func goldenCases() []goldenCase {
 				return RunOptions{MABudget: 1, MsgAdversary: NewEclipse(2)}
 			},
 		},
+		{
+			// Secret sharing over the quickstart graph: with relay 1
+			// corruptible and relays 2 and 3 each independently listenable,
+			// the plan spreads XOR shares over the 2- and 3-paths, so
+			// neither eavesdropping set sees them all.
+			name:     "smt-quickstart-honest",
+			protocol: ProtocolSMT,
+			xD:       "attack at dawn",
+			build: func(t *testing.T) (*Instance, map[int]Process) {
+				g, err := ParseEdgeList("0-1 0-2 0-3 1-4 2-4 3-4")
+				if err != nil {
+					t.Fatal(err)
+				}
+				in, err := NewAdHocInstance(g, StructureOf([]int{1}), 0, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return in, nil
+			},
+			opts: func() RunOptions {
+				return RunOptions{Listen: StructureOf([]int{2}, []int{3}), Seed: 7}
+			},
+		},
+		{
+			// Same run with a forwarding listener squatting on relay 2: the
+			// wiretap changes no message, so the stream must match an honest
+			// relay's — passivity pinned at the transcript level.
+			name:     "smt-quickstart-listened",
+			protocol: ProtocolSMT,
+			xD:       "attack at dawn",
+			build: func(t *testing.T) (*Instance, map[int]Process) {
+				g, err := ParseEdgeList("0-1 0-2 0-3 1-4 2-4 3-4")
+				if err != nil {
+					t.Fatal(err)
+				}
+				in, err := NewAdHocInstance(g, StructureOf([]int{1}), 0, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				corrupt, err := NewAttack("listener", in, NodeSet(2), "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return in, corrupt
+			},
+			opts: func() RunOptions {
+				return RunOptions{Listen: StructureOf([]int{2}, []int{3}), Seed: 7}
+			},
+		},
 	}
 }
 

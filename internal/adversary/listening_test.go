@@ -1,0 +1,164 @@
+package adversary
+
+import (
+	"testing"
+
+	"rmt/internal/graph"
+	"rmt/internal/nodeset"
+)
+
+// TestZeroValueStructureIsTrivial pins the ground-case bugfix: a zero
+// Structure{} — an unset Options or request field — must behave exactly
+// like Trivial(), upholding the package invariant that every family
+// contains ∅. Before the fix Contains(∅) was false, Maximal() was empty and
+// Equal(Trivial()) failed, so predicates iterating the antichain drew
+// vacuous conclusions on default-valued fields.
+func TestZeroValueStructureIsTrivial(t *testing.T) {
+	var zero Structure
+	triv := Trivial()
+	if !zero.Contains(nodeset.Empty()) {
+		t.Error("zero Structure does not contain ∅")
+	}
+	if got := zero.NumMaximal(); got != 1 {
+		t.Errorf("zero Structure has %d maximal sets, want 1", got)
+	}
+	if len(zero.Maximal()) != 1 || !zero.Maximal()[0].IsEmpty() {
+		t.Errorf("zero Structure maximal sets = %v, want [∅]", zero.Maximal())
+	}
+	if !zero.Equal(triv) || !triv.Equal(zero) {
+		t.Error("zero Structure != Trivial()")
+	}
+	if !zero.Ground().IsEmpty() {
+		t.Errorf("zero Structure ground = %v, want ∅", zero.Ground())
+	}
+	if !zero.SubfamilyOf(triv) || !triv.SubfamilyOf(zero) {
+		t.Error("zero Structure and Trivial() are not mutual subfamilies")
+	}
+	if got := zero.Union(FromSlices([]int{1})); !got.Equal(FromSlices([]int{1})) {
+		t.Errorf("zero ∪ ⟨{1}⟩ = %v, want ⟨{1}⟩", got)
+	}
+	if got := zero.NumMembers(); got != 1 {
+		t.Errorf("zero Structure has %d members, want 1 (just ∅)", got)
+	}
+	if got := zero.String(); got != triv.String() {
+		t.Errorf("zero Structure renders %q, want %q", got, triv.String())
+	}
+}
+
+// TestRestrictGroundCases tables the Restrict/RestrictTo edge cases around
+// empty sets and trivial/full-ground families.
+func TestRestrictGroundCases(t *testing.T) {
+	full := FromSlices([]int{1, 2}, []int{3})
+	cases := []struct {
+		name string
+		z    Structure
+		a    nodeset.Set
+		want Structure
+	}{
+		{"zero value to empty domain", Structure{}, nodeset.Empty(), Trivial()},
+		{"zero value to full domain", Structure{}, nodeset.Of(1, 2, 3), Trivial()},
+		{"trivial to empty domain", Trivial(), nodeset.Empty(), Trivial()},
+		{"trivial to full domain", Trivial(), nodeset.Of(1, 2, 3), Trivial()},
+		{"full ground to empty domain", full, nodeset.Empty(), Trivial()},
+		{"full ground to disjoint domain", full, nodeset.Of(7, 8), Trivial()},
+		{"full ground to own ground", full, nodeset.Of(1, 2, 3), full},
+		{"full ground to partial domain", full, nodeset.Of(2, 3), FromSlices([]int{2}, []int{3})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.z.Restrict(tc.a)
+			if !got.Equal(tc.want) {
+				t.Errorf("Restrict(%v, %v) = %v, want %v", tc.z, tc.a, got, tc.want)
+			}
+			if !got.Contains(nodeset.Empty()) {
+				t.Error("restriction lost ∅ membership")
+			}
+			r := tc.z.RestrictTo(tc.a)
+			if !r.Structure.Equal(tc.want) || !r.Domain.Equal(tc.a) {
+				t.Errorf("RestrictTo(%v, %v) = (%v over %v)", tc.z, tc.a, r.Structure, r.Domain)
+			}
+		})
+	}
+}
+
+// TestCoversViewsGroundCases pins that covering is never vacuous: L = {∅}
+// ("no listening") covers nothing, no family covers an empty view
+// collection, and an interior-free view (a direct D–R edge) is unhearable.
+func TestCoversViewsGroundCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		l       Structure
+		views   []nodeset.Set
+		covered bool
+		witness nodeset.Set
+	}{
+		{"trivial family never covers", Trivial(), []nodeset.Set{nodeset.Of(1)}, false, nodeset.Empty()},
+		{"zero-value family never covers", Structure{}, []nodeset.Set{nodeset.Of(1)}, false, nodeset.Empty()},
+		{"no views, nothing to cover", FromSlices([]int{1, 2}), nil, false, nodeset.Empty()},
+		{"empty view is unhearable", FromSlices([]int{1, 2}), []nodeset.Set{nodeset.Of(1), nodeset.Empty()}, false, nodeset.Empty()},
+		{"single covering set", FromSlices([]int{1, 2}), []nodeset.Set{nodeset.Of(1), nodeset.Of(2, 3)}, true, nodeset.Of(1, 2)},
+		{"split family misses one view", FromSlices([]int{1}, []int{2}), []nodeset.Set{nodeset.Of(1), nodeset.Of(2)}, false, nodeset.Empty()},
+		{"second maximal set covers", FromSlices([]int{1}, []int{2, 3}), []nodeset.Set{nodeset.Of(2), nodeset.Of(3, 4)}, true, nodeset.Of(2, 3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, ok := tc.l.CoversViews(tc.views)
+			if ok != tc.covered {
+				t.Fatalf("CoversViews = %v, want %v", ok, tc.covered)
+			}
+			if ok && !w.Equal(tc.witness) {
+				t.Errorf("witness = %v, want %v", w, tc.witness)
+			}
+		})
+	}
+}
+
+// TestGeneralisedCuts checks the two cut conditions on the three-relay
+// graph 0–{1,2,3}–4: each failure mode produces its own witness, and the
+// trivial families never cut.
+func TestGeneralisedCuts(t *testing.T) {
+	g, err := graph.ParseEdgeList("0-1 0-2 0-3 1-4 2-4 3-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name       string
+		adv        Generalised
+		disrupted  bool
+		secrecyCut bool
+		feasible   bool
+	}{
+		{"all trivial", NewGeneralised(Trivial(), Trivial()), false, false, true},
+		{"zero-value pair", Generalised{}, false, false, true},
+		{"corruption only, tolerable", NewGeneralised(FromSlices([]int{1}), Trivial()), false, false, true},
+		{"corruption ground separates", NewGeneralised(FromSlices([]int{1}, []int{2}, []int{3}), Trivial()), true, true, false},
+		{"listening only, escapable", NewGeneralised(Trivial(), FromSlices([]int{1, 2})), false, false, true},
+		{"listening covers all paths", NewGeneralised(Trivial(), FromSlices([]int{1, 2, 3})), false, true, false},
+		{"split listening, each escapable", NewGeneralised(Trivial(), FromSlices([]int{1, 2}, []int{2, 3})), false, false, true},
+		{"combined cut only", NewGeneralised(FromSlices([]int{1}), FromSlices([]int{2, 3})), false, true, false},
+		{"corruptible receiver", NewGeneralised(FromSlices([]int{4}), Trivial()), true, true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, disrupted := tc.adv.DisruptionCut(g, 0, 4)
+			if disrupted != tc.disrupted {
+				t.Errorf("DisruptionCut found = %v, want %v", disrupted, tc.disrupted)
+			}
+			cut, listen, found := tc.adv.SecrecyCut(g, 0, 4)
+			if found != tc.secrecyCut {
+				t.Errorf("SecrecyCut found = %v, want %v", found, tc.secrecyCut)
+			}
+			if found {
+				if !listen.SubsetOf(tc.adv.L.Ground()) {
+					t.Errorf("secrecy witness %v is not an admissible listening set", listen)
+				}
+				if !tc.adv.Z.Ground().Union(listen).Equal(cut) {
+					t.Errorf("secrecy cut %v != ground ∪ %v", cut, listen)
+				}
+			}
+			if got := tc.adv.Feasible(g, 0, 4); got != tc.feasible {
+				t.Errorf("Feasible = %v, want %v", got, tc.feasible)
+			}
+		})
+	}
+}

@@ -24,10 +24,31 @@ import (
 )
 
 // Structure is a monotone family of node sets, stored as the antichain of
-// its maximal sets in canonical order. The zero value is not valid; use the
-// constructors. Structures are immutable.
+// its maximal sets in canonical order. The zero value behaves as Trivial()
+// — the family {∅} — so an unset Structure field means "no corruption"
+// ("no listening" for listening structures), never an invalid family.
+// Structures are immutable.
 type Structure struct {
 	maximal []nodeset.Set
+}
+
+// trivialAntichain is the canonical antichain of Trivial(), shared by every
+// normalized zero value. Callers only ever read antichains, so sharing is
+// safe.
+var trivialAntichain = []nodeset.Set{nodeset.Empty()}
+
+// antichain returns the maximal sets, normalizing the zero value to {∅}.
+// A zero Structure{} (an unset Options or request field) used to violate
+// the package invariant that every family contains ∅: Contains(∅) returned
+// false and Maximal() was empty, so the ground-case predicates — exactly
+// the ones the secrecy conditions exercise with L = {∅} — drew vacuous
+// conclusions. Every method goes through this accessor instead of touching
+// z.maximal directly.
+func (z Structure) antichain() []nodeset.Set {
+	if len(z.maximal) == 0 {
+		return trivialAntichain
+	}
+	return z.maximal
 }
 
 // Trivial returns the structure {∅}: the adversary can corrupt no one.
@@ -103,7 +124,7 @@ func reduceToAntichainOwned(sets []nodeset.Set) []nodeset.Set {
 // Contains reports whether the set is a member of the family, i.e. a subset
 // of some maximal set. The empty set is always a member.
 func (z Structure) Contains(s nodeset.Set) bool {
-	for _, m := range z.maximal {
+	for _, m := range z.antichain() {
 		if s.SubsetOf(m) {
 			return true
 		}
@@ -113,16 +134,16 @@ func (z Structure) Contains(s nodeset.Set) bool {
 
 // Maximal returns the maximal sets in canonical order. The caller must not
 // modify the returned slice.
-func (z Structure) Maximal() []nodeset.Set { return z.maximal }
+func (z Structure) Maximal() []nodeset.Set { return z.antichain() }
 
 // NumMaximal returns the number of maximal sets.
-func (z Structure) NumMaximal() int { return len(z.maximal) }
+func (z Structure) NumMaximal() int { return len(z.antichain()) }
 
 // Ground returns the union of all maximal sets: every node that appears in
 // some corruption set.
 func (z Structure) Ground() nodeset.Set {
 	var g nodeset.Set
-	for _, m := range z.maximal {
+	for _, m := range z.antichain() {
 		g.MutateUnion(m)
 	}
 	return g
@@ -130,11 +151,12 @@ func (z Structure) Ground() nodeset.Set {
 
 // Equal reports whether two structures are the same family.
 func (z Structure) Equal(other Structure) bool {
-	if len(z.maximal) != len(other.maximal) {
+	zm, om := z.antichain(), other.antichain()
+	if len(zm) != len(om) {
 		return false
 	}
-	for i, m := range z.maximal {
-		if !m.Equal(other.maximal[i]) {
+	for i, m := range zm {
+		if !m.Equal(om[i]) {
 			return false
 		}
 	}
@@ -143,7 +165,7 @@ func (z Structure) Equal(other Structure) bool {
 
 // SubfamilyOf reports whether every member of z is a member of other.
 func (z Structure) SubfamilyOf(other Structure) bool {
-	for _, m := range z.maximal {
+	for _, m := range z.antichain() {
 		if !other.Contains(m) {
 			return false
 		}
@@ -155,9 +177,10 @@ func (z Structure) SubfamilyOf(other Structure) bool {
 // antichains). Used e.g. in the Theorem 8 lower-bound construction, where
 // the adversary pretends the structure is 𝒵' = 𝒵|_B ∪ {C2}.
 func (z Structure) Union(other Structure) Structure {
-	merged := make([]nodeset.Set, 0, len(z.maximal)+len(other.maximal))
-	merged = append(merged, z.maximal...)
-	merged = append(merged, other.maximal...)
+	zm, om := z.antichain(), other.antichain()
+	merged := make([]nodeset.Set, 0, len(zm)+len(om))
+	merged = append(merged, zm...)
+	merged = append(merged, om...)
 	return Structure{maximal: reduceToAntichainOwned(merged)}
 }
 
@@ -168,8 +191,9 @@ func (z Structure) WithSet(s nodeset.Set) Structure {
 
 // Restrict returns the restriction Z^A = { Z ∩ A : Z ∈ 𝒵 } as a structure.
 func (z Structure) Restrict(a nodeset.Set) Structure {
-	restricted := make([]nodeset.Set, len(z.maximal))
-	for i, m := range z.maximal {
+	zm := z.antichain()
+	restricted := make([]nodeset.Set, len(zm))
+	for i, m := range zm {
 		restricted[i] = m.Intersect(a)
 	}
 	return Structure{maximal: reduceToAntichainOwned(restricted)}
@@ -187,7 +211,7 @@ func (z Structure) RestrictTo(a nodeset.Set) Restricted {
 // panics if any maximal set has more than 30 members.
 func (z Structure) Members(fn func(s nodeset.Set) bool) {
 	seen := map[string]bool{}
-	for _, m := range z.maximal {
+	for _, m := range z.antichain() {
 		stop := false
 		m.Subsets(func(sub nodeset.Set) bool {
 			k := sub.Key()
@@ -219,7 +243,7 @@ func (z Structure) NumMembers() int {
 func (z Structure) String() string {
 	var b strings.Builder
 	b.WriteString("⟨")
-	for i, m := range z.maximal {
+	for i, m := range z.antichain() {
 		if i > 0 {
 			b.WriteString(", ")
 		}

@@ -168,6 +168,25 @@ type Report struct {
 	// sweep fails unless the oracle flags at least one of its runs.
 	MBRBCanaryRuns    int
 	MBRBCanaryFlagged int
+
+	// Skipped counts (protocol, fixture) cells the matrix left out because
+	// the protocol's Assemble rejected the pairing as a capability mismatch
+	// (protocol.CapsError) — e.g. SMT on a sample whose corruptible ground
+	// covers every D–R path. Skips are expected; aborting on them would let
+	// one infeasible pairing kill a whole sweep.
+	Skipped int
+
+	// PrivacyRuns / PrivacyViolations count the SMT listening-adversary
+	// battery: paired-secret runs whose recorded coalition views must be
+	// independent of the secret.
+	PrivacyRuns       int
+	PrivacyViolations []PrivacyViolation
+
+	// SMTCanaryRuns / SMTCanaryFlagged count the privacy oracle's own teeth
+	// check — the plaintext-leaking SMT variant; the sweep fails unless the
+	// oracle flags at least one of its runs.
+	SMTCanaryRuns    int
+	SMTCanaryFlagged int
 }
 
 // Err reports whether the sweep establishes what it claims: zero safety
@@ -188,18 +207,28 @@ func (r *Report) Err() error {
 	if r.MBRBCanaryRuns > 0 && r.MBRBCanaryFlagged == 0 {
 		return fmt.Errorf("attack: mbrb canary decision rule survived %d runs undetected — the suppression oracle has no teeth", r.MBRBCanaryRuns)
 	}
+	if len(r.PrivacyViolations) > 0 {
+		return fmt.Errorf("attack: %d SMT privacy violations (first: %s)",
+			len(r.PrivacyViolations), r.PrivacyViolations[0])
+	}
+	if r.SMTCanaryRuns > 0 && r.SMTCanaryFlagged == 0 {
+		return fmt.Errorf("attack: leaky SMT canary survived %d runs undetected — the privacy oracle has no teeth", r.SMTCanaryRuns)
+	}
 	return nil
 }
 
 // Summary renders a one-paragraph human summary.
 func (r *Report) Summary() string {
 	return fmt.Sprintf(
-		"attack sweep: %d trials, %d runs: %d violations, %d engine mismatches; "+
+		"attack sweep: %d trials, %d runs (%d cells skipped on capability mismatch): "+
+			"%d violations, %d engine mismatches; "+
 			"%d control runs (%d unsafe, expected outside 𝒵); canary flagged in %d/%d runs; "+
-			"mbrb canary flagged in %d/%d runs",
-		r.Trials, r.Runs, len(r.Violations), len(r.Mismatches),
+			"mbrb canary flagged in %d/%d runs; "+
+			"%d privacy runs, %d violations; leaky smt canary flagged in %d/%d runs",
+		r.Trials, r.Runs, r.Skipped, len(r.Violations), len(r.Mismatches),
 		r.ControlRuns, r.ControlViolations, r.CanaryFlagged, r.CanaryRuns,
-		r.MBRBCanaryFlagged, r.MBRBCanaryRuns)
+		r.MBRBCanaryFlagged, r.MBRBCanaryRuns,
+		r.PrivacyRuns, len(r.PrivacyViolations), r.SMTCanaryFlagged, r.SMTCanaryRuns)
 }
 
 // sample is one drawn (instance, corruption, control) trial.
@@ -354,6 +383,7 @@ type runRecord struct {
 type trialResult struct {
 	err        error
 	runs       int
+	skipped    int
 	violations []Violation
 	mismatches []Mismatch
 	ctrlRuns   int
@@ -397,6 +427,7 @@ func Sweep(cfg Config) (*Report, error) {
 			return nil, tr.err
 		}
 		rep.Runs += tr.runs
+		rep.Skipped += tr.skipped
 		rep.Violations = append(rep.Violations, tr.violations...)
 		rep.Mismatches = append(rep.Mismatches, tr.mismatches...)
 		rep.ControlRuns += tr.ctrlRuns
@@ -422,6 +453,9 @@ func Sweep(cfg Config) (*Report, error) {
 	if err := runCanaryBattery(cfg, rep); err != nil {
 		return nil, err
 	}
+	if err := runPrivacyBattery(cfg, rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -442,6 +476,15 @@ func runTrial(cfg Config, trial int, rng *rand.Rand) trialResult {
 			return tr
 		}
 		in := smp.forProtocol(proto)
+		// Pre-flight: a protocol may reject the sampled fixture outright as
+		// a capability mismatch (SMT when the corruptible ground covers
+		// every D–R path). That is a property of the pairing, not an error
+		// of the sweep — skip the cell instead of aborting the trial; such
+		// protocols get their dedicated coverage from their own batteries.
+		if _, err := proto.Assemble(in, xD, protocol.Options{}); err != nil && protocol.IsCapsError(err) {
+			tr.skipped++
+			continue
+		}
 		for _, stratName := range cfg.strategies() {
 			strat, ok := byzantine.Get(stratName)
 			if !ok {

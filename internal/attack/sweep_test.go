@@ -20,9 +20,12 @@ func TestSweepHoldsTheoremFourSafety(t *testing.T) {
 	if err := rep.Err(); err != nil {
 		t.Fatal(err)
 	}
-	wantRuns := 12 * len(protocol.Names()) * len(byzantine.Names()) * 2
+	if rep.Skipped == 0 {
+		t.Fatal("no cells skipped: smt should reject samples whose ground covers every path")
+	}
+	wantRuns := (12*len(protocol.Names()) - rep.Skipped) * len(byzantine.Names()) * 2
 	if rep.Runs != wantRuns {
-		t.Fatalf("runs = %d, want %d (trials × protocols × strategies × engines)", rep.Runs, wantRuns)
+		t.Fatalf("runs = %d, want %d (unskipped cells × strategies × engines)", rep.Runs, wantRuns)
 	}
 	if rep.CanaryRuns != len(byzantine.Names()) {
 		t.Fatalf("canary runs = %d, want one per strategy", rep.CanaryRuns)
@@ -176,9 +179,9 @@ func TestSweepMessageAdversaryCrossProduct(t *testing.T) {
 		t.Fatal(err)
 	}
 	perCell := 1 + len(scheds) + len(budgets)*(len(network.MessageAdversaryNames())+len(scheds))
-	wantRuns := 4 * len(protocol.Names()) * len(byzantine.Names()) * perCell
+	wantRuns := (4*len(protocol.Names()) - rep.Skipped) * len(byzantine.Names()) * perCell
 	if rep.Runs != wantRuns {
-		t.Fatalf("runs = %d, want %d (trials × protocols × strategies × (engines + schedules + ma cells))",
+		t.Fatalf("runs = %d, want %d (unskipped cells × strategies × (engines + schedules + ma cells))",
 			rep.Runs, wantRuns)
 	}
 	wantMBRB := len(byzantine.Names()) * (1 + len(budgets))
@@ -301,9 +304,9 @@ func TestSweepSchedulesCrossProduct(t *testing.T) {
 	if err := rep.Err(); err != nil {
 		t.Fatal(err)
 	}
-	wantRuns := 6 * len(protocol.Names()) * len(byzantine.Names()) * (1 + len(scheds))
+	wantRuns := (6*len(protocol.Names()) - rep.Skipped) * len(byzantine.Names()) * (1 + len(scheds))
 	if rep.Runs != wantRuns {
-		t.Fatalf("runs = %d, want %d (trials × protocols × strategies × (engines + schedules))",
+		t.Fatalf("runs = %d, want %d (unskipped cells × strategies × (engines + schedules))",
 			rep.Runs, wantRuns)
 	}
 }

@@ -8,6 +8,7 @@
 package benchdef
 
 import (
+	"rmt/internal/adversary"
 	"rmt/internal/gen"
 	"rmt/internal/instance"
 	"rmt/internal/nodeset"
@@ -51,6 +52,32 @@ func LopsidedChainInstance(lens []int, level gen.Knowledge) (*instance.Instance,
 	g, d, r := gen.DisjointPathsVar(lens)
 	z := gen.Singletons(g.Nodes().Minus(nodeset.Of(d, r)))
 	return gen.Build(g, z, level, d, r)
+}
+
+// SMTInstance builds `paths` disjoint one-hop relay chains with corruption
+// on relay 1 only — the remaining relays stay honest to carry shares. Pair
+// with SMTListen for a plan of one share per honest relay.
+func SMTInstance(paths int, level gen.Knowledge) (*instance.Instance, error) {
+	g, d, r := gen.DisjointPaths(paths, 1)
+	return gen.Build(g, gen.Singletons(nodeset.Of(1)), level, d, r)
+}
+
+// SMTListen builds the listening structure forcing a (paths-1)-share plan on
+// SMTInstance(paths): one maximal set per honest relay, listening on every
+// other honest relay, so the only witness path for that set runs through the
+// spared relay — the share fan-out is what the smt benchmarks measure.
+func SMTListen(paths int) adversary.Structure {
+	sets := make([]nodeset.Set, 0, paths-1)
+	for spared := 2; spared <= paths; spared++ {
+		s := nodeset.Empty()
+		for relay := 2; relay <= paths; relay++ {
+			if relay != spared {
+				s = s.Add(relay)
+			}
+		}
+		sets = append(sets, s)
+	}
+	return adversary.FromSets(sets...)
 }
 
 // CompleteInstance builds the complete graph K_n with singleton corruption
@@ -100,5 +127,16 @@ var ProtoBenches = []ProtoBench{
 	{Name: "MBRBRunLarge", Protocol: protocol.MBRB,
 		Instance:   func() (*instance.Instance, error) { return CompleteInstance(48, gen.AdHoc) },
 		Opts:       protocol.Options{MABudget: 1},
+		MustDecide: true},
+	// The SMT family measures the share fan-out hot path: plan construction
+	// per maximal listening set, one XOR share stream per path, and the
+	// receiver's exact-path validation and reconstruction.
+	{Name: "SMTRun", Protocol: protocol.SMT,
+		Instance:   func() (*instance.Instance, error) { return SMTInstance(4, gen.AdHoc) },
+		Opts:       protocol.Options{Listen: SMTListen(4), Seed: 2016},
+		MustDecide: true},
+	{Name: "SMTRunLarge", Protocol: protocol.SMT,
+		Instance:   func() (*instance.Instance, error) { return SMTInstance(24, gen.AdHoc) },
+		Opts:       protocol.Options{Listen: SMTListen(24), Seed: 2016},
 		MustDecide: true},
 }

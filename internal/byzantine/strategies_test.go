@@ -32,6 +32,7 @@ func TestRegistryRoundTrip(t *testing.T) {
 		EquivocatorName, PathForgerName, ViewLiarName, EclipserName,
 		ValueFlipName, PathForgeryName, GhostNodeName, SplitBrainName, StructureLiarName,
 		ReadyForgerName,
+		ListenerName, ListenerQuietName,
 	}
 	names := Names()
 	for _, w := range want {

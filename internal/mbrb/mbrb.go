@@ -267,7 +267,7 @@ func (Proto) Caps() protocol.Caps { return protocol.Caps{AllDecide: true, Comple
 // internal/feasibility, guarded by the completeness check.
 func (Proto) Assemble(in *instance.Instance, xD network.Value, opts protocol.Options) (map[int]network.Process, error) {
 	if !Complete(in) {
-		return nil, fmt.Errorf("mbrb: network is not complete (n=%d); MBRB quorums count processes, not paths", in.N())
+		return nil, protocol.Capsf(protocol.MBRB, "network is not complete (n=%d); MBRB quorums count processes, not paths", in.N())
 	}
 	if opts.MABudget < 0 {
 		return nil, fmt.Errorf("mbrb: negative suppression budget %d", opts.MABudget)

@@ -113,6 +113,15 @@ type Blueprint struct {
 	// Forged is the attacker's preferred wrong value (ignored by
 	// strategies that never inject values).
 	Forged string
+	// Listen is the adversary's listening structure in cliutil
+	// ParseStructure syntax ("1,2;3"); "" means no listening. Privacy-aware
+	// protocols (smt) derive their share routing from it, so wire children
+	// must rebuild with the same family the coordinator planned with.
+	Listen string
+	// Seed keys deterministic share/pad generation for privacy-aware
+	// protocols; wire children must use the coordinator's seed or their
+	// shares would disagree.
+	Seed int64
 }
 
 // ChurnEvent is one batch of topology edits taking effect at the start of

@@ -1,0 +1,34 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CapsError reports that an instance (or option set) falls outside a
+// protocol's declared capabilities: mbrb handed a sparse network, smt
+// handed an instance whose corruptible ground severs every dealer–receiver
+// path. It is a usage problem with the pairing of protocol and instance,
+// not a failure of a valid run, so generic consumers treat it specially:
+// the CLIs map it to their exit-2 usage error, and the sweeping harnesses
+// skip the (protocol, instance) pair instead of aborting the sweep.
+type CapsError struct {
+	// Protocol is the registry name of the rejecting protocol.
+	Protocol string
+	// Reason says what the instance is missing.
+	Reason string
+}
+
+// Error implements error.
+func (e *CapsError) Error() string { return e.Protocol + ": " + e.Reason }
+
+// Capsf builds a CapsError with a formatted reason.
+func Capsf(protocol, format string, args ...any) error {
+	return &CapsError{Protocol: protocol, Reason: fmt.Sprintf(format, args...)}
+}
+
+// IsCapsError reports whether err is (or wraps) a CapsError.
+func IsCapsError(err error) bool {
+	var ce *CapsError
+	return errors.As(err, &ce)
+}

@@ -15,6 +15,7 @@
 package protocol
 
 import (
+	"rmt/internal/adversary"
 	"rmt/internal/instance"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
@@ -96,6 +97,19 @@ type Options struct {
 	// tests and as an escape hatch if memory is tighter than CPU.
 	// Read by: pka.
 	DisableMemo bool
+	// Listen is the adversary's listening structure ℒ: the monotone family
+	// of node sets it may eavesdrop on (Dowden's fully generalised
+	// adversary; see internal/adversary). The zero value means "no
+	// listening" ({∅}). Privacy-aware protocols provision their share
+	// routing so every admissible listening set misses at least one share;
+	// wire-engine runs carry the same family in Blueprint.Listen.
+	// Read by: smt.
+	Listen adversary.Structure
+	// Seed keys deterministic share/pad generation for privacy-aware
+	// protocols: equal (instance, value, Listen, Seed) runs produce
+	// byte-identical transcripts, per the repo's seeded-determinism
+	// contract. Read by: smt.
+	Seed int64
 	// Oracle overrides the membership-check subroutine (nil = the direct
 	// check against the instance's local structures). Read by: zcpa,
 	// broadcast.
@@ -121,6 +135,12 @@ type Caps struct {
 	// so generic harnesses draw complete-graph instances for them instead
 	// of the sparse path fixtures.
 	CompleteGraph bool
+	// HonestPaths is set by protocols that route exclusively over
+	// corruption-free D–R paths (SMT): they reject instances whose
+	// corruptible ground separates dealer from receiver, so generic
+	// harnesses draw fixtures that keep part of the interior honest instead
+	// of the fully-corruptible path fixtures.
+	HonestPaths bool
 }
 
 // Protocol is one registered executable protocol.

@@ -16,6 +16,7 @@ const (
 	PPA       = "ppa"
 	Broadcast = "broadcast"
 	MBRB      = "mbrb"
+	SMT       = "smt"
 )
 
 var registry = struct {

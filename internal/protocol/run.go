@@ -53,6 +53,9 @@ func Run(p Protocol, in *instance.Instance, xD network.Value, opts Options) (*ne
 		if bp.Value == "" {
 			bp.Value = string(xD)
 		}
+		if bp.Seed == 0 {
+			bp.Seed = opts.Seed
+		}
 		cfg.Blueprint = &bp
 	}
 	if !p.Caps().AllDecide {

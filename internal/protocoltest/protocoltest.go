@@ -51,6 +51,13 @@ type Factory struct {
 	// skips sparse feasibility fixtures in the wire slice, and adds the
 	// eclipse-liveness assertion to the message-adversary slice.
 	Complete bool
+	// HonestPaths marks protocols that route exclusively over
+	// corruption-free D–R paths (protocol.Caps.HonestPaths): the battery
+	// then draws path fixtures whose corruptible ground does not separate
+	// dealer from receiver, and skips the worked-example feasibility
+	// fixtures in the wire slice (their structures cover every path, which
+	// such protocols reject by design).
+	HonestPaths bool
 	// AllDecide marks broadcast-style protocols in which every honest
 	// player must decide (protocol.Caps.AllDecide).
 	AllDecide bool
@@ -84,6 +91,7 @@ func FactoryFor(p protocol.Protocol) Factory {
 		NewProcessesBudget: assemble,
 		Knowledge:          gen.AdHoc,
 		Complete:           p.Caps().CompleteGraph,
+		HonestPaths:        p.Caps().HonestPaths,
 		AllDecide:          p.Caps().AllDecide,
 	}
 	if p.Caps().NeedsFullKnowledge {
@@ -253,6 +261,25 @@ func fixtures(t *testing.T, f Factory) []*instance.Instance {
 		// An honest K4: trivially solvable.
 		g2 := gen.Complete(4)
 		in2, err := gen.Build(g2, adversary.Trivial(), f.Knowledge, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(out, in2)
+	}
+	if f.HonestPaths {
+		// Four disjoint relays, two of them corruptible: the ground {1, 2}
+		// never separates dealer 0 from receiver 5, so honest-path routing
+		// always has relays 3 and 4 to work with, while the zoo still gets
+		// real maximal corruptions to overlay.
+		g1, d1, r1 := gen.DisjointPaths(4, 1)
+		in1, err := gen.Build(g1, gen.Singletons(nodeset.Of(1, 2)), f.Knowledge, d1, r1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, in1)
+		// An honest line: trivially solvable.
+		g2 := gen.Line(5)
+		in2, err := gen.Build(g2, adversary.Trivial(), f.Knowledge, 0, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -533,9 +560,11 @@ func messageAdversary(t *testing.T, f Factory, cfg Config) {
 // solvability, so unsolvable fixtures participate too.
 func wireEquivalence(t *testing.T, f Factory, cfg Config) {
 	ins := fixtures(t, f)
-	// The worked-example fixtures are sparse, so complete-graph protocols
-	// only run their own fixtures here.
-	if !f.Complete {
+	// The worked-example fixtures are sparse (complete-graph protocols
+	// reject them) and their structures cover every D–R path (honest-path
+	// protocols reject those), so both classes only run their own fixtures
+	// here.
+	if !f.Complete && !f.HonestPaths {
 		for _, fx := range feasibility.All() {
 			in, err := fx.Build(f.Knowledge)
 			if err != nil {

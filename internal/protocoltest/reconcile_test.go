@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"testing"
 
+	"rmt/internal/adversary"
 	"rmt/internal/feasibility"
 	"rmt/internal/gen"
 	"rmt/internal/instance"
 	"rmt/internal/network"
+	"rmt/internal/nodeset"
 	"rmt/internal/protocol"
 )
 
@@ -56,11 +58,25 @@ func TestMetricsReconcileEverywhere(t *testing.T) {
 			build func() (*instance.Instance, error)
 		}
 		var fixtures []namedInstance
-		if p.Caps().CompleteGraph {
+		switch {
+		case p.Caps().CompleteGraph:
 			for _, b := range feasibility.MBRBBoundaries() {
 				fixtures = append(fixtures, namedInstance{b.Name, b.Feasible})
 			}
-		} else {
+		case p.Caps().HonestPaths:
+			// The worked fixtures' structures cover every D–R path, which
+			// honest-path protocols reject; sweep path fixtures whose
+			// corruptible ground leaves honest routes instead.
+			fixtures = append(fixtures,
+				namedInstance{"honest-quad-path", func() (*instance.Instance, error) {
+					g, d, r := gen.DisjointPaths(4, 1)
+					return gen.Build(g, gen.Singletons(nodeset.Of(1, 2)), level, d, r)
+				}},
+				namedInstance{"honest-line", func() (*instance.Instance, error) {
+					return gen.Build(gen.Line(5), adversary.Trivial(), level, 0, 4)
+				}},
+			)
+		default:
 			for _, fx := range feasibility.All() {
 				fx := fx
 				fixtures = append(fixtures, namedInstance{fx.Name, func() (*instance.Instance, error) {

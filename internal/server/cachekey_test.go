@@ -1,0 +1,84 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// smtInstance leaves relays 2 and 3 honest, so the SMT verdict genuinely
+// depends on the listening structure: feasible with no listening, infeasible
+// once an ear covers both honest relays.
+const smtInstance = `{"graph":"0-1 0-2 0-3 1-4 2-4 3-4","structure":"1","dealer":0,"receiver":4}`
+
+// TestFeasibilityCacheKeyCarriesListen is the regression test for the
+// cache-poisoning bug the v3 key bump fixes: the v2-era key did not include
+// the listening structure, so a cached no-listening body would have been
+// served byte-identically for a listening-structure request of the same
+// instance — reporting an eavesdroppable pairing as SMT-feasible. Under the
+// fixed key, requests differing only in "listen" are distinct entries with
+// different verdicts, and a v2-formatted entry planted in the cache is never
+// consulted.
+func TestFeasibilityCacheKeyCarriesListen(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+
+	// Plant a v2-era body under the exact key the previous daemon version
+	// would have used for this instance. If any request below returns this
+	// sentinel, the handler consulted a v2-era entry.
+	var q InstanceRequest
+	if err := json.Unmarshal([]byte(smtInstance), &q); err != nil {
+		t.Fatal(err)
+	}
+	in, level, err := q.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := []byte(`{"sentinel":"v2-era cached body"}`)
+	v2key := fmt.Sprintf("feasibility-v2\n%s\nd=%d\n%s", level, 0, in.CanonicalKey())
+	srv.cache.put(v2key, stale)
+
+	// No listening: SMT-feasible (a share family over the honest relays).
+	code, body := post(t, ts, "/v1/feasibility", smtInstance)
+	if code != http.StatusOK {
+		t.Fatalf("no-listen request: %d %s", code, body)
+	}
+	var noListen FeasibilityResponse
+	if err := json.Unmarshal(body, &noListen); err != nil {
+		t.Fatalf("no-listen request returned unparseable (stale?) body %s: %v", body, err)
+	}
+	if noListen.SMT == nil || !noListen.SMT.Feasible {
+		t.Fatalf("no-listen verdict: %+v, want SMT-feasible", noListen.SMT)
+	}
+
+	// Same instance, listening structure covering both honest relays: the
+	// secrecy cut must flip the verdict — a served v2-era or no-listen body
+	// would wrongly say feasible.
+	listening := `{"graph":"0-1 0-2 0-3 1-4 2-4 3-4","structure":"1","dealer":0,"receiver":4,"listen":"2,3"}`
+	code, body = post(t, ts, "/v1/feasibility", listening)
+	if code != http.StatusOK {
+		t.Fatalf("listen request: %d %s", code, body)
+	}
+	var withListen FeasibilityResponse
+	if err := json.Unmarshal(body, &withListen); err != nil {
+		t.Fatalf("listen request returned unparseable (stale?) body %s: %v", body, err)
+	}
+	if withListen.SMT == nil || withListen.SMT.Feasible {
+		t.Fatalf("listen verdict: %+v, want SMT-infeasible (cached no-listen body served?)", withListen.SMT)
+	}
+	if len(withListen.SMT.SecrecyCut) == 0 || len(withListen.SMT.SecrecyListen) == 0 {
+		t.Fatalf("listen verdict lacks a secrecy-cut witness: %+v", withListen.SMT)
+	}
+
+	// Both requests computed fresh entries; the planted v2 body must still
+	// be sitting untouched in the cache, never having been served.
+	if got, ok := srv.cache.get(v2key); !ok || string(got) != string(stale) {
+		t.Fatal("v2-era entry was evicted or rewritten by the handler")
+	}
+
+	// And the listening request is itself cached — repeat and compare.
+	code, again := post(t, ts, "/v1/feasibility", listening)
+	if code != http.StatusOK || string(again) != string(body) {
+		t.Fatalf("listening request not served byte-identically from cache")
+	}
+}

@@ -73,7 +73,7 @@ func TestInternalCacheEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := "feasibility-v2\n" + level.String() + "\nd=0\n" + in.CanonicalKey()
+	key := "feasibility-v3\n" + level.String() + "\nd=0\nlisten=\n" + in.CanonicalKey()
 
 	// A miss answers 404 and must not trigger any compute.
 	code, _ := post(t, ts, "/internal/cache", key)

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"rmt/internal/adversary"
 	"rmt/internal/byzantine"
 	"rmt/internal/cliutil"
 	"rmt/internal/core"
@@ -528,6 +529,11 @@ type FeasibilityRequest struct {
 	// MBRB verdict is only present for complete-graph instances, where the
 	// bound is tight.
 	MABudget int `json:"ma_budget,omitempty"`
+	// Listen is the adversary's listening structure ℒ for the SMT verdict,
+	// in the CLI structure syntax ("2;3" or "2,3;4"); empty means no
+	// listening (the SMT verdict then degenerates to the disruption
+	// condition alone).
+	Listen string `json:"listen,omitempty"`
 }
 
 // MBRBVerdict is the signature-free reliable-broadcast answer: the bound
@@ -537,6 +543,27 @@ type MBRBVerdict struct {
 	T        int  `json:"t"`
 	D        int  `json:"d"`
 	Feasible bool `json:"feasible"`
+}
+
+// SMTVerdict is the secure-message-transmission answer under the fully
+// generalised adversary (𝒵, ℒ): Dowden's disruption and secrecy cut
+// conditions, with the witness on whichever side holds — the share-routing
+// path family when feasible, the violated cut when not.
+type SMTVerdict struct {
+	Feasible bool `json:"feasible"`
+	// Listen echoes the listening structure's maximal sets as normalized.
+	Listen [][]int `json:"listen"`
+	// Paths is the canonical witness family the smt protocol would route
+	// shares over; present exactly when feasible.
+	Paths [][]int `json:"paths,omitempty"`
+	// DisruptionCut is the corruption ground when it alone disconnects the
+	// dealer from the receiver.
+	DisruptionCut []int `json:"disruption_cut,omitempty"`
+	// SecrecyCut and SecrecyListen witness a failed secrecy condition: the
+	// ground ∪ listening-set union that separates the terminals, and the
+	// maximal listening set responsible.
+	SecrecyCut    []int `json:"secrecy_cut,omitempty"`
+	SecrecyListen []int `json:"secrecy_listen,omitempty"`
 }
 
 // FeasibilityResponse is the POST /v1/feasibility body. PKA is the partial
@@ -552,6 +579,7 @@ type FeasibilityResponse struct {
 	PKA       Verdict      `json:"pka"`
 	ZCPA      *Verdict     `json:"zcpa,omitempty"`
 	MBRB      *MBRBVerdict `json:"mbrb,omitempty"`
+	SMT       *SMTVerdict  `json:"smt,omitempty"`
 }
 
 func (s *Server) handleFeasibility(w http.ResponseWriter, r *http.Request) {
@@ -568,19 +596,29 @@ func (s *Server) handleFeasibility(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "ma_budget: must be >= 0")
 		return
 	}
+	listen, err := cliutil.ParseStructure(req.Listen)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "listen: %v", err)
+		return
+	}
 	// The key carries the knowledge level alongside the canonical hash:
 	// the response depends on both (the "knowledge" field, and the
 	// adhoc-only ZCPA verdict), and distinct levels can share a canonical
 	// hash — on triangle-free graphs the radius-1 view γ coincides with the
 	// ad hoc one, so radius1 and adhoc requests describe the same instance
 	// tuple yet need different bodies. v2 added the suppression budget,
-	// which parameterizes the MBRB verdict.
-	key := fmt.Sprintf("feasibility-v2\n%s\nd=%d\n%s", level, req.MABudget, in.CanonicalKey())
+	// which parameterizes the MBRB verdict; v3 added the normalized
+	// listening structure, which parameterizes the SMT verdict — the bump
+	// retires every v2-era entry, so a cached no-listening body can never
+	// answer a listening-structure request.
+	key := fmt.Sprintf("feasibility-v3\n%s\nd=%d\nlisten=%s\n%s",
+		level, req.MABudget, cliutil.FormatStructure(listen), in.CanonicalKey())
 	s.serveCached(w, r, key, in.CanonicalKey(), func(ctx context.Context) ([]byte, error) {
 		resp := FeasibilityResponse{Key: in.CanonicalKey(), Knowledge: level.String()}
 		if mv, err := feasibility.MBRBVerdictFor(in, req.MABudget); err == nil {
 			resp.MBRB = &MBRBVerdict{N: mv.N, T: mv.T, D: mv.D, Feasible: mv.Feasible}
 		}
+		resp.SMT = smtVerdictOf(in, listen)
 		cut, found, err := core.FindRMTCutCtx(ctx, in)
 		if err != nil {
 			return nil, err
@@ -609,6 +647,27 @@ func (s *Server) handleFeasibility(w http.ResponseWriter, r *http.Request) {
 
 func witnessOf(c1, c2, b nodeset.Set) *CutWitness {
 	return &CutWitness{C1: members(c1), C2: members(c2), B: members(b)}
+}
+
+// smtVerdictOf evaluates the Dowden cut conditions under the requested
+// listening structure and flattens the witnesses for JSON.
+func smtVerdictOf(in *instance.Instance, listen adversary.Structure) *SMTVerdict {
+	fv := feasibility.SMTVerdictFor(in, listen)
+	v := &SMTVerdict{Feasible: fv.Feasible, Listen: make([][]int, 0, listen.NumMaximal())}
+	for _, l := range listen.Maximal() {
+		v.Listen = append(v.Listen, members(l))
+	}
+	for _, p := range fv.Paths {
+		v.Paths = append(v.Paths, []int(p))
+	}
+	if fv.DisruptionFound {
+		v.DisruptionCut = members(fv.DisruptionCut)
+	}
+	if fv.SecrecyFound {
+		v.SecrecyCut = members(fv.SecrecyCut)
+		v.SecrecyListen = members(fv.SecrecyListen)
+	}
+	return v
 }
 
 // members is Members() with a non-nil result, so JSON renders [] not null.

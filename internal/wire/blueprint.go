@@ -41,6 +41,14 @@ func buildProcesses(bp blueprintBody) (map[int]network.Process, *instance.Instan
 		return nil, nil, fmt.Errorf("wire: blueprint protocol %q not registered", bp.Protocol)
 	}
 	var opts protocol.Options
+	opts.Seed = bp.Seed
+	if bp.Listen != "" {
+		listen, err := cliutil.ParseStructure(bp.Listen)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wire: blueprint listening structure: %w", err)
+		}
+		opts.Listen = listen
+	}
 	if len(bp.Corrupt) > 0 {
 		name := bp.Attack
 		if name == "" {
@@ -69,5 +77,7 @@ func blueprintToBody(bp network.Blueprint) blueprintBody {
 		Corrupt:  bp.Corrupt,
 		Attack:   bp.Attack,
 		Forged:   bp.Forged,
+		Listen:   bp.Listen,
+		Seed:     bp.Seed,
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"rmt/internal/mbrb"
 	"rmt/internal/network"
 	"rmt/internal/nodeset"
+	"rmt/internal/smt"
 	"rmt/internal/zcpa"
 )
 
@@ -37,6 +38,7 @@ const (
 	kindZCPAValue = "zcpa/value"
 	kindNoise     = "byzantine/noise"
 	kindMBRB      = "mbrb/msg"
+	kindSMTShare  = "smt/share"
 )
 
 type coreValueBody struct {
@@ -68,6 +70,12 @@ type noiseBody struct {
 type mbrbBody struct {
 	Phase string `json:"phase"`
 	X     string `json:"x"`
+}
+
+type smtShareBody struct {
+	Idx int    `json:"idx"`
+	P   []int  `json:"p"`
+	X   string `json:"x"`
 }
 
 // encodePayload wraps one outgoing payload in its envelope. Payload types
@@ -103,6 +111,8 @@ func encodePayload(p network.Payload) (payloadEnvelope, error) {
 		kind, body = kindNoise, noiseBody{From: m.From, Round: m.Round, Seq: m.Seq}
 	case mbrb.Msg:
 		kind, body = kindMBRB, mbrbBody{Phase: string(m.Phase), X: string(m.X)}
+	case smt.ShareMsg:
+		kind, body = kindSMTShare, smtShareBody{Idx: m.Idx, P: m.P, X: m.X}
 	default:
 		return payloadEnvelope{}, fmt.Errorf("wire: payload type %T has no wire encoding", p)
 	}
@@ -161,6 +171,12 @@ func decodePayload(env payloadEnvelope) (network.Payload, error) {
 			return nil, fmt.Errorf("wire: decode %s payload: %w", env.Kind, err)
 		}
 		p = mbrb.Msg{Phase: mbrb.Phase(b.Phase), X: network.Value(b.X)}
+	case kindSMTShare:
+		var b smtShareBody
+		if err := json.Unmarshal(env.Data, &b); err != nil {
+			return nil, fmt.Errorf("wire: decode %s payload: %w", env.Kind, err)
+		}
+		p = smt.ShareMsg{Idx: b.Idx, P: graph.Path(b.P), X: b.X}
 	default:
 		return nil, fmt.Errorf("wire: unknown payload kind %q", env.Kind)
 	}

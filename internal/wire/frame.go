@@ -144,6 +144,8 @@ type blueprintBody struct {
 	Corrupt  []int  `json:"corrupt,omitempty"`
 	Attack   string `json:"attack,omitempty"`
 	Forged   string `json:"forged,omitempty"`
+	Listen   string `json:"listen,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
 }
 
 type readyBody struct {

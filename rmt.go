@@ -52,6 +52,7 @@ import (
 	"rmt/internal/ppa"
 	"rmt/internal/protocol"
 	"rmt/internal/selfred"
+	_ "rmt/internal/smt" // registers the "smt" protocol
 	"rmt/internal/view"
 	"rmt/internal/zcpa"
 )
@@ -208,6 +209,7 @@ const (
 	ProtocolPPA       = protocol.PPA
 	ProtocolBroadcast = protocol.Broadcast
 	ProtocolMBRB      = protocol.MBRB
+	ProtocolSMT       = protocol.SMT
 )
 
 // Protocols returns the names of every registered protocol, sorted.
@@ -250,6 +252,32 @@ func RunPPA(in *Instance, xD Value, corrupt map[int]Process, engine Engine) (*Re
 func RunMBRB(in *Instance, xD Value, corrupt map[int]Process, opts RunOptions) (*Result, error) {
 	return RunProtocol(ProtocolMBRB, in, xD, corrupt, opts)
 }
+
+// RunSMT executes the secure message transmission protocol: the dealer
+// splits xD into one additive share per disjoint-from-listening path and the
+// receiver reconstructs only once every share arrives. Set opts.Listen to
+// the listening structure ℒ the run must keep the secret from; the protocol
+// refuses (IsCapsError) pairings that SMTFeasible rejects.
+func RunSMT(in *Instance, xD Value, corrupt map[int]Process, opts RunOptions) (*Result, error) {
+	return RunProtocol(ProtocolSMT, in, xD, corrupt, opts)
+}
+
+// Generalised is the fully generalised adversary of the SMT model: a
+// corruption structure 𝒵 (active, Byzantine) combined with a listening
+// structure ℒ (passive, eavesdropping). Its Feasible method is the
+// Dowden-style cut characterization SMTFeasible evaluates.
+type Generalised = adversary.Generalised
+
+// NewGeneralised pairs a corruption structure with a listening structure.
+// Either may be NoCorruption() for a purely passive or purely active
+// adversary.
+func NewGeneralised(z, listen Structure) Generalised { return adversary.NewGeneralised(z, listen) }
+
+// IsCapsError reports whether err (anywhere in its chain) is a protocol
+// capability rejection — the protocol refusing the requested
+// instance/option pairing outright rather than failing mid-run. CLIs treat
+// these as usage errors (exit 2), not run failures.
+func IsCapsError(err error) bool { return protocol.IsCapsError(err) }
 
 // MessageAdversary is the message-suppression adversary of the MBRB model:
 // per broadcast it may drop up to d copies before they enter the delivery
